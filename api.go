@@ -1,0 +1,260 @@
+package fpga3d
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fpga3d/internal/model"
+	"fpga3d/internal/solver"
+)
+
+// TaskID identifies a task within its Instance.
+type TaskID int
+
+// Task describes one hardware module: a W×H block of cells that executes
+// for Dur clock cycles.
+type Task = model.Task
+
+// Chip is the available resource: a W×H cell array and a time budget of
+// T clock cycles.
+type Chip = model.Container
+
+// Placement assigns every task its cell position (X, Y) and start time S.
+type Placement = model.Placement
+
+// Instance is a module placement problem: tasks plus temporal precedence
+// constraints. Build it with NewInstance / AddTask / AddPrecedence, or
+// load it from JSON with LoadInstance.
+type Instance struct {
+	m *model.Instance
+}
+
+// NewInstance returns an empty named instance.
+func NewInstance(name string) *Instance {
+	return &Instance{m: &model.Instance{Name: name}}
+}
+
+// AddTask appends a module with the given cell footprint and duration
+// and returns its ID.
+func (in *Instance) AddTask(name string, w, h, dur int) TaskID {
+	in.m.Tasks = append(in.m.Tasks, model.Task{Name: name, W: w, H: h, Dur: dur})
+	return TaskID(len(in.m.Tasks) - 1)
+}
+
+// AddPrecedence requires task from to finish before task to starts.
+func (in *Instance) AddPrecedence(from, to TaskID) {
+	in.m.Prec = append(in.m.Prec, model.Arc{From: int(from), To: int(to)})
+}
+
+// Name returns the instance name.
+func (in *Instance) Name() string { return in.m.Name }
+
+// Tasks returns the task list (a copy).
+func (in *Instance) Tasks() []Task { return append([]Task(nil), in.m.Tasks...) }
+
+// NumTasks returns the number of tasks.
+func (in *Instance) NumTasks() int { return in.m.N() }
+
+// Precedences returns the precedence arcs as (from, to) ID pairs.
+func (in *Instance) Precedences() [][2]TaskID {
+	out := make([][2]TaskID, 0, len(in.m.Prec))
+	for _, a := range in.m.Prec {
+		out = append(out, [2]TaskID{TaskID(a.From), TaskID(a.To)})
+	}
+	return out
+}
+
+// Validate checks the instance for structural errors (empty task set,
+// non-positive dimensions, dangling or cyclic precedence constraints).
+func (in *Instance) Validate() error { return in.m.Validate() }
+
+// WithoutPrecedence returns a copy of the instance with every precedence
+// constraint removed — the unconstrained baseline of Figure 7(b).
+func (in *Instance) WithoutPrecedence() *Instance {
+	return &Instance{m: in.m.WithoutPrec()}
+}
+
+// CriticalPath returns the total duration of the longest dependency
+// chain — a lower bound on any feasible execution time.
+func (in *Instance) CriticalPath() (int, error) {
+	o, err := in.m.Order()
+	if err != nil {
+		return 0, err
+	}
+	return o.CriticalPath(), nil
+}
+
+// Model exposes the underlying model instance. Most callers do not need
+// it; it exists for integration with the internal packages in tests and
+// benchmarks.
+func (in *Instance) Model() *model.Instance { return in.m }
+
+// WrapInstance adopts an existing model instance (shared, not copied).
+func WrapInstance(m *model.Instance) *Instance { return &Instance{m: m} }
+
+// LoadInstance reads an instance from a JSON file (see WriteJSON for the
+// format).
+func LoadInstance(path string) (*Instance, error) {
+	m, err := model.LoadInstance(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{m: m}, nil
+}
+
+// ReadInstance decodes an instance from JSON.
+func ReadInstance(r io.Reader) (*Instance, error) {
+	m, err := model.ReadInstance(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{m: m}, nil
+}
+
+// WriteJSON encodes the instance as indented JSON.
+func (in *Instance) WriteJSON(w io.Writer) error { return model.WriteInstance(w, in.m) }
+
+// VerifyPlacement checks a placement against the instance, the chip and
+// the precedence constraints. A nil error means the placement is
+// feasible.
+func (in *Instance) VerifyPlacement(p *Placement, c Chip) error {
+	o, err := in.m.Order()
+	if err != nil {
+		return err
+	}
+	return p.Verify(in.m, c, o)
+}
+
+// Decision is the three-valued outcome of a decision problem.
+type Decision = solver.Decision
+
+// Decision values.
+const (
+	Unknown    = solver.Unknown
+	Feasible   = solver.Feasible
+	Infeasible = solver.Infeasible
+)
+
+// Options tunes the solver; nil means defaults (every stage enabled, no
+// limits). See the solver package for the ablation switches.
+type Options = solver.Options
+
+// Result is the outcome of a feasibility question.
+type Result struct {
+	Decision  Decision
+	Placement *Placement // non-nil iff Decision == Feasible
+	DecidedBy string     // "bound: …", "heuristic", or "search"
+	Nodes     int64      // branch-and-bound nodes expended
+	Elapsed   time.Duration
+}
+
+// OptimizeResult is the outcome of an optimization question.
+type OptimizeResult struct {
+	Decision   Decision
+	Value      int // the optimal T (MinimizeTime) or chip side h (MinimizeChip)
+	Placement  *Placement
+	LowerBound int
+	Nodes      int64
+	Elapsed    time.Duration
+}
+
+func opts(o *Options) Options {
+	if o == nil {
+		return Options{}
+	}
+	return *o
+}
+
+// Solve decides whether the instance fits the chip within its time
+// budget while meeting every precedence constraint (FeasAT&FindS).
+func Solve(in *Instance, c Chip, o *Options) (*Result, error) {
+	r, err := solver.SolveOPP(in.m, c, opts(o))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Decision:  r.Decision,
+		Placement: r.Placement,
+		DecidedBy: r.DecidedBy,
+		Nodes:     r.Stats.Nodes,
+		Elapsed:   r.Elapsed,
+	}, nil
+}
+
+// MinimizeTime computes the smallest execution time on a fixed W×H chip
+// (MinT&FindS).
+func MinimizeTime(in *Instance, w, h int, o *Options) (*OptimizeResult, error) {
+	r, err := solver.MinTime(in.m, w, h, opts(o))
+	if err != nil {
+		return nil, err
+	}
+	return convertOpt(r), nil
+}
+
+// MinimizeChip computes the smallest square chip side h such that the
+// instance completes within T cycles (MinA&FindS).
+func MinimizeChip(in *Instance, t int, o *Options) (*OptimizeResult, error) {
+	r, err := solver.MinBase(in.m, t, opts(o))
+	if err != nil {
+		return nil, err
+	}
+	return convertOpt(r), nil
+}
+
+// FixedSchedule decides whether a spatial placement exists for
+// prescribed start times (FeasA&FixedS).
+func FixedSchedule(in *Instance, c Chip, starts []int, o *Options) (*Result, error) {
+	if len(starts) != in.NumTasks() {
+		return nil, fmt.Errorf("fpga3d: %d start times for %d tasks", len(starts), in.NumTasks())
+	}
+	r, err := solver.FeasibleFixedSchedule(in.m, c, starts, opts(o))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Decision:  r.Decision,
+		Placement: r.Placement,
+		DecidedBy: r.DecidedBy,
+		Nodes:     r.Stats.Nodes,
+		Elapsed:   r.Elapsed,
+	}, nil
+}
+
+// MinimizeChipFixedSchedule computes the smallest square chip that
+// admits a spatial placement for prescribed start times (MinA&FixedS).
+func MinimizeChipFixedSchedule(in *Instance, starts []int, o *Options) (*OptimizeResult, error) {
+	if len(starts) != in.NumTasks() {
+		return nil, fmt.Errorf("fpga3d: %d start times for %d tasks", len(starts), in.NumTasks())
+	}
+	r, err := solver.MinBaseFixedSchedule(in.m, starts, opts(o))
+	if err != nil {
+		return nil, err
+	}
+	return convertOpt(r), nil
+}
+
+func convertOpt(r *solver.OptResult) *OptimizeResult {
+	return &OptimizeResult{
+		Decision:   r.Decision,
+		Value:      r.Value,
+		Placement:  r.Placement,
+		LowerBound: r.LowerBound,
+		Nodes:      r.Stats.Nodes,
+		Elapsed:    r.Elapsed,
+	}
+}
+
+// ParetoPoint is one point of the (time, chip side) trade-off curve.
+type ParetoPoint = solver.ParetoPoint
+
+// Pareto computes the Pareto-optimal (execution time, square chip side)
+// pairs for the instance, as in Figure 7 of the paper. For the
+// unconstrained curve use in.WithoutPrecedence().
+func Pareto(in *Instance, o *Options) ([]ParetoPoint, error) {
+	r, err := solver.ParetoFront(in.m, opts(o))
+	if err != nil {
+		return nil, err
+	}
+	return r.Points, nil
+}

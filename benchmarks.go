@@ -1,0 +1,30 @@
+package fpga3d
+
+import "fpga3d/internal/bench"
+
+// BenchmarkDE returns the paper's DE benchmark (Section 5.1): the
+// 11-node differential-equation dataflow graph with 16×16×2 multiplier
+// modules and 16×1×1 ALU modules.
+func BenchmarkDE() *Instance { return &Instance{m: bench.DE()} }
+
+// BenchmarkVideoCodec returns the paper's H.261 video-codec benchmark
+// (Section 5.2): a coder/decoder task graph over the module library
+// PUM (25×25), BMM (64×64) and DCTM (16×16). Task durations are a
+// reconstruction calibrated to the paper's reported optimum; see
+// DESIGN.md §5.
+func BenchmarkVideoCodec() *Instance { return &Instance{m: bench.VideoCodec()} }
+
+// BenchmarkFIR returns the dataflow graph of an n-tap FIR filter over
+// the DE module library (multiplier 16×16×2, ALU 16×1×1): n coefficient
+// products feeding a balanced adder tree. A scalable workload family
+// beyond the paper's evaluation.
+func BenchmarkFIR(taps int) *Instance { return &Instance{m: bench.FIR(taps)} }
+
+// BenchmarkBiquad returns a cascade of k direct-form-II biquad IIR
+// sections (5 multiplications, 4 additions per section) over the DE
+// module library.
+func BenchmarkBiquad(sections int) *Instance { return &Instance{m: bench.Biquad(sections)} }
+
+// BenchmarkFFT returns the dataflow graph of an n-point radix-2 FFT
+// (n must be a power of two) over the DE module library.
+func BenchmarkFFT(points int) *Instance { return &Instance{m: bench.FFT(points)} }

@@ -1,0 +1,85 @@
+// Command fpgagen emits FPGA placement problem instances as JSON for
+// the fpgaplace solver: the paper's benchmarks, the scalable HLS
+// workload families, and random instance families used by the test
+// suite.
+//
+// Usage:
+//
+//	fpgagen -family de                        > de.json
+//	fpgagen -family fir -size 8               > fir8.json
+//	fpgagen -family fft -size 16              > fft16.json
+//	fpgagen -family random -n 12 -seed 7      > random.json
+//	fpgagen -family layered -n 4 -seed 1      > layered.json
+//	fpgagen -family dot -from de.json         # DOT graph to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"fpga3d/internal/bench"
+	"fpga3d/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fpgagen: ")
+	var (
+		family  = flag.String("family", "", "de | videocodec | fir | biquad | fft | random | layered | sp | dot")
+		size    = flag.Int("size", 8, "family size parameter (FIR taps, biquad sections, FFT points)")
+		n       = flag.Int("n", 8, "task count (random, sp) or layer count (layered)")
+		seed    = flag.Int64("seed", 1, "random seed (random, layered, sp)")
+		maxSize = flag.Int("max-size", 8, "maximum spatial extent (random families)")
+		maxDur  = flag.Int("max-dur", 4, "maximum duration (random families)")
+		pArc    = flag.Float64("p-arc", 0.3, "precedence arc probability (random, layered)")
+		from    = flag.String("from", "", "input JSON instance (dot)")
+	)
+	flag.Parse()
+
+	var in *model.Instance
+	switch *family {
+	case "de":
+		in = bench.DE()
+	case "videocodec":
+		in = bench.VideoCodec()
+	case "fir":
+		in = bench.FIR(*size)
+	case "biquad":
+		in = bench.Biquad(*size)
+	case "fft":
+		in = bench.FFT(*size)
+	case "random":
+		in = bench.Random(rand.New(rand.NewSource(*seed)), *n, *maxSize, *maxDur, *pArc)
+	case "layered":
+		in = bench.RandomLayered(rand.New(rand.NewSource(*seed)), *n, 4, *maxSize, *maxDur, *pArc)
+	case "sp":
+		in = bench.RandomSeriesParallel(rand.New(rand.NewSource(*seed)), *n, *maxSize, *maxDur)
+	case "dot":
+		if *from == "" {
+			log.Fatal("-family dot needs -from instance.json")
+		}
+		loaded, err := model.LoadInstance(*from)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := model.WriteDOT(os.Stdout, loaded); err != nil {
+			log.Fatal(err)
+		}
+		return
+	case "":
+		flag.Usage()
+		os.Exit(2)
+	default:
+		log.Fatalf("unknown family %q", *family)
+	}
+	if err := in.Validate(); err != nil {
+		log.Fatalf("generated instance invalid: %v", err)
+	}
+	if err := model.WriteInstance(os.Stdout, in); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "fpgagen: %s — %d tasks, %d arcs\n", in.Name, in.N(), len(in.Prec))
+}

@@ -1,0 +1,267 @@
+// Command fpgaplace solves FPGA module placement problems from JSON
+// instance files with the exact packing-class solver.
+//
+// Usage:
+//
+//	fpgaplace -instance de.json -mode opp  -W 32 -H 32 -T 6
+//	fpgaplace -instance de.json -mode spp  -W 17 -H 17
+//	fpgaplace -instance de.json -mode bmp  -T 13
+//	fpgaplace -instance de.json -mode fixed -W 33 -H 33 -T 6 -starts 0,0,2,4,5,0,2,0,2,0,1
+//	fpgaplace -instance de.json -mode pareto
+//	fpgaplace -builtin de -mode bmp -T 6
+//
+// Modes follow the paper's problem names: opp = FeasAT&FindS,
+// spp = MinT&FindS, bmp = MinA&FindS, fixed = FeasA&FixedS,
+// pareto = the Figure-7 trade-off curve.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"fpga3d"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fpgaplace: ")
+
+	var (
+		instancePath = flag.String("instance", "", "JSON instance file")
+		builtin      = flag.String("builtin", "", "built-in benchmark instead of a file: de, videocodec")
+		mode         = flag.String("mode", "opp", "opp | spp | bmp | fixed | pareto | minarea | multichip | rotate")
+		w            = flag.Int("W", 0, "chip width in cells (opp, spp, fixed)")
+		h            = flag.Int("H", 0, "chip height in cells (opp, spp, fixed)")
+		tBudget      = flag.Int("T", 0, "time budget in cycles (opp, bmp, fixed)")
+		startsArg    = flag.String("starts", "", "comma-separated start times (fixed)")
+		chips        = flag.Int("chips", 0, "number of identical chips (multichip; 0 = minimize)")
+		noPrec       = flag.Bool("no-prec", false, "drop all precedence constraints")
+		showPlace    = flag.Bool("placement", true, "print the witness placement")
+		showGantt    = flag.Bool("gantt", false, "print an ASCII schedule chart")
+		svgPath      = flag.String("svg", "", "write the witness placement as SVG to this file")
+		reconfig     = flag.Int("reconfig", 0, "per-task reconfiguration overhead folded into durations")
+		nodeLimit    = flag.Int64("node-limit", 0, "branch-and-bound node budget (0 = unlimited)")
+		timeLimit    = flag.Duration("time-limit", 5*time.Minute, "wall-clock budget per decision")
+	)
+	flag.Parse()
+
+	in, err := loadInstance(*instancePath, *builtin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *noPrec {
+		in = in.WithoutPrecedence()
+	}
+	if *reconfig > 0 {
+		in, err = in.WithUniformReconfigOverhead(*reconfig)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	opt := &fpga3d.Options{NodeLimit: *nodeLimit, TimeLimit: *timeLimit}
+	svgOut := func(p *fpga3d.Placement, c fpga3d.Chip) {
+		if *svgPath == "" || p == nil {
+			return
+		}
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := in.WriteSVG(f, p, c); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgPath)
+	}
+
+	switch *mode {
+	case "opp":
+		requireFlags(*w > 0 && *h > 0 && *tBudget > 0, "-W, -H and -T")
+		chip := fpga3d.Chip{W: *w, H: *h, T: *tBudget}
+		res, err := fpga3d.Solve(in, chip, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s on %v: %v (decided by %s, %d nodes, %v)\n",
+			in.Name(), chip, res.Decision, res.DecidedBy, res.Nodes, res.Elapsed.Round(time.Microsecond))
+		printPlacement(in, res.Placement, *showPlace, *showGantt)
+		svgOut(res.Placement, chip)
+
+	case "spp":
+		requireFlags(*w > 0 && *h > 0, "-W and -H")
+		res, err := fpga3d.MinimizeTime(in, *w, *h, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s on %dx%d: minimal time %d cycles (%v, lower bound %d, %d nodes, %v)\n",
+			in.Name(), *w, *h, res.Value, res.Decision, res.LowerBound, res.Nodes,
+			res.Elapsed.Round(time.Microsecond))
+		printPlacement(in, res.Placement, *showPlace, *showGantt)
+		svgOut(res.Placement, fpga3d.Chip{W: *w, H: *h, T: res.Value})
+
+	case "bmp":
+		requireFlags(*tBudget > 0, "-T")
+		res, err := fpga3d.MinimizeChip(in, *tBudget, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s within T=%d: minimal chip %dx%d (%v, lower bound %d, %d nodes, %v)\n",
+			in.Name(), *tBudget, res.Value, res.Value, res.Decision, res.LowerBound, res.Nodes,
+			res.Elapsed.Round(time.Microsecond))
+		printPlacement(in, res.Placement, *showPlace, *showGantt)
+		svgOut(res.Placement, fpga3d.Chip{W: res.Value, H: res.Value, T: *tBudget})
+
+	case "fixed":
+		requireFlags(*w > 0 && *h > 0 && *tBudget > 0 && *startsArg != "", "-W, -H, -T and -starts")
+		starts, err := parseStarts(*startsArg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		chip := fpga3d.Chip{W: *w, H: *h, T: *tBudget}
+		res, err := fpga3d.FixedSchedule(in, chip, starts, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s with fixed schedule on %v: %v (%d nodes, %v)\n",
+			in.Name(), chip, res.Decision, res.Nodes, res.Elapsed.Round(time.Microsecond))
+		printPlacement(in, res.Placement, *showPlace, *showGantt)
+		svgOut(res.Placement, chip)
+
+	case "pareto":
+		pts, err := fpga3d.Pareto(in, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: Pareto-optimal (time, chip) points:\n", in.Name())
+		for _, p := range pts {
+			fmt.Printf("  T=%4d  chip %dx%d\n", p.T, p.H, p.H)
+		}
+
+	case "minarea":
+		requireFlags(*tBudget > 0, "-T")
+		res, err := fpga3d.MinimizeChipArea(in, *tBudget, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s within T=%d: minimal rectangle %dx%d (%d cells, %v)\n",
+			in.Name(), *tBudget, res.W, res.H, res.Area, res.Decision)
+		printPlacement(in, res.Placement, *showPlace, *showGantt)
+		svgOut(res.Placement, fpga3d.Chip{W: res.W, H: res.H, T: *tBudget})
+
+	case "multichip":
+		requireFlags(*w > 0 && *h > 0 && *tBudget > 0, "-W, -H and -T")
+		var res *fpga3d.MultiChipResult
+		var err error
+		if *chips > 0 {
+			res, err = fpga3d.SolveMultiChip(in, *w, *h, *tBudget, *chips, opt)
+		} else {
+			res, err = fpga3d.MinimizeChips(in, *w, *h, *tBudget, opt)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s on %dx%d chips within T=%d: %v with %d chips\n",
+			in.Name(), *w, *h, *tBudget, res.Decision, res.Chips)
+		if res.Decision == fpga3d.Feasible {
+			m := in.Model()
+			for c := 0; c < res.Chips; c++ {
+				fmt.Printf("  chip %d:", c)
+				for i := range m.Tasks {
+					if res.Chip[i] == c {
+						fmt.Printf(" %s@(%d,%d)t%d", taskLabel(m.Tasks[i].Name, i),
+							res.Placement.X[i], res.Placement.Y[i], res.Placement.S[i])
+					}
+				}
+				fmt.Println()
+			}
+		}
+
+	case "rotate":
+		requireFlags(*w > 0 && *h > 0 && *tBudget > 0, "-W, -H and -T")
+		chip := fpga3d.Chip{W: *w, H: *h, T: *tBudget}
+		res, err := fpga3d.SolveWithRotation(in, chip, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s on %v with rotation: %v\n", in.Name(), chip, res.Decision)
+		if res.Decision == fpga3d.Feasible {
+			rotated := 0
+			for _, r := range res.Rotations {
+				if r {
+					rotated++
+				}
+			}
+			fmt.Printf("rotated modules: %d\n", rotated)
+			printPlacement(res.Oriented, res.Placement, *showPlace, *showGantt)
+		}
+
+	default:
+		log.Fatalf("unknown mode %q (want opp, spp, bmp, fixed, pareto, minarea, multichip or rotate)", *mode)
+	}
+}
+
+func taskLabel(name string, i int) string {
+	if name != "" {
+		return name
+	}
+	return fmt.Sprintf("task%d", i)
+}
+
+func loadInstance(path, builtin string) (*fpga3d.Instance, error) {
+	switch {
+	case path != "" && builtin != "":
+		return nil, fmt.Errorf("use either -instance or -builtin, not both")
+	case path != "":
+		return fpga3d.LoadInstance(path)
+	case builtin == "de":
+		return fpga3d.BenchmarkDE(), nil
+	case builtin == "videocodec":
+		return fpga3d.BenchmarkVideoCodec(), nil
+	case builtin != "":
+		return nil, fmt.Errorf("unknown builtin %q (want de or videocodec)", builtin)
+	default:
+		return nil, fmt.Errorf("missing -instance file or -builtin name")
+	}
+}
+
+func requireFlags(ok bool, what string) {
+	if !ok {
+		log.Fatalf("this mode needs %s", what)
+	}
+}
+
+func parseStarts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad start time %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func printPlacement(in *fpga3d.Instance, p *fpga3d.Placement, table, gantt bool) {
+	if p == nil {
+		return
+	}
+	if table {
+		fmt.Println()
+		fmt.Print(p.Table(in.Model()))
+	}
+	if gantt {
+		fmt.Println()
+		fmt.Print(p.Gantt(in.Model()))
+	}
+	if !table && !gantt {
+		return
+	}
+	os.Stdout.Sync()
+}

@@ -1,0 +1,64 @@
+package main
+
+import "testing"
+
+func TestParseStarts(t *testing.T) {
+	got, err := parseStarts("0, 3,7,12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 3, 7, 12}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if _, err := parseStarts("1,x,3"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := parseStarts(""); err == nil {
+		t.Fatal("empty string accepted")
+	}
+}
+
+func TestLoadInstanceBuiltins(t *testing.T) {
+	de, err := loadInstance("", "de")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if de.NumTasks() != 11 {
+		t.Fatalf("de has %d tasks", de.NumTasks())
+	}
+	vc, err := loadInstance("", "videocodec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.NumTasks() != 16 {
+		t.Fatalf("videocodec has %d tasks", vc.NumTasks())
+	}
+	if _, err := loadInstance("", "nope"); err == nil {
+		t.Fatal("unknown builtin accepted")
+	}
+	if _, err := loadInstance("", ""); err == nil {
+		t.Fatal("missing source accepted")
+	}
+	if _, err := loadInstance("x.json", "de"); err == nil {
+		t.Fatal("both sources accepted")
+	}
+}
+
+func TestLoadInstanceFromFile(t *testing.T) {
+	in, err := loadInstance("../../instances/de.json", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NumTasks() != 11 || in.Name() != "DE" {
+		t.Fatalf("parsed %q with %d tasks", in.Name(), in.NumTasks())
+	}
+	if _, err := loadInstance("../../instances/missing.json", ""); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

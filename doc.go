@@ -1,0 +1,52 @@
+// Package fpga3d solves optimal FPGA module placement with temporal
+// precedence constraints, reproducing the exact algorithms of
+//
+//	S. P. Fekete, E. Köhler, J. Teich:
+//	"Optimal FPGA Module Placement with Temporal Precedence Constraints",
+//	DATE 2001 (TU Berlin Report 696/2000).
+//
+// Hardware modules on a partially reconfigurable FPGA are modeled as
+// three-dimensional boxes — two spatial dimensions (cells on the chip)
+// and one temporal dimension (execution time). A feasible placement puts
+// every module inside the W×H chip and the time horizon T such that
+// simultaneously executing modules occupy disjoint cells, and such that
+// every precedence constraint u ≺ v (module v consumes the output of
+// module u) is met: u finishes before v starts.
+//
+// The solver is exact. Instead of enumerating geometric coordinates it
+// searches over packing classes — triples of interval graphs recording,
+// per dimension, which pairs of modules overlap — with constraint
+// propagation, and handles precedence constraints by orienting the
+// time-axis comparability edges under the paper's path (D1) and
+// transitivity (D2) implication rules.
+//
+// # Problems
+//
+//   - Solve          — feasibility for a fixed chip and time budget
+//     (FeasAT&FindS; the orthogonal packing problem OPP).
+//   - MinimizeTime   — minimal execution time on a fixed chip
+//     (MinT&FindS; the strip packing problem SPP).
+//   - MinimizeChip   — minimal square chip for a fixed time budget
+//     (MinA&FindS; the base minimization problem BMP).
+//   - FixedSchedule  — feasibility and chip minimization when all start
+//     times are prescribed (FeasA&FixedS, MinA&FixedS).
+//   - Pareto         — the full (time, chip size) trade-off curve
+//     (Figure 7 of the paper).
+//
+// # Quick start
+//
+//	in := fpga3d.NewInstance("demo")
+//	mul := in.AddTask("mul", 16, 16, 2) // 16×16 cells, 2 cycles
+//	alu := in.AddTask("alu", 16, 1, 1)
+//	in.AddPrecedence(mul, alu) // the ALU consumes the product
+//
+//	res, err := fpga3d.Solve(in, fpga3d.Chip{W: 32, H: 32, T: 4}, nil)
+//	if err != nil { ... }
+//	if res.Decision == fpga3d.Feasible {
+//	    fmt.Print(res.Placement.Table(in))
+//	}
+//
+// See the examples directory for complete programs, including the
+// paper's two benchmarks (the differential-equation dataflow graph and
+// the H.261 video codec).
+package fpga3d

@@ -1,0 +1,46 @@
+// Command de reproduces Table 1 of the paper on the differential-
+// equation (DE) benchmark: for each allowed latency T the minimal square
+// chip is computed, and for the tightest case (T = 6, the critical path)
+// the resulting space-time placement is rendered cycle by cycle.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpga3d"
+)
+
+func main() {
+	de := fpga3d.BenchmarkDE()
+	fmt.Printf("DE benchmark: %d tasks, %d precedence arcs\n", de.NumTasks(), len(de.Precedences()))
+	cp, err := de.CriticalPath()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("critical path: %d cycles (no faster schedule exists)\n\n", cp)
+
+	fmt.Println("Table 1 — minimal square chip per latency bound:")
+	fmt.Printf("%6s %12s %10s %12s\n", "T", "chip", "nodes", "time")
+	for _, T := range []int{6, 13, 14} {
+		r, err := fpga3d.MinimizeChip(de, T, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d %9dx%-3d %10d %12v\n", T, r.Value, r.Value, r.Nodes, r.Elapsed.Round(1000))
+	}
+
+	// Show the T=6 placement on the 32×32 chip: four multipliers run in
+	// parallel, exactly as the chip area dictates.
+	r, err := fpga3d.MinimizeChip(de, 6, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chip := fpga3d.Chip{W: r.Value, H: r.Value, T: 6}
+	fmt.Printf("\nT=6 placement on %v:\n\n", chip)
+	fmt.Println(r.Placement.Table(de.Model()))
+	fmt.Println(r.Placement.Gantt(de.Model()))
+	for t := 0; t < 6; t += 2 {
+		fmt.Println(r.Placement.FrameAt(de.Model(), chip, t))
+	}
+}

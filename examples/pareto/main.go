@@ -1,0 +1,92 @@
+// Command pareto reproduces Figure 7 of the paper: the Pareto-optimal
+// trade-off between chip area and processing time for the DE benchmark,
+// (a) with the dataflow precedence constraints and (b) without them.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"fpga3d"
+)
+
+func main() {
+	de := fpga3d.BenchmarkDE()
+
+	withPrec, err := fpga3d.Pareto(de, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	noPrec, err := fpga3d.Pareto(de.WithoutPrecedence(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Figure 7 — Pareto-optimal points (chip side h vs. time T):")
+	fmt.Println("\n(a) with precedence constraints (solid):")
+	printPoints(withPrec)
+	fmt.Println("\n(b) without precedence constraints (dashed):")
+	printPoints(noPrec)
+
+	fmt.Println("\nstaircase plot (s = solid/with, d = dashed/without, b = both):")
+	plot(withPrec, noPrec)
+}
+
+func printPoints(pts []fpga3d.ParetoPoint) {
+	for _, p := range pts {
+		fmt.Printf("  T=%3d → chip %dx%d\n", p.T, p.H, p.H)
+	}
+}
+
+// plot renders both staircases on a shared (T, h) grid.
+func plot(a, b []fpga3d.ParetoPoint) {
+	heightAt := func(pts []fpga3d.ParetoPoint, t int) int {
+		h := -1
+		for _, p := range pts {
+			if p.T <= t {
+				h = p.H
+			}
+		}
+		return h
+	}
+	maxT := 16
+	hs := map[int]bool{}
+	for t := 0; t <= maxT; t++ {
+		if h := heightAt(a, t); h > 0 {
+			hs[h] = true
+		}
+		if h := heightAt(b, t); h > 0 {
+			hs[h] = true
+		}
+	}
+	var levels []int
+	for h := range hs {
+		levels = append(levels, h)
+	}
+	// Insertion sort descending (few levels).
+	for i := 1; i < len(levels); i++ {
+		for j := i; j > 0 && levels[j] > levels[j-1]; j-- {
+			levels[j], levels[j-1] = levels[j-1], levels[j]
+		}
+	}
+	for _, h := range levels {
+		row := make([]byte, maxT+1)
+		for t := 0; t <= maxT; t++ {
+			ha, hb := heightAt(a, t), heightAt(b, t)
+			switch {
+			case ha == h && hb == h:
+				row[t] = 'b'
+			case ha == h:
+				row[t] = 's'
+			case hb == h:
+				row[t] = 'd'
+			default:
+				row[t] = ' '
+			}
+		}
+		fmt.Printf("h=%3d |%s\n", h, string(row))
+	}
+	fmt.Printf("       %s\n", strings.Repeat("-", maxT+1))
+	fmt.Printf("       0123456789012345 (T)\n")
+}

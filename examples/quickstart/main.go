@@ -1,0 +1,58 @@
+// Command quickstart shows the fpga3d public API on a small hand-built
+// instance: two multipliers feeding an adder chain on a reconfigurable
+// 32×32 chip.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpga3d"
+)
+
+func main() {
+	in := fpga3d.NewInstance("quickstart")
+
+	// Two 16×16 multipliers (2 cycles each) computing partial products,
+	// an adder combining them, and a comparator on the sum. ALU-style
+	// modules occupy one 16×1 row of cells for one cycle.
+	m1 := in.AddTask("mul1", 16, 16, 2)
+	m2 := in.AddTask("mul2", 16, 16, 2)
+	add := in.AddTask("add", 16, 1, 1)
+	cmp := in.AddTask("cmp", 16, 1, 1)
+	in.AddPrecedence(m1, add)
+	in.AddPrecedence(m2, add)
+	in.AddPrecedence(add, cmp)
+
+	cp, err := in.CriticalPath()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("critical path: %d cycles\n\n", cp)
+
+	// Is a 32×32 chip with a 4-cycle budget enough?
+	chip := fpga3d.Chip{W: 32, H: 32, T: 4}
+	res, err := fpga3d.Solve(in, chip, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fits %v within T=%d? %v (decided by %s)\n\n", chip, chip.T, res.Decision, res.DecidedBy)
+	if res.Decision == fpga3d.Feasible {
+		fmt.Println(res.Placement.Table(in.Model()))
+		fmt.Println(res.Placement.Gantt(in.Model()))
+	}
+
+	// What is the fastest schedule this chip supports?
+	minT, err := fpga3d.MinimizeTime(in, 32, 32, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("minimal execution time on 32x32: %d cycles\n", minT.Value)
+
+	// And the smallest square chip that still meets T = 4?
+	minH, err := fpga3d.MinimizeChip(in, 4, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("minimal square chip for T=4: %dx%d cells\n", minH.Value, minH.Value)
+}

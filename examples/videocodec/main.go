@@ -1,0 +1,48 @@
+// Command videocodec reproduces Table 2 of the paper on the H.261
+// video-codec benchmark: the minimal chip is 64×64 (the block-matching
+// module for motion estimation fills it completely) and the minimal
+// latency on that chip is 59 cycles, limited by the data dependencies of
+// the coder pipeline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpga3d"
+)
+
+func main() {
+	vc := fpga3d.BenchmarkVideoCodec()
+	fmt.Printf("video codec: %d tasks, %d precedence arcs\n", vc.NumTasks(), len(vc.Precedences()))
+	cp, err := vc.CriticalPath()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("critical path: %d cycles\n\n", cp)
+
+	// No chip smaller than 64×64 can host the benchmark: the BMM module
+	// alone needs 64×64 cells. Confirm by asking for the minimal chip.
+	minH, err := fpga3d.MinimizeChip(vc, 59, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("minimal square chip for T=59: %dx%d\n", minH.Value, minH.Value)
+
+	// Table 2: minimal latency on the 64×64 chip.
+	minT, err := fpga3d.MinimizeTime(vc, 64, 64, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("minimal latency on 64x64:    %d cycles (lower bound %d)\n\n", minT.Value, minT.LowerBound)
+
+	fmt.Println(minT.Placement.Table(vc.Model()))
+	fmt.Println(minT.Placement.Gantt(vc.Model()))
+
+	// A latency below the dependency critical path is impossible.
+	r, err := fpga3d.Solve(vc, fpga3d.Chip{W: 64, H: 64, T: minT.Value - 1}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("T=%d on 64x64: %v (%s)\n", minT.Value-1, r.Decision, r.DecidedBy)
+}

@@ -1,0 +1,192 @@
+package fpga3d
+
+import (
+	"fmt"
+	"io"
+
+	"fpga3d/internal/fpga"
+	"fpga3d/internal/solver"
+)
+
+// This file holds extensions beyond the paper's evaluation: 90° module
+// rotation, reconfiguration-overhead modeling (Section 2.1 of the paper
+// describes the model; folding it into durations is exactly what the
+// paper prescribes), and SVG rendering of placements.
+
+// RotationResult is the outcome of a rotation-aware feasibility
+// question.
+type RotationResult struct {
+	Result
+	// Rotations[i] reports whether task i was rotated by 90° in the
+	// witness (meaningful only when feasible).
+	Rotations []bool
+	// Oriented is the instance with the witness orientations applied;
+	// the placement's footprints refer to it.
+	Oriented *Instance
+}
+
+// SolveWithRotation decides feasibility when every module may be
+// rotated by 90° (footprint w×h becomes h×w). Exact: the instance is
+// reported feasible iff some orientation assignment admits a placement.
+func SolveWithRotation(in *Instance, c Chip, o *Options) (*RotationResult, error) {
+	r, err := solver.SolveOPPWithRotation(in.m, c, opts(o))
+	if err != nil {
+		return nil, err
+	}
+	out := &RotationResult{
+		Result: Result{
+			Decision:  r.Decision,
+			Placement: r.Placement,
+			DecidedBy: r.DecidedBy,
+			Nodes:     r.Stats.Nodes,
+			Elapsed:   r.Elapsed,
+		},
+		Rotations: r.Rotations,
+	}
+	if r.Oriented != nil {
+		out.Oriented = &Instance{m: r.Oriented}
+	}
+	return out, nil
+}
+
+// MinimizeChipWithRotation computes the smallest square chip for time
+// budget T when modules may rotate.
+func MinimizeChipWithRotation(in *Instance, t int, o *Options) (*OptimizeResult, []bool, error) {
+	r, rots, err := solver.MinBaseWithRotation(in.m, t, opts(o))
+	if err != nil {
+		return nil, nil, err
+	}
+	return convertOpt(r), rots, nil
+}
+
+// WithReconfigOverhead returns a copy of the instance with task i's
+// duration extended by overhead[i] cycles of reconfiguration time.
+func (in *Instance) WithReconfigOverhead(overhead []int) (*Instance, error) {
+	m, err := in.m.WithReconfigOverhead(overhead)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{m: m}, nil
+}
+
+// WithUniformReconfigOverhead extends every task duration by the same
+// reconfiguration constant.
+func (in *Instance) WithUniformReconfigOverhead(delta int) (*Instance, error) {
+	m, err := in.m.WithUniformReconfigOverhead(delta)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{m: m}, nil
+}
+
+// WriteSVG renders a placement for this instance as an SVG document:
+// one chip frame per event time plus a Gantt strip.
+func (in *Instance) WriteSVG(w io.Writer, p *Placement, c Chip) error {
+	if p == nil {
+		return fmt.Errorf("fpga3d: nil placement")
+	}
+	return p.WriteSVG(w, in.m, c)
+}
+
+// Trace is the result of replaying a placement on the cycle-accurate
+// array simulator: reconfiguration events, utilization and per-column
+// configuration-write counts (the XC6200-style read-in model of the
+// paper's Section 2.1).
+type Trace = fpga.Trace
+
+// Simulate replays a placement on an explicit cell-occupancy model of
+// the chip — an independent checker of the solver's output — and
+// reports utilization statistics.
+func (in *Instance) Simulate(p *Placement, c Chip) (*Trace, error) {
+	if p == nil {
+		return nil, fmt.Errorf("fpga3d: nil placement")
+	}
+	o, err := in.m.Order()
+	if err != nil {
+		return nil, err
+	}
+	return fpga.Simulate(in.m, c, p, o)
+}
+
+// MultiChipResult reports a multi-FPGA feasibility or minimization
+// outcome: the chip assignment of every task plus its per-chip
+// coordinates.
+type MultiChipResult struct {
+	Decision  Decision
+	Chips     int
+	Chip      []int
+	Placement *Placement
+}
+
+// SolveMultiChip decides whether the instance fits k identical W×H
+// chips within T cycles. The chip index is modeled as a fourth packing
+// dimension (every module has extent 1 there), so the exact
+// packing-class machinery applies unchanged — a direct payoff of the
+// Fekete–Schepers theory being dimension-generic.
+func SolveMultiChip(in *Instance, chipW, chipH, t, k int, o *Options) (*MultiChipResult, error) {
+	r, err := solver.SolveMultiChip(in.m, chipW, chipH, t, k, opts(o))
+	if err != nil {
+		return nil, err
+	}
+	return &MultiChipResult{Decision: r.Decision, Chips: r.Chips, Chip: r.Chip, Placement: r.Placement}, nil
+}
+
+// MinimizeChips finds the minimal number of identical W×H chips on
+// which the instance completes within T cycles.
+func MinimizeChips(in *Instance, chipW, chipH, t int, o *Options) (*MultiChipResult, error) {
+	r, err := solver.MinChips(in.m, chipW, chipH, t, opts(o))
+	if err != nil {
+		return nil, err
+	}
+	return &MultiChipResult{Decision: r.Decision, Chips: r.Chips, Chip: r.Chip, Placement: r.Placement}, nil
+}
+
+// RectResult is the outcome of a rectangular chip minimization.
+type RectResult struct {
+	Decision  Decision
+	W, H      int
+	Area      int
+	Placement *Placement
+}
+
+// MinimizeChipArea generalizes MinimizeChip to rectangular chips: it
+// finds a W×H chip of minimal area (ties broken towards the squarer
+// shape) on which the instance completes within T cycles. Rectangles
+// can beat the paper's square BMP optimum substantially — the DE
+// benchmark at T=6 fits a 16×48 chip (768 cells) although the smallest
+// square is 32×32 (1024 cells).
+func MinimizeChipArea(in *Instance, t int, o *Options) (*RectResult, error) {
+	r, err := solver.MinArea(in.m, t, opts(o))
+	if err != nil {
+		return nil, err
+	}
+	return &RectResult{
+		Decision:  r.Decision,
+		W:         r.W,
+		H:         r.H,
+		Area:      r.Area,
+		Placement: r.Placement,
+	}, nil
+}
+
+// MinimizeTimeWithRotation computes the smallest execution time on a
+// W×H chip when modules may rotate by 90°; the returned slice records
+// the witness orientation.
+func MinimizeTimeWithRotation(in *Instance, w, h int, o *Options) (*OptimizeResult, []bool, error) {
+	r, rots, err := solver.MinTimeWithRotation(in.m, w, h, opts(o))
+	if err != nil {
+		return nil, nil, err
+	}
+	return convertOpt(r), rots, nil
+}
+
+// MinimizeTimeMultiChip computes the smallest execution time on k
+// identical W×H chips.
+func MinimizeTimeMultiChip(in *Instance, chipW, chipH, k int, o *Options) (*MultiChipResult, int, error) {
+	r, err := solver.MinTimeMultiChip(in.m, chipW, chipH, k, opts(o))
+	if err != nil {
+		return nil, 0, err
+	}
+	return &MultiChipResult{Decision: r.Decision, Chips: r.Chips, Chip: r.Chip, Placement: r.Placement},
+		r.MinTime, nil
+}

@@ -1,0 +1,173 @@
+package fpga3d
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSolveWithRotationAPI(t *testing.T) {
+	in := NewInstance("rot")
+	in.AddTask("a", 1, 4, 1)
+	in.AddTask("b", 1, 4, 1)
+	chip := Chip{W: 4, H: 2, T: 1}
+	r, err := SolveWithRotation(in, chip, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Decision != Feasible {
+		t.Fatalf("decision %v", r.Decision)
+	}
+	if r.Oriented == nil {
+		t.Fatal("no oriented instance")
+	}
+	// The placement must verify against the oriented instance.
+	if err := r.Oriented.VerifyPlacement(r.Placement, chip); err != nil {
+		t.Fatal(err)
+	}
+	tasks := r.Oriented.Tasks()
+	if tasks[0].W != 4 || tasks[0].H != 1 {
+		t.Fatalf("orientation not applied: %+v", tasks[0])
+	}
+}
+
+func TestMinimizeChipWithRotationAPI(t *testing.T) {
+	in := NewInstance("strips")
+	for i := 0; i < 3; i++ {
+		in.AddTask("s", 1, 5, 1)
+	}
+	in.AddTask("t", 5, 1, 1)
+	r, rots, err := MinimizeChipWithRotation(in, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Decision != Feasible || r.Value != 5 {
+		t.Fatalf("h = %d (%v), want 5", r.Value, r.Decision)
+	}
+	if len(rots) != 4 {
+		t.Fatalf("rotations = %v", rots)
+	}
+}
+
+func TestReconfigOverheadAPI(t *testing.T) {
+	de := BenchmarkDE()
+	loaded, err := de.WithUniformReconfigOverhead(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := loaded.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Longest chain v1→v3→v4→v5 gains 4 cycles of overhead.
+	if cp != 10 {
+		t.Fatalf("critical path = %d, want 10", cp)
+	}
+	perTask := make([]int, de.NumTasks())
+	perTask[0] = 7
+	l2, err := de.WithReconfigOverhead(perTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.Tasks()[0].Dur; got != 9 {
+		t.Fatalf("task 0 duration = %d, want 9", got)
+	}
+	if _, err := de.WithReconfigOverhead([]int{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestWriteSVGAPI(t *testing.T) {
+	de := BenchmarkDE()
+	res, err := MinimizeChip(de, 14, &Options{TimeLimit: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	chip := Chip{W: res.Value, H: res.Value, T: 14}
+	if err := de.WriteSVG(&b, res.Placement, chip); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<svg") || !strings.Contains(b.String(), "v1*") {
+		t.Fatal("SVG content wrong")
+	}
+	if err := de.WriteSVG(&b, nil, chip); err == nil {
+		t.Fatal("nil placement accepted")
+	}
+}
+
+func TestMinimizeChipAreaAPI(t *testing.T) {
+	de := BenchmarkDE()
+	opt := &Options{TimeLimit: 120 * time.Second}
+	r, err := MinimizeChipArea(de, 6, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Decision != Feasible || r.Area != 768 {
+		t.Fatalf("area = %d (%v), want 768", r.Area, r.Decision)
+	}
+	if r.W*r.H != r.Area {
+		t.Fatalf("W×H = %d×%d ≠ area %d", r.W, r.H, r.Area)
+	}
+	if err := de.VerifyPlacement(r.Placement, Chip{W: r.W, H: r.H, T: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHLSConstructorsAPI(t *testing.T) {
+	if got := BenchmarkFIR(8).NumTasks(); got != 15 {
+		t.Fatalf("FIR-8 tasks = %d", got)
+	}
+	if got := BenchmarkBiquad(2).NumTasks(); got != 18 {
+		t.Fatalf("Biquad-2 tasks = %d", got)
+	}
+	if got := BenchmarkFFT(8).NumTasks(); got != 36 {
+		t.Fatalf("FFT-8 tasks = %d", got)
+	}
+	for _, in := range []*Instance{BenchmarkFIR(4), BenchmarkBiquad(1), BenchmarkFFT(4)} {
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMultiChipAPI(t *testing.T) {
+	de := BenchmarkDE()
+	opt := &Options{TimeLimit: 120 * time.Second}
+	r, err := MinimizeChips(de, 16, 16, 6, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Decision != Feasible || r.Chips != 3 {
+		t.Fatalf("MinimizeChips = %d (%v), want 3", r.Chips, r.Decision)
+	}
+	if len(r.Chip) != de.NumTasks() {
+		t.Fatalf("chip assignment length %d", len(r.Chip))
+	}
+	s, err := SolveMultiChip(de, 16, 16, 6, 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Decision != Infeasible {
+		t.Fatalf("two chips at T=6: %v, want infeasible", s.Decision)
+	}
+}
+
+func TestMinTimeExtensionsAPI(t *testing.T) {
+	de := BenchmarkDE()
+	opt := &Options{TimeLimit: 120 * time.Second}
+	r, mt, err := MinimizeTimeMultiChip(de, 16, 16, 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Decision != Feasible || mt != 8 {
+		t.Fatalf("k=2 latency = %d (%v), want 8", mt, r.Decision)
+	}
+	rr, rots, err := MinimizeTimeWithRotation(de, 32, 32, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Decision != Feasible || rr.Value != 6 || len(rots) != de.NumTasks() {
+		t.Fatalf("rotation latency = %d (%v)", rr.Value, rr.Decision)
+	}
+}

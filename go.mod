@@ -1,0 +1,3 @@
+module fpga3d
+
+go 1.22

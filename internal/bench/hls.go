@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+
+	"fpga3d/internal/model"
+)
+
+// This file provides scalable HLS-style workload families in the spirit
+// of the paper's DE benchmark: dataflow graphs of classic signal
+// processing kernels mapped onto the same two-module library
+// (16×16-cell multiplier, 2 cycles; 16×1-cell ALU, 1 cycle). They are
+// structurally faithful kernels (FIR tap-and-tree, direct-form-II
+// biquad cascade, radix-2 FFT butterflies) used for scalability
+// experiments beyond the paper's evaluation.
+
+func hlsMul(name string) model.Task { return model.Task{Name: name, W: 16, H: 16, Dur: 2} }
+func hlsALU(name string) model.Task { return model.Task{Name: name, W: 16, H: 1, Dur: 1} }
+
+// FIR returns the dataflow graph of an n-tap FIR filter: n coefficient
+// multiplications feeding a balanced binary adder tree (n−1 additions).
+// n must be at least 2.
+func FIR(taps int) *model.Instance {
+	if taps < 2 {
+		panic(fmt.Sprintf("bench: FIR needs at least 2 taps, got %d", taps))
+	}
+	in := &model.Instance{Name: fmt.Sprintf("FIR-%d", taps)}
+	// Layer 0: the tap products.
+	level := make([]int, 0, taps)
+	for i := 0; i < taps; i++ {
+		in.Tasks = append(in.Tasks, hlsMul(fmt.Sprintf("m%d", i)))
+		level = append(level, len(in.Tasks)-1)
+	}
+	// Adder tree, pairing neighbors until one value remains.
+	adders := 0
+	for len(level) > 1 {
+		next := make([]int, 0, (len(level)+1)/2)
+		for i := 0; i+1 < len(level); i += 2 {
+			in.Tasks = append(in.Tasks, hlsALU(fmt.Sprintf("a%d", adders)))
+			adders++
+			sum := len(in.Tasks) - 1
+			in.Prec = append(in.Prec,
+				model.Arc{From: level[i], To: sum},
+				model.Arc{From: level[i+1], To: sum})
+			next = append(next, sum)
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return in
+}
+
+// Biquad returns a cascade of k direct-form-II biquad IIR sections.
+// Each section computes
+//
+//	w = x + a1·w1 + a2·w2     (2 multiplications, 2 additions)
+//	y = b0·w + b1·w1 + b2·w2  (3 multiplications, 2 additions)
+//
+// and the section output y feeds the next section's input addition.
+// k must be at least 1.
+func Biquad(sections int) *model.Instance {
+	if sections < 1 {
+		panic(fmt.Sprintf("bench: Biquad needs at least 1 section, got %d", sections))
+	}
+	in := &model.Instance{Name: fmt.Sprintf("Biquad-%d", sections)}
+	add := func(t model.Task) int {
+		in.Tasks = append(in.Tasks, t)
+		return len(in.Tasks) - 1
+	}
+	arc := func(from, to int) { in.Prec = append(in.Prec, model.Arc{From: from, To: to}) }
+
+	prevOut := -1
+	for s := 0; s < sections; s++ {
+		p := func(op string) string { return fmt.Sprintf("s%d.%s", s, op) }
+		// Feedback path: w = x + a1·w1 + a2·w2. The delayed values w1,
+		// w2 are registers, not tasks.
+		ma1 := add(hlsMul(p("a1*")))
+		ma2 := add(hlsMul(p("a2*")))
+		s1 := add(hlsALU(p("+fb1")))
+		s2 := add(hlsALU(p("+fb2")))
+		arc(ma1, s1)
+		if prevOut >= 0 {
+			arc(prevOut, s1) // x of this section is the previous y
+		}
+		arc(s1, s2)
+		arc(ma2, s2)
+		// Forward path: y = b0·w + b1·w1 + b2·w2.
+		mb0 := add(hlsMul(p("b0*")))
+		arc(s2, mb0)
+		mb1 := add(hlsMul(p("b1*")))
+		mb2 := add(hlsMul(p("b2*")))
+		f1 := add(hlsALU(p("+fw1")))
+		f2 := add(hlsALU(p("+fw2")))
+		arc(mb0, f1)
+		arc(mb1, f1)
+		arc(f1, f2)
+		arc(mb2, f2)
+		prevOut = f2
+	}
+	return in
+}
+
+// FFT returns the dataflow graph of an n-point radix-2
+// decimation-in-time FFT: log2(n) stages of n/2 butterflies. Each
+// butterfly multiplies one input by a twiddle factor (1 multiplication)
+// and produces a sum and a difference (2 ALU operations); its outputs
+// feed the butterflies of the next stage with the standard wiring.
+// n must be a power of two, at least 2.
+func FFT(points int) *model.Instance {
+	if points < 2 || points&(points-1) != 0 {
+		panic(fmt.Sprintf("bench: FFT needs a power-of-two size ≥ 2, got %d", points))
+	}
+	in := &model.Instance{Name: fmt.Sprintf("FFT-%d", points)}
+	add := func(t model.Task) int {
+		in.Tasks = append(in.Tasks, t)
+		return len(in.Tasks) - 1
+	}
+	arc := func(from, to int) { in.Prec = append(in.Prec, model.Arc{From: from, To: to}) }
+
+	// producer[i] is the task index that produced signal line i in the
+	// previous stage (-1 for primary inputs).
+	producer := make([]int, points)
+	for i := range producer {
+		producer[i] = -1
+	}
+	for stage, span := 0, 1; span < points; stage, span = stage+1, span*2 {
+		next := make([]int, points)
+		for group := 0; group < points; group += 2 * span {
+			for k := 0; k < span; k++ {
+				lo, hi := group+k, group+k+span
+				name := fmt.Sprintf("st%d.b%d", stage, lo)
+				tw := add(hlsMul(name + "*"))
+				if producer[hi] >= 0 {
+					arc(producer[hi], tw)
+				}
+				sum := add(hlsALU(name + "+"))
+				diff := add(hlsALU(name + "-"))
+				arc(tw, sum)
+				arc(tw, diff)
+				if producer[lo] >= 0 {
+					arc(producer[lo], sum)
+					arc(producer[lo], diff)
+				}
+				next[lo], next[hi] = sum, diff
+			}
+		}
+		producer = next
+	}
+	return in
+}

@@ -1,0 +1,115 @@
+package bench
+
+import "testing"
+
+func TestFIRStructure(t *testing.T) {
+	for _, taps := range []int{2, 3, 4, 8, 16} {
+		in := FIR(taps)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("FIR(%d): %v", taps, err)
+		}
+		if in.N() != 2*taps-1 {
+			t.Fatalf("FIR(%d) has %d tasks, want %d", taps, in.N(), 2*taps-1)
+		}
+		muls := 0
+		for _, task := range in.Tasks {
+			if task.W == 16 && task.H == 16 {
+				muls++
+			}
+		}
+		if muls != taps {
+			t.Fatalf("FIR(%d) has %d multipliers", taps, muls)
+		}
+		o, err := in.Order()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Multiplier (2 cycles) plus ⌈log2(taps)⌉ tree levels.
+		depth := 0
+		for 1<<depth < taps {
+			depth++
+		}
+		if want := 2 + depth; o.CriticalPath() != want {
+			t.Fatalf("FIR(%d) critical path = %d, want %d", taps, o.CriticalPath(), want)
+		}
+	}
+}
+
+func TestFIRPanicsOnTinyTaps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FIR(1) did not panic")
+		}
+	}()
+	FIR(1)
+}
+
+func TestBiquadStructure(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		in := Biquad(k)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("Biquad(%d): %v", k, err)
+		}
+		if in.N() != 9*k {
+			t.Fatalf("Biquad(%d) has %d tasks, want %d", k, in.N(), 9*k)
+		}
+		o, err := in.Order()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// First section: a1* (2) → +fb1 (1) → +fb2 (1) → b0* (2) →
+		// +fw1 (1) → +fw2 (1) = 8 cycles. Each further section appends
+		// +fb1 → +fb2 → b0* → +fw1 → +fw2 = 6 cycles (its a1*
+		// multiplies a register value and runs off the critical path).
+		if want := 6*k + 2; o.CriticalPath() != want {
+			t.Fatalf("Biquad(%d) critical path = %d, want %d", k, o.CriticalPath(), want)
+		}
+	}
+}
+
+func TestBiquadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Biquad(0) did not panic")
+		}
+	}()
+	Biquad(0)
+}
+
+func TestFFTStructure(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		in := FFT(n)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("FFT(%d): %v", n, err)
+		}
+		// log2(n) stages × n/2 butterflies × 3 ops.
+		stages := 0
+		for 1<<stages < n {
+			stages++
+		}
+		if want := stages * (n / 2) * 3; in.N() != want {
+			t.Fatalf("FFT(%d) has %d tasks, want %d", n, in.N(), want)
+		}
+		o, err := in.Order()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Each stage adds twiddle (2) + add (1); stages chain.
+		if want := 3 * stages; o.CriticalPath() != want {
+			t.Fatalf("FFT(%d) critical path = %d, want %d", n, o.CriticalPath(), want)
+		}
+	}
+}
+
+func TestFFTPanicsOnNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FFT(%d) did not panic", n)
+				}
+			}()
+			FFT(n)
+		}()
+	}
+}

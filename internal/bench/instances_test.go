@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDEStructure(t *testing.T) {
+	de := DE()
+	if err := de.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if de.N() != 11 {
+		t.Fatalf("DE has %d tasks, want 11", de.N())
+	}
+	muls, alus := 0, 0
+	for _, task := range de.Tasks {
+		switch {
+		case task.W == 16 && task.H == 16 && task.Dur == 2:
+			muls++
+		case task.W == 16 && task.H == 1 && task.Dur == 1:
+			alus++
+		default:
+			t.Fatalf("unexpected module geometry %+v", task)
+		}
+	}
+	if muls != 6 || alus != 5 {
+		t.Fatalf("DE has %d multipliers and %d ALUs, want 6 and 5", muls, alus)
+	}
+	o, err := de.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "As the longest path in the graph has length 6, there does not
+	// exist any faster schedule."
+	if o.CriticalPath() != 6 {
+		t.Fatalf("DE critical path = %d, want 6", o.CriticalPath())
+	}
+}
+
+func TestVideoCodecStructure(t *testing.T) {
+	vc := VideoCodec()
+	if err := vc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Module library of the paper: PUM 25×25, BMM 64×64, DCTM 16×16.
+	counts := map[[2]int]int{}
+	for _, task := range vc.Tasks {
+		counts[[2]int{task.W, task.H}]++
+	}
+	if counts[[2]int{64, 64}] != 1 {
+		t.Fatalf("want exactly one BMM, got %d", counts[[2]int{64, 64}])
+	}
+	if counts[[2]int{16, 16}] != 3 {
+		t.Fatalf("want three DCTM instances, got %d", counts[[2]int{16, 16}])
+	}
+	if counts[[2]int{25, 25}] != 12 {
+		t.Fatalf("want twelve PUM instances, got %d", counts[[2]int{25, 25}])
+	}
+	o, err := vc.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reconstruction pins the dependency critical path to the
+	// paper's optimal latency.
+	if o.CriticalPath() != 59 {
+		t.Fatalf("codec critical path = %d, want 59", o.CriticalPath())
+	}
+}
+
+func TestRandomGenerator(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := Random(rng, 6, 4, 5, 0.5)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 6 {
+		t.Fatalf("n = %d", in.N())
+	}
+	for _, task := range in.Tasks {
+		if task.W < 1 || task.W > 4 || task.H < 1 || task.H > 4 || task.Dur < 1 || task.Dur > 5 {
+			t.Fatalf("task out of range: %+v", task)
+		}
+	}
+	// Same seed → same instance.
+	rng2 := rand.New(rand.NewSource(7))
+	in2 := Random(rng2, 6, 4, 5, 0.5)
+	for i := range in.Tasks {
+		if in.Tasks[i] != in2.Tasks[i] {
+			t.Fatal("generator not reproducible")
+		}
+	}
+	if len(in.Prec) != len(in2.Prec) {
+		t.Fatal("generator not reproducible (arcs)")
+	}
+	// Arc probability 0 → no arcs.
+	if got := Random(rng, 5, 3, 3, 0); len(got.Prec) != 0 {
+		t.Fatal("pArc=0 produced arcs")
+	}
+}
+
+func TestRandomLayered(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		in := RandomLayered(rng, 1+rng.Intn(4), 3, 3, 3, 0.4)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+	// Structure: with ≥2 layers every non-first-layer node has a
+	// predecessor.
+	in := RandomLayered(rand.New(rand.NewSource(3)), 3, 3, 2, 2, 0.0)
+	o, err := in.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The forced connectivity arcs mean at least one chain spans all
+	// three layers: the critical path covers ≥ 3 cycles.
+	if o.CriticalPath() < 3 {
+		t.Fatalf("critical path = %d, want ≥ 3", o.CriticalPath())
+	}
+}
+
+func TestRandomSeriesParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 50; i++ {
+		n := 2 + rng.Intn(8)
+		in := RandomSeriesParallel(rng, n, 3, 3)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if in.N() != n {
+			t.Fatalf("n = %d, want %d", in.N(), n)
+		}
+	}
+}

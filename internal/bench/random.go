@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"math/rand"
+
+	"fpga3d/internal/model"
+)
+
+// Additional random instance families for the test suite: layered DAGs
+// (the shape of synthesis dataflow graphs) and series-parallel DAGs
+// (the shape of structured task graphs). Both produce more realistic
+// precedence structure than the uniform pair sampling of Random.
+
+// RandomLayered generates a layered DAG instance: tasks are arranged in
+// layers of random width, and every arc connects consecutive layers.
+func RandomLayered(rng *rand.Rand, layers, maxWidth, maxSize, maxDur int, pArc float64) *model.Instance {
+	in := &model.Instance{Name: "layered"}
+	var prev []int
+	for l := 0; l < layers; l++ {
+		width := 1 + rng.Intn(maxWidth)
+		cur := make([]int, 0, width)
+		for i := 0; i < width; i++ {
+			in.Tasks = append(in.Tasks, model.Task{
+				W:   1 + rng.Intn(maxSize),
+				H:   1 + rng.Intn(maxSize),
+				Dur: 1 + rng.Intn(maxDur),
+			})
+			cur = append(cur, len(in.Tasks)-1)
+		}
+		for _, u := range prev {
+			for _, v := range cur {
+				if rng.Float64() < pArc {
+					in.Prec = append(in.Prec, model.Arc{From: u, To: v})
+				}
+			}
+		}
+		// Guarantee connectivity between layers: every node of the new
+		// layer gets at least one predecessor from the previous layer.
+		if len(prev) > 0 {
+			for _, v := range cur {
+				has := false
+				for _, a := range in.Prec {
+					if a.To == v {
+						has = true
+						break
+					}
+				}
+				if !has {
+					in.Prec = append(in.Prec, model.Arc{From: prev[rng.Intn(len(prev))], To: v})
+				}
+			}
+		}
+		prev = cur
+	}
+	return in
+}
+
+// RandomSeriesParallel generates a series-parallel precedence structure
+// over n tasks by recursive decomposition: a block is either a single
+// task, a series composition (all of the first part before all sources
+// of the second), or a parallel composition (no relation).
+func RandomSeriesParallel(rng *rand.Rand, n, maxSize, maxDur int) *model.Instance {
+	in := &model.Instance{Name: "series-parallel"}
+	for i := 0; i < n; i++ {
+		in.Tasks = append(in.Tasks, model.Task{
+			W:   1 + rng.Intn(maxSize),
+			H:   1 + rng.Intn(maxSize),
+			Dur: 1 + rng.Intn(maxDur),
+		})
+	}
+	// build returns the sinks and sources of the block over tasks
+	// [lo, hi).
+	var build func(lo, hi int) (sources, sinks []int)
+	build = func(lo, hi int) ([]int, []int) {
+		if hi-lo == 1 {
+			return []int{lo}, []int{lo}
+		}
+		mid := lo + 1 + rng.Intn(hi-lo-1)
+		s1, k1 := build(lo, mid)
+		s2, k2 := build(mid, hi)
+		if rng.Intn(2) == 0 {
+			// Series: sinks of the first block before sources of the
+			// second.
+			for _, u := range k1 {
+				for _, v := range s2 {
+					in.Prec = append(in.Prec, model.Arc{From: u, To: v})
+				}
+			}
+			return s1, k2
+		}
+		// Parallel.
+		return append(append([]int{}, s1...), s2...), append(append([]int{}, k1...), k2...)
+	}
+	build(0, n)
+	return in
+}

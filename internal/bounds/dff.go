@@ -1,0 +1,174 @@
+// Package bounds implements the "fast and good classes of lower bounds"
+// of stage 1 of the paper's framework (Section 3.1): volume and
+// dual-feasible-function (conservative scale) bounds in the style of
+// Fekete–Schepers, energetic reasoning over precedence-induced time
+// windows, the dependency critical path, and a serialization bound from
+// cliques of spatially incompatible modules.
+package bounds
+
+// A dual feasible function (DFF) maps item sizes w ∈ [0, W] to scaled
+// sizes f(w) ∈ [0, F] such that Σ f(w_i) ≤ F whenever Σ w_i ≤ W.
+// If a set of d-dimensional boxes packs into a container, then for any
+// choice of one DFF per dimension the scaled volumes still satisfy
+//
+//	Σ_b Π_d f_d(w_d(b)) ≤ Π_d F_d
+//
+// (conservative scales, Fekete–Schepers). Violation proves infeasibility.
+//
+// dff represents one integer DFF together with its scaled capacity.
+type dff struct {
+	name  string
+	scale func(w int) int
+	cap   int
+}
+
+// identityDFF keeps sizes unchanged. Using it in every dimension yields
+// the plain volume bound.
+func identityDFF(W int) dff {
+	return dff{name: "id", scale: func(w int) int { return w }, cap: W}
+}
+
+// thresholdDFF is the classic "push the big items to full size, drop the
+// small ones" function with parameter t ≤ W/2:
+//
+//	f(w) = W  if w > W−t,   f(w) = w  if t ≤ w ≤ W−t,   f(w) = 0  if w < t.
+//
+// Validity: if Σ w_i ≤ W, at most one item has w > W−t (two would exceed
+// W since 2(W−t) ≥ W). If one does, every other item is < t (else the
+// total exceeds W), so they scale to 0 and the sum is exactly W.
+// Otherwise f(w) ≤ w everywhere.
+func thresholdDFF(W, t int) dff {
+	return dff{
+		name: "thr",
+		scale: func(w int) int {
+			switch {
+			case w > W-t:
+				return W
+			case w >= t:
+				return w
+			default:
+				return 0
+			}
+		},
+		cap: W,
+	}
+}
+
+// countingDFF counts items of size ≥ t against the capacity ⌊W/t⌋:
+//
+//	f(w) = 1 if w ≥ t else 0,   F = ⌊W/t⌋.
+//
+// Validity: at most ⌊W/t⌋ disjoint intervals of length ≥ t fit in W.
+func countingDFF(W, t int) dff {
+	return dff{
+		name: "cnt",
+		scale: func(w int) int {
+			if w >= t {
+				return 1
+			}
+			return 0
+		},
+		cap: W / t,
+	}
+}
+
+// roundingDFF is the classical Fekete–Schepers rounding function
+// u^(k) for integer parameter k ≥ 1, here in integer arithmetic for
+// items of size w in a container of size W (normalized x = w/W):
+//
+//	u(x) = x               if (k+1)·x is integral,
+//	u(x) = ⌊(k+1)·x⌋ / k   otherwise,
+//
+// scaled by k·W so that all values are integers: the scaled capacity is
+// k·W. Validity: for Σ x_i ≤ 1, writing (k+1)x_i = a_i + r_i with
+// integer a_i and remainder r_i ∈ [0,1), non-integral items contribute
+// a_i/k while Σ a_i ≤ (k+1)Σx_i < … — the standard argument; the
+// property test in dff_test.go exercises it on thousands of multisets.
+func roundingDFF(W, k int) dff {
+	return dff{
+		name: "rnd",
+		scale: func(w int) int {
+			num := (k + 1) * w
+			if num%W == 0 {
+				return k * w
+			}
+			return (num / W) * W
+		},
+		cap: k * W,
+	}
+}
+
+// dffCandidates returns a useful family of DFFs for a dimension with
+// capacity W holding items of the given sizes: the identity, threshold
+// functions for the distinct item sizes up to W/2 (the validity proof
+// of thresholdDFF needs t ≤ W/2), counting functions for every distinct
+// item size (valid for any t ≤ W), and the rounding functions u^(1),
+// u^(2), u^(3).
+func dffCandidates(W int, sizes []int) []dff {
+	out := []dff{identityDFF(W)}
+	seen := map[int]bool{}
+	for _, s := range sizes {
+		if s < 1 || s > W || seen[s] {
+			continue
+		}
+		seen[s] = true
+		if s <= W/2 {
+			out = append(out, thresholdDFF(W, s))
+		}
+		out = append(out, countingDFF(W, s))
+	}
+	for k := 1; k <= 3; k++ {
+		out = append(out, roundingDFF(W, k))
+	}
+	return out
+}
+
+// dffInfeasible reports whether some combination of one DFF per
+// dimension proves that the boxes (sizes[d][b]) cannot pack into the
+// container (caps[d]). maxCombos bounds the number of combinations
+// tried; 0 means no limit.
+func dffInfeasible(caps []int, sizes [][]int, maxCombos int) bool {
+	nd := len(caps)
+	cands := make([][]dff, nd)
+	for d := 0; d < nd; d++ {
+		cands[d] = dffCandidates(caps[d], sizes[d])
+	}
+	pick := make([]int, nd)
+	combos := 0
+	for {
+		if maxCombos > 0 && combos >= maxCombos {
+			return false
+		}
+		combos++
+		// Evaluate current combination.
+		var capProd int64 = 1
+		for d := 0; d < nd; d++ {
+			capProd *= int64(cands[d][pick[d]].cap)
+		}
+		var total int64
+		n := len(sizes[0])
+		for b := 0; b < n; b++ {
+			var v int64 = 1
+			for d := 0; d < nd; d++ {
+				v *= int64(cands[d][pick[d]].scale(sizes[d][b]))
+			}
+			total += v
+		}
+		if total > capProd {
+			return true
+		}
+		// Advance the odometer.
+		d := 0
+		for d < nd {
+			pick[d]++
+			if pick[d] < len(cands[d]) {
+				break
+			}
+			pick[d] = 0
+			d++
+		}
+		if d == nd {
+			return false
+		}
+	}
+}

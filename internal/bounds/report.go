@@ -1,0 +1,87 @@
+package bounds
+
+import (
+	"fmt"
+	"strings"
+
+	"fpga3d/internal/model"
+)
+
+// Report breaks a makespan lower bound into its constituent bounds, for
+// diagnostics and the experiment write-ups: which of the stage-1 bounds
+// is binding for a given chip?
+type Report struct {
+	CriticalPath  int
+	MaxDuration   int
+	Volume        int // ⌈volume / (W·H)⌉
+	Serialization int
+	Energetic     int // largest T refuted, plus one (0 if nothing refuted)
+	// Best is the maximum of the components — the value MinTimeLB
+	// returns.
+	Best int
+}
+
+// String renders the report as a one-line summary with the binding
+// bound marked.
+func (r Report) String() string {
+	parts := []struct {
+		name  string
+		value int
+	}{
+		{"critical-path", r.CriticalPath},
+		{"max-duration", r.MaxDuration},
+		{"volume", r.Volume},
+		{"serialization", r.Serialization},
+		{"energetic", r.Energetic},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "T ≥ %d (", r.Best)
+	for i, p := range parts {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %d", p.name, p.value)
+		if p.value == r.Best {
+			b.WriteString("*")
+		}
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// MinTimeReport computes the per-bound breakdown of the makespan lower
+// bound for a W×H chip.
+func MinTimeReport(in *model.Instance, W, H int, o *model.Order) Report {
+	r := Report{CriticalPath: o.CriticalPath()}
+	for _, t := range in.Tasks {
+		if t.Dur > r.MaxDuration {
+			r.MaxDuration = t.Dur
+		}
+	}
+	r.Volume = ceilDiv(in.Volume(), W*H)
+	r.Serialization = SerializationMinT(in, W, H, o)
+
+	// Energetic component, isolated: binary search as in MinTimeLB but
+	// starting from 1.
+	lo, hi := 0, in.TotalDuration()+o.CriticalPath()+1
+	if energeticInfeasible(in, W, H, lo+1, o) {
+		lo++
+		for lo+1 < hi {
+			mid := (lo + hi) / 2
+			if energeticInfeasible(in, W, H, mid, o) {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		r.Energetic = lo + 1
+	}
+
+	r.Best = r.CriticalPath
+	for _, v := range []int{r.MaxDuration, r.Volume, r.Serialization, r.Energetic} {
+		if v > r.Best {
+			r.Best = v
+		}
+	}
+	return r
+}

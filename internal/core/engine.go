@@ -1,0 +1,375 @@
+package core
+
+import (
+	"time"
+
+	"fpga3d/internal/graph"
+)
+
+// changeKind discriminates trail entries.
+type changeKind uint8
+
+const (
+	chState changeKind = iota
+	chOrient
+)
+
+type change struct {
+	kind changeKind
+	dim  int16
+	pair int32
+	old  uint8
+}
+
+type eventKind uint8
+
+const (
+	evState eventKind = iota
+	evOrient
+)
+
+type event struct {
+	kind eventKind
+	dim  int16
+	pair int32
+}
+
+// conflictRule identifies which rule detected the current conflict, for
+// statistics only.
+type conflictRule uint8
+
+const (
+	noConflict conflictRule = iota
+	confC3
+	confSize
+	confClique
+	confArea
+	confC4
+	confHole
+	confOrient
+)
+
+// engine holds the mutable search state for one Solve call.
+type engine struct {
+	p      *Problem
+	opt    Options
+	n      int // boxes
+	nd     int // dimensions
+	npairs int
+
+	pidx  [][]int // pidx[u][v] = pair index, u != v
+	pairU []int32
+	pairV []int32
+
+	state  [][]EdgeState // [dim][pair]
+	orient [][]OrientVal // [dim][pair]; nil for unordered dims
+
+	// Incremental adjacency of decided edges, per dimension.
+	ovAdj   [][]graph.Set // Overlap adjacency
+	disAdj  [][]graph.Set // Disjoint adjacency
+	unknown []int         // count of Unknown states per dimension
+
+	trail    []change
+	queue    []event
+	conflict conflictRule
+
+	stats    Stats
+	nodeTick int64
+	aborted  Status // StatusFeasible (sentinel "not aborted") or a limit status
+
+	solution *Solution
+
+	// vol[b] is the product of box b's sizes over all dimensions;
+	// minVol[p] the smaller volume of pair p's boxes (branch scoring).
+	vol    []int
+	minVol []int
+	// coArea[d][b] is box b's cross-section perpendicular to dimension d
+	// (its volume divided by its size in d); coCap[d] the corresponding
+	// container cross-section. Used by the Helly area-clique rule.
+	coArea [][]int
+	coCap  []int
+	// sym[p] marks pairs of interchangeable boxes (identical sizes in
+	// every dimension, identical seed relations): orienting the
+	// higher-index box before the lower one is pruned as symmetric.
+	sym []bool
+
+	// scratch buffers
+	scratchSet graph.Set
+}
+
+func newEngine(p *Problem, opt Options) *engine {
+	n := p.N
+	nd := len(p.Dims)
+	e := &engine{p: p, opt: opt, n: n, nd: nd, aborted: StatusFeasible}
+	e.pidx = make([][]int, n)
+	for u := 0; u < n; u++ {
+		e.pidx[u] = make([]int, n)
+	}
+	idx := 0
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			e.pidx[u][v] = idx
+			e.pidx[v][u] = idx
+			e.pairU = append(e.pairU, int32(u))
+			e.pairV = append(e.pairV, int32(v))
+			idx++
+		}
+	}
+	e.npairs = idx
+	e.state = make([][]EdgeState, nd)
+	e.orient = make([][]OrientVal, nd)
+	e.ovAdj = make([][]graph.Set, nd)
+	e.disAdj = make([][]graph.Set, nd)
+	e.unknown = make([]int, nd)
+	for d := 0; d < nd; d++ {
+		e.state[d] = make([]EdgeState, idx)
+		if p.Dims[d].Ordered {
+			e.orient[d] = make([]OrientVal, idx)
+		}
+		e.ovAdj[d] = make([]graph.Set, n)
+		e.disAdj[d] = make([]graph.Set, n)
+		for v := 0; v < n; v++ {
+			e.ovAdj[d][v] = graph.NewSet(n)
+			e.disAdj[d][v] = graph.NewSet(n)
+		}
+		e.unknown[d] = idx
+	}
+	e.scratchSet = graph.NewSet(n)
+
+	e.vol = make([]int, n)
+	for b := 0; b < n; b++ {
+		v := 1
+		for d := 0; d < nd; d++ {
+			v *= p.Dims[d].Sizes[b]
+		}
+		e.vol[b] = v
+	}
+	e.minVol = make([]int, idx)
+	for pr := 0; pr < idx; pr++ {
+		u, v := int(e.pairU[pr]), int(e.pairV[pr])
+		e.minVol[pr] = e.vol[u]
+		if e.vol[v] < e.minVol[pr] {
+			e.minVol[pr] = e.vol[v]
+		}
+	}
+	e.coArea = make([][]int, nd)
+	e.coCap = make([]int, nd)
+	for d := 0; d < nd; d++ {
+		e.coArea[d] = make([]int, n)
+		for b := 0; b < n; b++ {
+			e.coArea[d][b] = e.vol[b] / p.Dims[d].Sizes[b]
+		}
+		cc := 1
+		for dd := 0; dd < nd; dd++ {
+			if dd != d {
+				cc *= p.Dims[dd].Cap
+			}
+		}
+		e.coCap[d] = cc
+	}
+	e.computeSymmetry()
+	return e
+}
+
+// computeSymmetry marks pairs of boxes that are interchangeable: equal
+// sizes in every dimension and, on every ordered dimension, identical
+// seed in/out sets and no seed between them. Any packing can reorder
+// such boxes by start time, so forcing the lower-index box first on the
+// time axis loses no solutions.
+func (e *engine) computeSymmetry() {
+	n, nd := e.n, e.nd
+	e.sym = make([]bool, e.npairs)
+	// Seed relation sets per ordered dimension.
+	type rel struct{ in, out graph.Set }
+	rels := make([]map[int]rel, nd)
+	for d := 0; d < nd; d++ {
+		if !e.p.Dims[d].Ordered {
+			continue
+		}
+		rels[d] = make(map[int]rel, n)
+		for v := 0; v < n; v++ {
+			rels[d][v] = rel{in: graph.NewSet(n), out: graph.NewSet(n)}
+		}
+	}
+	for _, a := range e.p.Seeds {
+		rels[a.Dim][a.From].out.Add(a.To)
+		rels[a.Dim][a.To].in.Add(a.From)
+	}
+	for pr := 0; pr < e.npairs; pr++ {
+		u, v := int(e.pairU[pr]), int(e.pairV[pr])
+		ok := true
+		for d := 0; d < nd && ok; d++ {
+			if e.p.Dims[d].Sizes[u] != e.p.Dims[d].Sizes[v] {
+				ok = false
+				break
+			}
+			if rels[d] == nil {
+				continue
+			}
+			ru, rv := rels[d][u], rels[d][v]
+			if ru.in.Has(v) || ru.out.Has(v) || rv.in.Has(u) || rv.out.Has(u) ||
+				!ru.in.Equal(rv.in) || !ru.out.Equal(rv.out) {
+				ok = false
+			}
+		}
+		e.sym[pr] = ok
+	}
+}
+
+// --- basic accessors -------------------------------------------------
+
+func (e *engine) st(d, u, v int) EdgeState { return e.state[d][e.pidx[u][v]] }
+
+// orientedBefore reports whether box u is fixed entirely before box v on
+// ordered dimension d.
+func (e *engine) orientedBefore(d, u, v int) bool {
+	p := e.pidx[u][v]
+	if e.orient[d] == nil || e.state[d][p] != Disjoint {
+		return false
+	}
+	o := e.orient[d][p]
+	if u < v {
+		return o == OrientFwd
+	}
+	return o == OrientRev
+}
+
+// --- mutation with trail ----------------------------------------------
+
+func (e *engine) fail(r conflictRule) {
+	if e.conflict == noConflict {
+		e.conflict = r
+		switch r {
+		case confC3:
+			e.stats.ConflictC3++
+		case confSize:
+			e.stats.ConflictSize++
+		case confClique:
+			e.stats.ConflictClique++
+		case confArea:
+			e.stats.ConflictArea++
+		case confC4:
+			e.stats.ConflictC4++
+		case confHole:
+			e.stats.ConflictHole++
+		case confOrient:
+			e.stats.ConflictOrient++
+		}
+	}
+}
+
+// setState decides pair p in dimension d. Contradicting an existing
+// decision raises a conflict attributed to rule r.
+func (e *engine) setState(d int, p int, s EdgeState, r conflictRule) {
+	if e.conflict != noConflict {
+		return
+	}
+	cur := e.state[d][p]
+	if cur == s {
+		return
+	}
+	if cur != Unknown {
+		e.fail(r)
+		return
+	}
+	e.trail = append(e.trail, change{kind: chState, dim: int16(d), pair: int32(p), old: uint8(cur)})
+	e.state[d][p] = s
+	u, v := int(e.pairU[p]), int(e.pairV[p])
+	if s == Overlap {
+		e.ovAdj[d][u].Add(v)
+		e.ovAdj[d][v].Add(u)
+	} else {
+		e.disAdj[d][u].Add(v)
+		e.disAdj[d][v].Add(u)
+	}
+	e.unknown[d]--
+	e.queue = append(e.queue, event{kind: evState, dim: int16(d), pair: int32(p)})
+}
+
+// setBefore fixes box u entirely before box v on ordered dimension d.
+// The pair is first fixed Disjoint if still unknown.
+func (e *engine) setBefore(d, u, v int, r conflictRule) {
+	if e.conflict != noConflict {
+		return
+	}
+	p := e.pidx[u][v]
+	if e.state[d][p] == Overlap {
+		e.fail(r)
+		return
+	}
+	if e.state[d][p] == Unknown {
+		e.setState(d, p, Disjoint, r)
+		if e.conflict != noConflict {
+			return
+		}
+	}
+	want := OrientFwd
+	if u > v {
+		want = OrientRev
+	}
+	if want == OrientRev && e.sym[p] {
+		// Symmetry break: interchangeable boxes run in index order when
+		// sequential; the mirrored branch has an equivalent solution.
+		e.fail(r)
+		return
+	}
+	cur := e.orient[d][p]
+	if cur == want {
+		return
+	}
+	if cur != OrientNone {
+		e.fail(r)
+		return
+	}
+	e.trail = append(e.trail, change{kind: chOrient, dim: int16(d), pair: int32(p), old: uint8(cur)})
+	e.orient[d][p] = want
+	e.queue = append(e.queue, event{kind: evOrient, dim: int16(d), pair: int32(p)})
+}
+
+// mark returns the current trail position for later undo.
+func (e *engine) mark() int { return len(e.trail) }
+
+// undoTo rolls the trail back to a previous mark and clears conflicts
+// and pending events.
+func (e *engine) undoTo(m int) {
+	for i := len(e.trail) - 1; i >= m; i-- {
+		c := e.trail[i]
+		d, p := int(c.dim), int(c.pair)
+		switch c.kind {
+		case chState:
+			s := e.state[d][p]
+			u, v := int(e.pairU[p]), int(e.pairV[p])
+			if s == Overlap {
+				e.ovAdj[d][u].Remove(v)
+				e.ovAdj[d][v].Remove(u)
+			} else if s == Disjoint {
+				e.disAdj[d][u].Remove(v)
+				e.disAdj[d][v].Remove(u)
+			}
+			e.state[d][p] = EdgeState(c.old)
+			e.unknown[d]++
+		case chOrient:
+			e.orient[d][p] = OrientVal(c.old)
+		}
+	}
+	e.trail = e.trail[:m]
+	e.queue = e.queue[:0]
+	e.conflict = noConflict
+}
+
+// checkLimits updates the abort status from node/time budgets.
+func (e *engine) checkLimits() bool {
+	if e.aborted != StatusFeasible {
+		return false
+	}
+	if e.opt.NodeLimit > 0 && e.stats.Nodes >= e.opt.NodeLimit {
+		e.aborted = StatusNodeLimit
+		return false
+	}
+	e.nodeTick++
+	if !e.opt.Deadline.IsZero() && e.nodeTick%256 == 0 && time.Now().After(e.opt.Deadline) {
+		e.aborted = StatusTimeLimit
+		return false
+	}
+	return true
+}

@@ -1,0 +1,201 @@
+package core
+
+import "fpga3d/internal/graph"
+
+// The hole rule generalizes the C4 propagation to chordless cycles of
+// arbitrary length. A cycle of decided overlap edges that is induced in
+// the decided overlap graph can only be chorded by pairs that are still
+// Unknown; once all its chords are Disjoint the final component graph is
+// guaranteed non-chordal (a C1 violation), and with exactly one Unknown
+// chord left, that chord is forced to Overlap.
+//
+// Holes are located with a chordality certificate: if the reverse of a
+// maximum-cardinality-search order fails the perfect-elimination check
+// at a vertex v with two later non-adjacent neighbors p and w, then v
+// together with a shortest p–w path in G − (N[v] ∖ {p, w}) forms an
+// induced cycle of length ≥ 4 (shortest paths are induced, and v's other
+// neighbors are excluded).
+
+// holeCheck runs hole detection on every dimension until no further
+// forcing applies. Called once per search node, after event propagation.
+//
+// Two forbidden structures are hunted:
+//
+//   - holes of the overlap graph (an induced cycle of length ≥ 4 whose
+//     chords are all Disjoint can never become chordal — C1, chordality
+//     half);
+//   - odd antiholes: an induced odd cycle of length ≥ 5 in the disjoint
+//     graph is an odd hole of the complement, and comparability graphs
+//     are perfect — the paper's "2-chordless odd cycles in E_i^c"
+//     exclusion (C1, comparability half).
+func (e *engine) holeCheck() {
+	if e.opt.DisableHoleRule {
+		return
+	}
+	for d := 0; d < e.nd && e.conflict == noConflict; d++ {
+		// Chordality holes in the overlap graph: break by making an
+		// open chord Overlap.
+		e.holeCheckDim(d, e.ovAdj[d], Overlap, false)
+		if e.conflict != noConflict {
+			return
+		}
+		// Odd antiholes in the disjoint graph: break by making an open
+		// chord Disjoint.
+		e.holeCheckDim(d, e.disAdj[d], Disjoint, true)
+	}
+}
+
+// holeCheckDim repeatedly extracts holes of the given adjacency
+// structure. A hole is conclusive when all of its chords are decided to
+// the opposite state (the breaking value cannot appear anymore):
+// conflict with zero open chords, forcing with exactly one. When oddOnly
+// is set, even-length holes are ignored (even antiholes are harmless:
+// even cycles are comparability graphs).
+func (e *engine) holeCheckDim(d int, adj []graph.Set, breaking EdgeState, oddOnly bool) {
+	for e.conflict == noConflict {
+		hole := e.findHoleIn(adj)
+		if hole == nil {
+			return
+		}
+		if oddOnly && len(hole)%2 == 0 {
+			return // inconclusive certificate; deeper search decides
+		}
+		unknownPair, unknowns := -1, 0
+		k := len(hole)
+		for i := 0; i < k && unknowns < 2; i++ {
+			for j := i + 2; j < k; j++ {
+				if i == 0 && j == k-1 {
+					continue // cycle edge, not a chord
+				}
+				p := e.pidx[hole[i]][hole[j]]
+				if e.state[d][p] == Unknown {
+					unknowns++
+					unknownPair = p
+					if unknowns >= 2 {
+						break
+					}
+				}
+			}
+		}
+		switch unknowns {
+		case 0:
+			e.fail(confHole)
+		case 1:
+			e.stats.ForcedHole++
+			e.setState(d, unknownPair, breaking, confHole)
+			e.propagate()
+		default:
+			// Two or more open chords: no implication from this hole.
+			return
+		}
+	}
+}
+
+// findHoleIn returns the vertices of an induced cycle of length ≥ 4 in
+// the graph given by the adjacency rows, or nil if it is chordal (or no
+// certificate could be extracted).
+func (e *engine) findHoleIn(adj []graph.Set) []int {
+	n := e.n
+
+	// Maximum cardinality search.
+	weight := make([]int, n)
+	visited := make([]bool, n)
+	mcs := make([]int, 0, n)
+	for len(mcs) < n {
+		best, bestW := -1, -1
+		for v := 0; v < n; v++ {
+			if !visited[v] && weight[v] > bestW {
+				best, bestW = v, weight[v]
+			}
+		}
+		visited[best] = true
+		mcs = append(mcs, best)
+		adj[best].ForEach(func(u int) {
+			if !visited[u] {
+				weight[u]++
+			}
+		})
+	}
+	pos := make([]int, n) // position in elimination order = reverse MCS
+	for i, v := range mcs {
+		pos[v] = n - 1 - i
+	}
+
+	later := graph.NewSet(n)
+	for v := 0; v < n; v++ {
+		later.Clear()
+		p, pPos := -1, n
+		adj[v].ForEach(func(u int) {
+			if pos[u] > pos[v] {
+				later.Add(u)
+				if pos[u] < pPos {
+					p, pPos = u, pos[u]
+				}
+			}
+		})
+		if p < 0 {
+			continue
+		}
+		later.Remove(p)
+		bad := later.Clone()
+		bad.SubtractWith(adj[p])
+		if bad.Empty() {
+			continue
+		}
+		// v has later non-adjacent neighbors p and w: close a hole
+		// through v.
+		var hole []int
+		bad.ForEach(func(w int) {
+			if hole == nil {
+				if path := shortestAvoiding(adj, p, w, v); path != nil {
+					hole = append([]int{v}, path...)
+				}
+			}
+		})
+		if hole != nil {
+			return hole
+		}
+	}
+	return nil
+}
+
+// shortestAvoiding returns a shortest p–w path in the given graph
+// restricted to vertices outside N[v] (p and w excepted), or nil if
+// none exists.
+func shortestAvoiding(adj []graph.Set, p, w, v int) []int {
+	n := len(adj)
+	banned := adj[v].Clone()
+	banned.Add(v)
+	banned.Remove(p)
+	banned.Remove(w)
+
+	prev := make([]int, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[p] = p
+	queue := []int{p}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		if x == w {
+			// Reconstruct path p..w.
+			var rev []int
+			for c := w; c != p; c = prev[c] {
+				rev = append(rev, c)
+			}
+			rev = append(rev, p)
+			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+				rev[i], rev[j] = rev[j], rev[i]
+			}
+			return rev
+		}
+		adj[x].ForEach(func(y int) {
+			if prev[y] < 0 && !banned.Has(y) {
+				prev[y] = x
+				queue = append(queue, y)
+			}
+		})
+	}
+	return nil
+}

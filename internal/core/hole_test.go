@@ -1,0 +1,111 @@
+package core
+
+import "testing"
+
+// buildAdj fixes the given pairs to the given state in dimension 0 and
+// returns the engine (capacities are generous so no other rule fires).
+func buildAdj(t *testing.T, n int, pairs [][2]int, s EdgeState) *engine {
+	t.Helper()
+	e := freshEngine(n, false)
+	for _, pr := range pairs {
+		e.setState(0, e.pidx[pr[0]][pr[1]], s, confSize)
+	}
+	e.propagate()
+	if e.conflict != noConflict {
+		t.Fatal("setup conflicted")
+	}
+	return e
+}
+
+func TestFindHoleInDetectsC4(t *testing.T) {
+	e := buildAdj(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}, Overlap)
+	hole := e.findHoleIn(e.ovAdj[0])
+	if hole == nil {
+		t.Fatal("C4 not found")
+	}
+	if len(hole) != 4 {
+		t.Fatalf("hole = %v", hole)
+	}
+	assertIsHole(t, e, hole)
+}
+
+func TestFindHoleInDetectsC6(t *testing.T) {
+	e := buildAdj(t, 6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}}, Overlap)
+	hole := e.findHoleIn(e.ovAdj[0])
+	if hole == nil {
+		t.Fatal("C6 not found")
+	}
+	if len(hole) != 6 {
+		t.Fatalf("hole = %v", hole)
+	}
+	assertIsHole(t, e, hole)
+}
+
+func TestFindHoleInChordalGraphs(t *testing.T) {
+	// A triangle fan is chordal: no hole may be reported.
+	e := buildAdj(t, 5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {2, 3}, {3, 4}}, Overlap)
+	if hole := e.findHoleIn(e.ovAdj[0]); hole != nil {
+		t.Fatalf("hole %v reported in a chordal graph", hole)
+	}
+	// An empty graph.
+	e2 := freshEngine(5, false)
+	if hole := e2.findHoleIn(e2.ovAdj[0]); hole != nil {
+		t.Fatalf("hole %v in an empty graph", hole)
+	}
+}
+
+func TestFindHoleInCycleWithChord(t *testing.T) {
+	// C5 plus one chord {0,2}: still contains the hole 0-2-3-4-0.
+	e := buildAdj(t, 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 2}}, Overlap)
+	hole := e.findHoleIn(e.ovAdj[0])
+	if hole == nil {
+		t.Fatal("hole hidden by a chord not found")
+	}
+	if len(hole) != 4 {
+		t.Fatalf("hole = %v, want length 4", hole)
+	}
+	assertIsHole(t, e, hole)
+}
+
+// assertIsHole verifies the witness: consecutive vertices adjacent,
+// non-consecutive pairs not adjacent (in the decided overlap graph).
+func assertIsHole(t *testing.T, e *engine, hole []int) {
+	t.Helper()
+	k := len(hole)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			adjacent := e.ovAdj[0][hole[i]].Has(hole[j])
+			consecutive := j == i+1 || (i == 0 && j == k-1)
+			if adjacent != consecutive {
+				t.Fatalf("witness %v is not an induced cycle (pair %d,%d adjacent=%v)",
+					hole, hole[i], hole[j], adjacent)
+			}
+		}
+	}
+}
+
+func TestShortestAvoiding(t *testing.T) {
+	// Path 1-2-3 plus a long detour 1-4-5-3; vertex 0 adjacent to 1, 3.
+	e := buildAdj(t, 6, [][2]int{{1, 2}, {2, 3}, {1, 4}, {4, 5}, {5, 3}, {0, 1}, {0, 3}}, Overlap)
+	p := shortestAvoiding(e.ovAdj[0], 1, 3, 0)
+	if p == nil {
+		t.Fatal("no path found")
+	}
+	if len(p) != 3 || p[0] != 1 || p[1] != 2 || p[2] != 3 {
+		t.Fatalf("path = %v, want [1 2 3]", p)
+	}
+	// Ban the short route by making 2 a neighbor of 0: the detour wins.
+	e2 := buildAdj(t, 6, [][2]int{{1, 2}, {2, 3}, {1, 4}, {4, 5}, {5, 3}, {0, 1}, {0, 3}, {0, 2}}, Overlap)
+	p2 := shortestAvoiding(e2.ovAdj[0], 1, 3, 0)
+	if p2 == nil {
+		t.Fatal("detour not found")
+	}
+	if len(p2) != 4 || p2[1] != 4 || p2[2] != 5 {
+		t.Fatalf("path = %v, want [1 4 5 3]", p2)
+	}
+	// No path at all when everything is banned.
+	e3 := buildAdj(t, 4, [][2]int{{1, 2}, {2, 3}, {0, 2}}, Overlap)
+	if p3 := shortestAvoiding(e3.ovAdj[0], 1, 3, 0); p3 != nil {
+		t.Fatalf("phantom path %v", p3)
+	}
+}

@@ -1,0 +1,369 @@
+package core
+
+import "fpga3d/internal/graph"
+
+// propagate processes the event queue to a fixpoint or a conflict,
+// applying the rules C3 (overlap counting), C2 (heavy cliques of
+// disjoint edges), C1 (chordless 4-cycles) and, on ordered dimensions,
+// the D1/D2 orientation implications of the paper.
+func (e *engine) propagate() {
+	for e.conflict == noConflict && len(e.queue) > 0 {
+		ev := e.queue[len(e.queue)-1]
+		e.queue = e.queue[:len(e.queue)-1]
+		switch ev.kind {
+		case evState:
+			e.onState(int(ev.dim), int(ev.pair))
+		case evOrient:
+			e.onOrient(int(ev.dim), int(ev.pair))
+		}
+	}
+	if e.conflict != noConflict {
+		e.queue = e.queue[:0]
+	}
+}
+
+func (e *engine) onState(d, p int) {
+	s := e.state[d][p]
+	u, v := int(e.pairU[p]), int(e.pairV[p])
+
+	if s == Overlap {
+		// C3: at least one dimension must be disjoint for every pair.
+		cnt, unkDim := 0, -1
+		for dd := 0; dd < e.nd; dd++ {
+			switch e.state[dd][p] {
+			case Overlap:
+				cnt++
+			case Unknown:
+				unkDim = dd
+			}
+		}
+		if cnt == e.nd {
+			e.fail(confC3)
+			return
+		}
+		if cnt == e.nd-1 && unkDim >= 0 {
+			e.stats.ForcedC3++
+			e.setState(unkDim, p, Disjoint, confC3)
+			if e.conflict != noConflict {
+				return
+			}
+		}
+		if !e.opt.DisableCliqueRule && e.heavyAreaCliqueThrough(d, u, v) {
+			e.fail(confArea)
+			return
+		}
+		if e.orient[d] != nil && !e.opt.DisableOrientRules {
+			e.orientRulesOnOverlap(d, u, v)
+			if e.conflict != noConflict {
+				return
+			}
+		}
+	} else { // Disjoint
+		if !e.opt.DisableCliqueRule && e.heavyCliqueThrough(d, u, v) {
+			e.fail(confClique)
+			return
+		}
+		if e.orient[d] != nil && !e.opt.DisableOrientRules {
+			e.orientRulesOnDisjoint(d, u, v)
+			if e.conflict != noConflict {
+				return
+			}
+		}
+	}
+	if !e.opt.DisableC4Rule {
+		e.c4Scan(d, u, v)
+	}
+}
+
+// orientRulesOnOverlap handles D1/D2 consequences of pair {u,v} becoming
+// a component (overlap) edge on ordered dimension d.
+func (e *engine) orientRulesOnOverlap(d, u, v int) {
+	for a := 0; a < e.n && e.conflict == noConflict; a++ {
+		if a == u || a == v {
+			continue
+		}
+		pau, pav := e.pidx[a][u], e.pidx[a][v]
+		// D1: comparability edges {a,u}, {a,v} with component edge
+		// {u,v} must point the same way relative to a.
+		if e.state[d][pau] == Disjoint && e.state[d][pav] == Disjoint {
+			auSet := e.orient[d][pau] != OrientNone
+			avSet := e.orient[d][pav] != OrientNone
+			switch {
+			case auSet && !avSet:
+				e.stats.ForcedOrient++
+				if e.orientedBefore(d, a, u) {
+					e.setBefore(d, a, v, confOrient)
+				} else {
+					e.setBefore(d, v, a, confOrient)
+				}
+			case avSet && !auSet:
+				e.stats.ForcedOrient++
+				if e.orientedBefore(d, a, v) {
+					e.setBefore(d, a, u, confOrient)
+				} else {
+					e.setBefore(d, u, a, confOrient)
+				}
+			case auSet && avSet:
+				if e.orientedBefore(d, a, u) != e.orientedBefore(d, a, v) {
+					e.fail(confOrient)
+				}
+			}
+		}
+		// D2 violation: u→a→v or v→a→u would force {u,v} disjoint.
+		if e.orientedBefore(d, u, a) && e.orientedBefore(d, a, v) {
+			e.fail(confOrient)
+			return
+		}
+		if e.orientedBefore(d, v, a) && e.orientedBefore(d, a, u) {
+			e.fail(confOrient)
+			return
+		}
+	}
+}
+
+// orientRulesOnDisjoint handles D1 consequences of pair {u,v} becoming a
+// comparability (disjoint) edge on ordered dimension d: an already
+// oriented comparability edge at either endpoint whose far end overlaps
+// the other endpoint forces the orientation of {u,v}.
+func (e *engine) orientRulesOnDisjoint(d, u, v int) {
+	for a := 0; a < e.n && e.conflict == noConflict; a++ {
+		if a == u || a == v {
+			continue
+		}
+		pau, pav := e.pidx[a][u], e.pidx[a][v]
+		// Shared vertex u: {u,a} oriented, {a,v} overlap.
+		if e.state[d][pau] == Disjoint && e.orient[d][pau] != OrientNone && e.state[d][pav] == Overlap {
+			e.stats.ForcedOrient++
+			if e.orientedBefore(d, u, a) {
+				e.setBefore(d, u, v, confOrient)
+			} else {
+				e.setBefore(d, v, u, confOrient)
+			}
+		}
+		// Shared vertex v: {v,a} oriented, {a,u} overlap.
+		if e.conflict == noConflict &&
+			e.state[d][pav] == Disjoint && e.orient[d][pav] != OrientNone && e.state[d][pau] == Overlap {
+			e.stats.ForcedOrient++
+			if e.orientedBefore(d, v, a) {
+				e.setBefore(d, v, u, confOrient)
+			} else {
+				e.setBefore(d, u, v, confOrient)
+			}
+		}
+	}
+}
+
+// onOrient handles D1/D2 consequences of a newly oriented comparability
+// edge on ordered dimension d.
+func (e *engine) onOrient(d, p int) {
+	if e.opt.DisableOrientRules {
+		return
+	}
+	u, v := int(e.pairU[p]), int(e.pairV[p])
+	from, to := u, v
+	if e.orient[d][p] == OrientRev {
+		from, to = v, u
+	}
+	for w := 0; w < e.n && e.conflict == noConflict; w++ {
+		if w == from || w == to {
+			continue
+		}
+		pfw, ptw := e.pidx[from][w], e.pidx[to][w]
+		// D1 at from: {from,w} disjoint, {to,w} overlap ⇒ from→w.
+		if e.state[d][pfw] == Disjoint && e.state[d][ptw] == Overlap {
+			e.stats.ForcedOrient++
+			e.setBefore(d, from, w, confOrient)
+			if e.conflict != noConflict {
+				return
+			}
+		}
+		// D1 at to: {to,w} disjoint, {from,w} overlap ⇒ w→to.
+		if e.state[d][ptw] == Disjoint && e.state[d][pfw] == Overlap {
+			e.stats.ForcedOrient++
+			e.setBefore(d, w, to, confOrient)
+			if e.conflict != noConflict {
+				return
+			}
+		}
+		// D2: from→to plus to→w forces from→w (and fixes {from,w}
+		// disjoint — a conflict if it is an overlap edge).
+		if e.orientedBefore(d, to, w) {
+			e.stats.ForcedOrient++
+			e.setBefore(d, from, w, confOrient)
+			if e.conflict != noConflict {
+				return
+			}
+		}
+		// D2: w→from plus from→to forces w→to.
+		if e.orientedBefore(d, w, from) {
+			e.stats.ForcedOrient++
+			e.setBefore(d, w, to, confOrient)
+			if e.conflict != noConflict {
+				return
+			}
+		}
+	}
+}
+
+// heavyCliqueThrough reports whether dimension d contains a set of
+// pairwise-disjoint boxes including u and v whose total size exceeds the
+// capacity — a violation of C2 that can never be repaired, since decided
+// disjoint edges stay disjoint.
+func (e *engine) heavyCliqueThrough(d, u, v int) bool {
+	w := e.p.Dims[d].Sizes
+	budget := e.p.Dims[d].Cap - w[u] - w[v]
+	if budget < 0 {
+		return true
+	}
+	cand := e.disAdj[d][u].Clone()
+	cand.IntersectWith(e.disAdj[d][v])
+	return cliqueExceeds(e.disAdj[d], w, cand, budget)
+}
+
+// heavyAreaCliqueThrough reports whether dimension d contains a set of
+// pairwise-overlapping boxes including u and v whose cross-sections
+// cannot coexist. By the Helly property of intervals, a clique of G_d
+// shares a common coordinate, so its members exist simultaneously there
+// and their projections onto the remaining dimensions must be pairwise
+// disjoint — their total cross-area is bounded by the product of the
+// other capacities.
+func (e *engine) heavyAreaCliqueThrough(d, u, v int) bool {
+	budget := e.coCap[d] - e.coArea[d][u] - e.coArea[d][v]
+	if budget < 0 {
+		return true
+	}
+	cand := e.ovAdj[d][u].Clone()
+	cand.IntersectWith(e.ovAdj[d][v])
+	return cliqueExceeds(e.ovAdj[d], e.coArea[d], cand, budget)
+}
+
+// cliqueExceeds reports whether the graph given by the adjacency rows
+// restricted to cand contains a clique with total weight strictly
+// greater than budget.
+func cliqueExceeds(adj []graph.Set, w []int, cand graph.Set, budget int) bool {
+	if budget < 0 {
+		return true
+	}
+	sum, pick, pickW := 0, -1, -1
+	cand.ForEach(func(x int) {
+		sum += w[x]
+		if w[x] > pickW {
+			pick, pickW = x, w[x]
+		}
+	})
+	if sum <= budget {
+		return false
+	}
+	// Branch on the heaviest candidate: include it, then exclude it.
+	with := cand.Clone()
+	with.IntersectWith(adj[pick])
+	if cliqueExceeds(adj, w, with, budget-pickW) {
+		return true
+	}
+	without := cand.Clone()
+	without.Remove(pick)
+	return cliqueExceeds(adj, w, without, budget)
+}
+
+// cliqueForcePass fixes every still-unknown pair whose Disjoint decision
+// would complete an overweight clique of disjoint edges (so it must be
+// Overlap), and every pair whose Overlap decision would complete an
+// overweight area clique of overlap edges (so it must be Disjoint).
+// Runs to a fixpoint together with propagation.
+func (e *engine) cliqueForcePass() {
+	for e.conflict == noConflict {
+		changed := false
+		for d := 0; d < e.nd && e.conflict == noConflict; d++ {
+			if e.unknown[d] == 0 {
+				continue
+			}
+			w := e.p.Dims[d].Sizes
+			cap := e.p.Dims[d].Cap
+			for p := 0; p < e.npairs && e.conflict == noConflict; p++ {
+				if e.state[d][p] != Unknown {
+					continue
+				}
+				u, v := int(e.pairU[p]), int(e.pairV[p])
+				budget := cap - w[u] - w[v]
+				cand := e.disAdj[d][u].Clone()
+				cand.IntersectWith(e.disAdj[d][v])
+				if cliqueExceeds(e.disAdj[d], w, cand, budget) {
+					e.stats.ForcedClique++
+					e.setState(d, p, Overlap, confClique)
+					changed = true
+					continue
+				}
+				areaBudget := e.coCap[d] - e.coArea[d][u] - e.coArea[d][v]
+				ocand := e.ovAdj[d][u].Clone()
+				ocand.IntersectWith(e.ovAdj[d][v])
+				if cliqueExceeds(e.ovAdj[d], e.coArea[d], ocand, areaBudget) {
+					e.stats.ForcedArea++
+					e.setState(d, p, Disjoint, confArea)
+					changed = true
+				}
+			}
+		}
+		e.propagate()
+		if !changed {
+			return
+		}
+	}
+}
+
+// c4Scan enforces C1's forbidden configuration: an induced chordless
+// 4-cycle in a component graph (4 overlap edges around the cycle, both
+// diagonals disjoint) cannot appear in an interval graph. A fully
+// decided pattern is a conflict; a pattern with exactly one undecided
+// pair forces that pair to the breaking value. Only quadruples containing
+// the changed pair {u,v} are scanned.
+func (e *engine) c4Scan(d, u, v int) {
+	for a := 0; a < e.n && e.conflict == noConflict; a++ {
+		if a == u || a == v {
+			continue
+		}
+		for b := a + 1; b < e.n && e.conflict == noConflict; b++ {
+			if b == u || b == v {
+				continue
+			}
+			// Three configurations, named by their diagonal matching.
+			e.c4Check(d, e.pidx[u][v], e.pidx[a][b], e.pidx[u][a], e.pidx[a][v], e.pidx[v][b], e.pidx[b][u])
+			e.c4Check(d, e.pidx[u][a], e.pidx[v][b], e.pidx[u][v], e.pidx[v][a], e.pidx[a][b], e.pidx[b][u])
+			e.c4Check(d, e.pidx[u][b], e.pidx[v][a], e.pidx[u][v], e.pidx[v][b], e.pidx[b][a], e.pidx[a][u])
+		}
+	}
+}
+
+// c4Check tests one C4 configuration: diagonals d1, d2 must be Disjoint
+// and the cycle pairs c1..c4 must be Overlap for the forbidden pattern.
+func (e *engine) c4Check(d int, d1, d2, c1, c2, c3, c4 int) {
+	pairs := [6]int{d1, d2, c1, c2, c3, c4}
+	var want [6]EdgeState
+	want[0], want[1] = Disjoint, Disjoint
+	want[2], want[3], want[4], want[5] = Overlap, Overlap, Overlap, Overlap
+
+	unknownSlot := -1
+	for i := 0; i < 6; i++ {
+		s := e.state[d][pairs[i]]
+		if s == Unknown {
+			if unknownSlot >= 0 {
+				return // two or more open slots: no implication yet
+			}
+			unknownSlot = i
+			continue
+		}
+		if s != want[i] {
+			return // pattern already broken
+		}
+	}
+	if unknownSlot < 0 {
+		e.fail(confC4)
+		return
+	}
+	// Exactly one open slot: force the value that breaks the pattern.
+	e.stats.ForcedC4++
+	breaking := Overlap
+	if want[unknownSlot] == Overlap {
+		breaking = Disjoint
+	}
+	e.setState(d, pairs[unknownSlot], breaking, confC4)
+}

@@ -1,0 +1,422 @@
+package core
+
+import "testing"
+
+// freshEngine returns an engine over n equal boxes in a loose container,
+// so no rule fires from sizes alone.
+func freshEngine(n int, ordered bool) *engine {
+	p := prob(n, [3]int{100, 100, 100}, uniformSizes(2, 2, 2), ordered)
+	return newEngine(p, Options{})
+}
+
+// distinctEngine returns an engine over n pairwise distinct boxes, so
+// the symmetry breaker stays out of orientation tests.
+func distinctEngine(n int, ordered bool) *engine {
+	p := prob(n, [3]int{100, 100, 100}, func(b int) [3]int {
+		return [3]int{1 + b, 2, 2}
+	}, ordered)
+	return newEngine(p, Options{})
+}
+
+func TestSizeRuleAtRoot(t *testing.T) {
+	// Two 3-wide boxes in a 5-wide container must overlap in x.
+	p := prob(2, [3]int{5, 100, 100}, uniformSizes(3, 2, 2), false)
+	r := Solve(p, Options{})
+	if r.Status != StatusFeasible {
+		t.Fatalf("status = %v", r.Status)
+	}
+	// x-projections must overlap in the solution.
+	x := r.Solution.Coords[0]
+	if !(x[0] < x[1]+3 && x[1] < x[0]+3) {
+		t.Fatalf("size rule not reflected in solution: x = %v", x)
+	}
+	if r.Stats.ForcedSize == 0 {
+		t.Fatal("ForcedSize not counted")
+	}
+}
+
+func TestCliqueRuleConflict(t *testing.T) {
+	// Three boxes of x-size 4 pairwise disjoint in x exceed capacity 10.
+	p := prob(3, [3]int{10, 100, 100}, uniformSizes(4, 2, 2), false)
+	e := newEngine(p, Options{})
+	e.setState(0, e.pidx[0][1], Disjoint, confSize)
+	e.propagate()
+	e.setState(0, e.pidx[1][2], Disjoint, confSize)
+	e.propagate()
+	if e.conflict != noConflict {
+		t.Fatal("two disjoint pairs conflicted too early")
+	}
+	e.setState(0, e.pidx[0][2], Disjoint, confSize)
+	e.propagate()
+	if e.conflict == noConflict {
+		t.Fatal("overweight disjoint clique not detected")
+	}
+}
+
+func TestCliqueForcePass(t *testing.T) {
+	// Same setup: with {0,1} and {1,2} disjoint, pair {0,2} must be
+	// forced to Overlap by the per-node pass.
+	p := prob(3, [3]int{10, 100, 100}, uniformSizes(4, 2, 2), false)
+	e := newEngine(p, Options{})
+	e.setState(0, e.pidx[0][1], Disjoint, confSize)
+	e.setState(0, e.pidx[1][2], Disjoint, confSize)
+	e.propagate()
+	e.cliqueForcePass()
+	if e.conflict != noConflict {
+		t.Fatal("unexpected conflict")
+	}
+	if e.state[0][e.pidx[0][2]] != Overlap {
+		t.Fatal("cliqueForcePass did not force {0,2} to Overlap")
+	}
+}
+
+func TestAreaCliqueRule(t *testing.T) {
+	// Two boxes whose cross-sections (y×t) cannot coexist: each has
+	// cross-area 6×6 = 36, the container cross-section is 8×8 = 64 < 72.
+	// Forcing them to overlap in x must conflict.
+	p := prob(2, [3]int{20, 8, 8}, uniformSizes(2, 6, 6), false)
+	e := newEngine(p, Options{})
+	e.setState(0, e.pidx[0][1], Overlap, confSize)
+	e.propagate()
+	if e.conflict == noConflict {
+		t.Fatal("area clique violation not detected")
+	}
+
+	// The force variant: in the full solve the pair must come out
+	// x-disjoint.
+	r := Solve(p, Options{})
+	if r.Status != StatusFeasible {
+		t.Fatalf("status = %v", r.Status)
+	}
+	x := r.Solution.Coords[0]
+	if x[0] < x[1]+2 && x[1] < x[0]+2 {
+		t.Fatal("cross-over-capacity boxes overlap in x")
+	}
+}
+
+func TestC4RuleConflictAndForce(t *testing.T) {
+	e := freshEngine(4, false)
+	d := 0
+	// Build the forbidden pattern in dimension 0 on the cycle
+	// 0-2-1-3-0 with diagonals {0,1}, {2,3}: cycle edges Overlap…
+	for _, pr := range [][2]int{{0, 2}, {2, 1}, {1, 3}, {3, 0}} {
+		e.setState(d, e.pidx[pr[0]][pr[1]], Overlap, confSize)
+		e.propagate()
+		if e.conflict != noConflict {
+			t.Fatal("cycle edges alone conflicted")
+		}
+	}
+	// …one diagonal Disjoint: the other diagonal must be forced Overlap.
+	e.setState(d, e.pidx[0][1], Disjoint, confSize)
+	e.propagate()
+	if e.conflict != noConflict {
+		t.Fatal("five-edge pattern conflicted")
+	}
+	if e.state[d][e.pidx[2][3]] != Overlap {
+		t.Fatal("C4 rule did not force the last diagonal")
+	}
+	if e.stats.ForcedC4 == 0 {
+		t.Fatal("ForcedC4 not counted")
+	}
+}
+
+func TestC4RuleDisabled(t *testing.T) {
+	p := prob(4, [3]int{100, 100, 100}, uniformSizes(2, 2, 2), false)
+	e := newEngine(p, Options{DisableC4Rule: true, DisableHoleRule: true})
+	d := 0
+	for _, pr := range [][2]int{{0, 2}, {2, 1}, {1, 3}, {3, 0}} {
+		e.setState(d, e.pidx[pr[0]][pr[1]], Overlap, confSize)
+	}
+	e.setState(d, e.pidx[0][1], Disjoint, confSize)
+	e.propagate()
+	if e.state[d][e.pidx[2][3]] == Overlap {
+		t.Fatal("C4 rule fired although disabled")
+	}
+}
+
+func TestHoleRuleRefutesC5Structure(t *testing.T) {
+	// A 5-cycle of overlap edges with four chords disjoint is invisible
+	// to the C4 rule (disabled here), yet infeasible either way: leaving
+	// the fifth chord disjoint completes a C5 hole, and making it
+	// overlap creates a C4 hole (cycle 0-1-2-4 with disjoint diagonals).
+	// The hole rule must first force the open chord and then refute.
+	e := newEngine(prob(5, [3]int{100, 100, 100}, uniformSizes(2, 2, 2), false),
+		Options{DisableC4Rule: true})
+	d := 0
+	for i := 0; i < 5; i++ {
+		e.setState(d, e.pidx[i][(i+1)%5], Overlap, confSize)
+	}
+	e.propagate()
+	if e.conflict != noConflict {
+		t.Fatal("overlap cycle alone conflicted")
+	}
+	chords := [][2]int{{0, 2}, {0, 3}, {1, 3}, {1, 4}, {2, 4}}
+	for _, ch := range chords[:4] {
+		e.setState(d, e.pidx[ch[0]][ch[1]], Disjoint, confSize)
+		e.propagate()
+		if e.conflict != noConflict {
+			t.Fatal("partial chord pattern conflicted early")
+		}
+	}
+	e.holeCheck()
+	if e.conflict == noConflict {
+		t.Fatal("hole rule failed to refute the C5 structure")
+	}
+	if e.stats.ForcedHole == 0 {
+		t.Fatal("ForcedHole not counted before the refutation")
+	}
+}
+
+func TestHoleRuleConflictOnDecidedC5(t *testing.T) {
+	e := freshEngine(5, false)
+	d := 0
+	for i := 0; i < 5; i++ {
+		e.setState(d, e.pidx[i][(i+1)%5], Overlap, confSize)
+	}
+	for _, ch := range [][2]int{{0, 2}, {0, 3}, {1, 3}, {1, 4}, {2, 4}} {
+		e.setState(d, e.pidx[ch[0]][ch[1]], Disjoint, confSize)
+	}
+	e.propagate()
+	e.holeCheck()
+	if e.conflict == noConflict {
+		t.Fatal("fully decided C5 hole not detected")
+	}
+}
+
+func TestD1PathImplication(t *testing.T) {
+	// Figure 6 (D1): {u,a}, {u,b} disjoint in time, {a,b} overlapping.
+	// Orienting u before a must force u before b.
+	e := distinctEngine(3, true)
+	const d = 2
+	u, a, b := 0, 1, 2
+	e.setState(d, e.pidx[a][b], Overlap, confSize)
+	e.setState(d, e.pidx[u][a], Disjoint, confSize)
+	e.setState(d, e.pidx[u][b], Disjoint, confSize)
+	e.propagate()
+	if e.conflict != noConflict {
+		t.Fatal("setup conflicted")
+	}
+	e.setBefore(d, u, a, confOrient)
+	e.propagate()
+	if e.conflict != noConflict {
+		t.Fatal("orientation conflicted")
+	}
+	if !e.orientedBefore(d, u, b) {
+		t.Fatal("D1 did not propagate u before b")
+	}
+}
+
+func TestD1ConflictingOrientations(t *testing.T) {
+	// Same configuration, but the two comparability edges are oriented
+	// in opposite directions relative to u before the overlap edge is
+	// fixed — fixing it must conflict.
+	e := distinctEngine(3, true)
+	const d = 2
+	u, a, b := 0, 1, 2
+	e.setState(d, e.pidx[u][a], Disjoint, confSize)
+	e.setState(d, e.pidx[u][b], Disjoint, confSize)
+	e.setBefore(d, u, a, confOrient) // u before a
+	e.setBefore(d, b, u, confOrient) // b before u
+	e.propagate()
+	if e.conflict != noConflict {
+		t.Fatal("setup conflicted early")
+	}
+	e.setState(d, e.pidx[a][b], Overlap, confSize)
+	e.propagate()
+	if e.conflict == noConflict {
+		t.Fatal("D1 path conflict not detected")
+	}
+}
+
+func TestD2TransitivityForcesState(t *testing.T) {
+	// u→v and v→w force {u,w} disjoint and oriented u→w, even if the
+	// pair was previously unknown.
+	e := distinctEngine(3, true)
+	const d = 2
+	e.setBefore(d, 0, 1, confOrient)
+	e.propagate()
+	e.setBefore(d, 1, 2, confOrient)
+	e.propagate()
+	if e.conflict != noConflict {
+		t.Fatal("chain conflicted")
+	}
+	if e.state[d][e.pidx[0][2]] != Disjoint || !e.orientedBefore(d, 0, 2) {
+		t.Fatal("D2 did not force 0 before 2")
+	}
+}
+
+func TestD2TransitivityConflictOnOverlap(t *testing.T) {
+	// With {u,w} fixed overlapping, u→v→w is contradictory.
+	e := distinctEngine(3, true)
+	const d = 2
+	e.setState(d, e.pidx[0][2], Overlap, confSize)
+	e.propagate()
+	e.setBefore(d, 0, 1, confOrient)
+	e.propagate()
+	if e.conflict != noConflict {
+		t.Fatal("single arc conflicted")
+	}
+	e.setBefore(d, 1, 2, confOrient)
+	e.propagate()
+	if e.conflict == noConflict {
+		t.Fatal("transitivity conflict through an overlap edge not detected")
+	}
+}
+
+func TestD2CycleConflict(t *testing.T) {
+	e := distinctEngine(3, true)
+	const d = 2
+	e.setBefore(d, 0, 1, confOrient)
+	e.propagate()
+	e.setBefore(d, 1, 2, confOrient)
+	e.propagate()
+	e.setBefore(d, 2, 0, confOrient)
+	e.propagate()
+	if e.conflict == noConflict {
+		t.Fatal("directed cycle not detected")
+	}
+}
+
+func TestOrientRulesDisabled(t *testing.T) {
+	e := newEngine(prob(3, [3]int{100, 100, 100}, uniformSizes(2, 2, 2), true),
+		Options{DisableOrientRules: true})
+	const d = 2
+	e.setBefore(d, 0, 1, confOrient)
+	e.propagate()
+	e.setBefore(d, 1, 2, confOrient)
+	e.propagate()
+	if e.state[d][e.pidx[0][2]] == Disjoint {
+		t.Fatal("D2 fired although orientation rules are disabled")
+	}
+}
+
+// TestFigure5ThroughEngine replays the paper's Figure 5 obstruction
+// inside the engine: a path-shaped comparability structure whose seeds
+// cannot be extended. The engine must detect it during propagation.
+func TestFigure5ThroughEngine(t *testing.T) {
+	// Boxes 0-1-2-3; time pairs {0,1}, {1,2}, {2,3} disjoint; {0,2},
+	// {1,3}, {0,3} overlapping; seeds 0→1 and 3→2.
+	e := distinctEngine(4, true)
+	const d = 2
+	for _, pr := range [][2]int{{0, 2}, {1, 3}, {0, 3}} {
+		e.setState(d, e.pidx[pr[0]][pr[1]], Overlap, confSize)
+	}
+	for _, pr := range [][2]int{{0, 1}, {1, 2}, {2, 3}} {
+		e.setState(d, e.pidx[pr[0]][pr[1]], Disjoint, confSize)
+	}
+	e.propagate()
+	if e.conflict != noConflict {
+		t.Fatal("structure alone conflicted")
+	}
+	e.setBefore(d, 0, 1, confOrient)
+	e.propagate()
+	if e.conflict != noConflict {
+		t.Fatal("first seed conflicted")
+	}
+	e.setBefore(d, 3, 2, confOrient)
+	e.propagate()
+	if e.conflict == noConflict {
+		t.Fatal("Figure 5 obstruction not detected by D1/D2 closure")
+	}
+}
+
+func TestOddAntiholeRule(t *testing.T) {
+	// An induced C5 of *disjoint* edges is an odd hole of the complement
+	// — comparability graphs are perfect, so this violates C1's
+	// comparability half. With all chords decided Overlap the engine
+	// must refute; capacities are generous so no clique rule interferes.
+	e := freshEngine(5, false)
+	d := 0
+	for i := 0; i < 5; i++ {
+		e.setState(d, e.pidx[i][(i+1)%5], Disjoint, confSize)
+	}
+	for _, ch := range [][2]int{{0, 2}, {0, 3}, {1, 3}, {1, 4}, {2, 4}} {
+		e.setState(d, e.pidx[ch[0]][ch[1]], Overlap, confSize)
+	}
+	e.propagate()
+	if e.conflict != noConflict {
+		t.Fatal("structure conflicted before the antihole check")
+	}
+	e.holeCheck()
+	if e.conflict == noConflict {
+		t.Fatal("odd antihole (C5 of disjoint edges) not refuted")
+	}
+}
+
+func TestEvenAntiholeIsInconclusive(t *testing.T) {
+	// Six disjoint edges forming a C6 in the disjoint graph, all chords
+	// still Unknown: the antihole certificate is even, so the oddOnly
+	// pass must neither conflict nor force anything. (Note that fully
+	// deciding the chords to Overlap would be refuted — correctly — by
+	// the chordality hole rule instead: the complement of C6 contains an
+	// induced C4.)
+	e := freshEngine(6, false)
+	d := 0
+	for i := 0; i < 6; i++ {
+		e.setState(d, e.pidx[i][(i+1)%6], Disjoint, confSize)
+	}
+	e.propagate()
+	if e.conflict != noConflict {
+		t.Fatal("cycle edges alone conflicted")
+	}
+	before := append([]EdgeState(nil), e.state[d]...)
+	e.holeCheckDim(d, e.disAdj[d], Disjoint, true)
+	if e.conflict != noConflict {
+		t.Fatal("even antihole pass conflicted")
+	}
+	for p, s := range e.state[d] {
+		if s != before[p] {
+			t.Fatalf("even antihole pass changed pair %d", p)
+		}
+	}
+}
+
+func TestComplementC6IsRefutedByChordality(t *testing.T) {
+	// The observation behind the previous test: deciding every chord of
+	// the C6-of-disjoint-edges to Overlap yields an overlap graph equal
+	// to the complement of C6, which contains an induced C4 — the
+	// chordality machinery must refute the completed structure.
+	e := freshEngine(6, false)
+	d := 0
+	for i := 0; i < 6; i++ {
+		e.setState(d, e.pidx[i][(i+1)%6], Disjoint, confSize)
+	}
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			if v != u+1 && !(u == 0 && v == 5) {
+				e.setState(d, e.pidx[u][v], Overlap, confSize)
+			}
+		}
+	}
+	e.propagate()
+	e.holeCheck()
+	if e.conflict == noConflict {
+		t.Fatal("complement-of-C6 overlap graph not refuted")
+	}
+}
+
+func TestAntiholeForcing(t *testing.T) {
+	// C5 of disjoint edges with four chords Overlap and one Unknown: the
+	// open chord must be forced Disjoint (breaking the odd antihole).
+	e := newEngine(prob(5, [3]int{100, 100, 100}, uniformSizes(2, 2, 2), false),
+		Options{DisableC4Rule: true})
+	d := 0
+	for i := 0; i < 5; i++ {
+		e.setState(d, e.pidx[i][(i+1)%5], Disjoint, confSize)
+	}
+	chords := [][2]int{{0, 2}, {0, 3}, {1, 3}, {1, 4}}
+	for _, ch := range chords {
+		e.setState(d, e.pidx[ch[0]][ch[1]], Overlap, confSize)
+	}
+	e.propagate()
+	if e.conflict != noConflict {
+		t.Fatal("setup conflicted")
+	}
+	e.holeCheck()
+	if e.conflict != noConflict {
+		t.Fatal("conflicted with an open chord")
+	}
+	if e.state[d][e.pidx[2][4]] != Disjoint {
+		t.Fatalf("open chord not forced Disjoint: %v", e.state[d][e.pidx[2][4]])
+	}
+}

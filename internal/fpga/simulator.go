@@ -1,0 +1,193 @@
+// Package fpga simulates the execution of a placement on a partially
+// reconfigurable cell array in the style of the Xilinx XC6200 — the
+// architecture the paper assumes (Section 2.1): modules are configured
+// onto rectangular cell regions, column by column, and may be loaded or
+// unloaded at run time without disturbing other configured regions.
+//
+// The simulator is an independent, cycle-accurate checker: it replays a
+// placement on an explicit cell-occupancy model and fails on any
+// conflict, bound violation or precedence violation. On success it
+// reports utilization statistics — busy cell-cycles, peak concurrency
+// and per-column reconfiguration counts — that the solver itself never
+// computes.
+package fpga
+
+import (
+	"fmt"
+	"sort"
+
+	"fpga3d/internal/model"
+)
+
+// EventKind discriminates trace events.
+type EventKind int
+
+const (
+	// Load marks a module being configured onto the array.
+	Load EventKind = iota
+	// Unload marks a module's region being released.
+	Unload
+)
+
+func (k EventKind) String() string {
+	if k == Load {
+		return "load"
+	}
+	return "unload"
+}
+
+// Event is one reconfiguration action in the trace.
+type Event struct {
+	Cycle int
+	Kind  EventKind
+	Task  int
+}
+
+// Trace is the result of a successful simulation.
+type Trace struct {
+	// Makespan is the number of simulated cycles.
+	Makespan int
+	// Events lists every load and unload in cycle order (loads before
+	// unloads are not interleaved: at each cycle boundary, finishing
+	// modules unload before starting modules load).
+	Events []Event
+	// BusyCellCycles counts cell×cycle units occupied by computing
+	// modules; Utilization is its share of W×H×Makespan.
+	BusyCellCycles int
+	Utilization    float64
+	// PeakCells is the maximum number of simultaneously occupied cells;
+	// PeakTasks the maximum number of simultaneously executing modules.
+	PeakCells int
+	PeakTasks int
+	// ColumnLoads[x] counts configuration writes to column x: a module
+	// of width w streams w column configurations when it loads
+	// (the XC6200 read-in model).
+	ColumnLoads []int
+	// CellsPerCycle[t] is the number of occupied cells during cycle t.
+	CellsPerCycle []int
+}
+
+// Simulate replays the placement cycle by cycle. A non-nil error
+// describes the first conflict found; the trace is only valid when the
+// error is nil. When order is non-nil, precedence constraints are
+// enforced as finish(u) ≤ start(v).
+func Simulate(in *model.Instance, c model.Container, p *model.Placement, o *model.Order) (*Trace, error) {
+	n := in.N()
+	if len(p.X) != n || len(p.Y) != n || len(p.S) != n {
+		return nil, fmt.Errorf("fpga: placement size mismatch")
+	}
+	makespan := 0
+	for i, t := range in.Tasks {
+		if p.X[i] < 0 || p.Y[i] < 0 || p.S[i] < 0 {
+			return nil, fmt.Errorf("fpga: task %d at negative coordinates", i)
+		}
+		if p.X[i]+t.W > c.W || p.Y[i]+t.H > c.H {
+			return nil, fmt.Errorf("fpga: task %d exceeds the %dx%d array", i, c.W, c.H)
+		}
+		if p.S[i]+t.Dur > c.T {
+			return nil, fmt.Errorf("fpga: task %d finishes at %d, after the horizon %d", i, p.S[i]+t.Dur, c.T)
+		}
+		if f := p.S[i] + t.Dur; f > makespan {
+			makespan = f
+		}
+	}
+	if o != nil {
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && o.Precedes(u, v) && p.S[u]+in.Tasks[u].Dur > p.S[v] {
+					return nil, fmt.Errorf("fpga: precedence %d≺%d violated", u, v)
+				}
+			}
+		}
+	}
+
+	// Group loads and unloads by cycle.
+	starts := make(map[int][]int)
+	ends := make(map[int][]int)
+	for i, t := range in.Tasks {
+		starts[p.S[i]] = append(starts[p.S[i]], i)
+		ends[p.S[i]+t.Dur] = append(ends[p.S[i]+t.Dur], i)
+	}
+
+	tr := &Trace{
+		Makespan:      makespan,
+		ColumnLoads:   make([]int, c.W),
+		CellsPerCycle: make([]int, makespan),
+	}
+	owner := make([][]int, c.H) // owner[y][x] = task or -1
+	for y := range owner {
+		owner[y] = make([]int, c.W)
+		for x := range owner[y] {
+			owner[y][x] = -1
+		}
+	}
+	busyCells := 0
+	busyTasks := 0
+
+	for cycle := 0; cycle <= makespan; cycle++ {
+		// Unload finishing modules first: their cells become free for
+		// modules starting this very cycle (sequential reuse).
+		for _, i := range sorted(ends[cycle]) {
+			t := in.Tasks[i]
+			for y := p.Y[i]; y < p.Y[i]+t.H; y++ {
+				for x := p.X[i]; x < p.X[i]+t.W; x++ {
+					if owner[y][x] != i {
+						return nil, fmt.Errorf("fpga: task %d unloading cell (%d,%d) it does not own", i, x, y)
+					}
+					owner[y][x] = -1
+				}
+			}
+			busyCells -= t.W * t.H
+			busyTasks--
+			tr.Events = append(tr.Events, Event{Cycle: cycle, Kind: Unload, Task: i})
+		}
+		for _, i := range sorted(starts[cycle]) {
+			t := in.Tasks[i]
+			for y := p.Y[i]; y < p.Y[i]+t.H; y++ {
+				for x := p.X[i]; x < p.X[i]+t.W; x++ {
+					if other := owner[y][x]; other != -1 {
+						return nil, fmt.Errorf("fpga: cycle %d: tasks %d and %d collide on cell (%d,%d)",
+							cycle, i, other, x, y)
+					}
+					owner[y][x] = i
+				}
+			}
+			busyCells += t.W * t.H
+			busyTasks++
+			for x := p.X[i]; x < p.X[i]+t.W; x++ {
+				tr.ColumnLoads[x]++
+			}
+			tr.Events = append(tr.Events, Event{Cycle: cycle, Kind: Load, Task: i})
+		}
+		if cycle < makespan {
+			tr.CellsPerCycle[cycle] = busyCells
+			tr.BusyCellCycles += busyCells
+			if busyCells > tr.PeakCells {
+				tr.PeakCells = busyCells
+			}
+			if busyTasks > tr.PeakTasks {
+				tr.PeakTasks = busyTasks
+			}
+		}
+	}
+	if makespan > 0 {
+		tr.Utilization = float64(tr.BusyCellCycles) / float64(c.W*c.H*makespan)
+	}
+	return tr, nil
+}
+
+func sorted(s []int) []int {
+	out := append([]int(nil), s...)
+	sort.Ints(out)
+	return out
+}
+
+// Reconfigurations returns the total number of column configuration
+// writes over the whole trace.
+func (t *Trace) Reconfigurations() int {
+	total := 0
+	for _, c := range t.ColumnLoads {
+		total += c
+	}
+	return total
+}

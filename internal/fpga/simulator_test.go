@@ -1,0 +1,173 @@
+package fpga
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"fpga3d/internal/bench"
+	"fpga3d/internal/model"
+	"fpga3d/internal/solver"
+)
+
+func demo() (*model.Instance, *model.Placement, model.Container) {
+	in := &model.Instance{
+		Tasks: []model.Task{
+			{Name: "a", W: 2, H: 2, Dur: 2},
+			{Name: "b", W: 2, H: 2, Dur: 2},
+			{Name: "c", W: 1, H: 1, Dur: 1},
+		},
+		Prec: []model.Arc{{From: 0, To: 2}},
+	}
+	p := &model.Placement{X: []int{0, 2, 0}, Y: []int{0, 0, 0}, S: []int{0, 0, 2}}
+	return in, p, model.Container{W: 4, H: 4, T: 4}
+}
+
+func TestSimulateDemo(t *testing.T) {
+	in, p, c := demo()
+	o, err := in.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Simulate(in, c, p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Makespan != 3 {
+		t.Fatalf("makespan = %d", tr.Makespan)
+	}
+	// Cells: cycles 0,1 hold a+b (8 cells); cycle 2 holds c (1 cell).
+	if tr.BusyCellCycles != 8+8+1 {
+		t.Fatalf("busy cell-cycles = %d", tr.BusyCellCycles)
+	}
+	if tr.PeakCells != 8 || tr.PeakTasks != 2 {
+		t.Fatalf("peaks = %d cells / %d tasks", tr.PeakCells, tr.PeakTasks)
+	}
+	wantUtil := float64(17) / float64(4*4*3)
+	if diff := tr.Utilization - wantUtil; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("utilization = %v, want %v", tr.Utilization, wantUtil)
+	}
+	// Column loads: a loads columns 0,1; b loads 2,3; c loads 0.
+	want := []int{2, 1, 1, 1}
+	for x, w := range want {
+		if tr.ColumnLoads[x] != w {
+			t.Fatalf("column loads = %v, want %v", tr.ColumnLoads, want)
+		}
+	}
+	if tr.Reconfigurations() != 5 {
+		t.Fatalf("reconfigurations = %d", tr.Reconfigurations())
+	}
+	// Events: 3 loads + 3 unloads in cycle order.
+	if len(tr.Events) != 6 {
+		t.Fatalf("%d events", len(tr.Events))
+	}
+	if tr.Events[0].Kind != Load || tr.Events[0].Cycle != 0 {
+		t.Fatalf("first event %+v", tr.Events[0])
+	}
+	if tr.CellsPerCycle[2] != 1 {
+		t.Fatalf("cells per cycle = %v", tr.CellsPerCycle)
+	}
+}
+
+func TestSimulateSequentialReuse(t *testing.T) {
+	// Two modules on the same cells back to back: the unload at cycle 2
+	// must free the cells for the load at cycle 2.
+	in := &model.Instance{Tasks: []model.Task{{W: 2, H: 2, Dur: 2}, {W: 2, H: 2, Dur: 2}}}
+	p := &model.Placement{X: []int{0, 0}, Y: []int{0, 0}, S: []int{0, 2}}
+	if _, err := Simulate(in, model.Container{W: 2, H: 2, T: 4}, p, nil); err != nil {
+		t.Fatalf("sequential reuse rejected: %v", err)
+	}
+}
+
+func TestSimulateDetectsViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*model.Placement)
+	}{
+		{"collision", func(p *model.Placement) { p.X[1] = 1 }},
+		{"out of array", func(p *model.Placement) { p.X[1] = 3 }},
+		{"past horizon", func(p *model.Placement) { p.S[2] = 4 }},
+		{"negative", func(p *model.Placement) { p.Y[0] = -1 }},
+		{"precedence", func(p *model.Placement) { p.S[2] = 1; p.X[2] = 3; p.Y[2] = 3 }},
+		{"size mismatch", func(p *model.Placement) { p.S = p.S[:2] }},
+	}
+	for _, tc := range cases {
+		in, p, c := demo()
+		o, _ := in.Order()
+		tc.mut(p)
+		if _, err := Simulate(in, c, p, o); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestSimulateAgreesWithVerify: on random (often invalid) placements,
+// the simulator and the model verifier accept exactly the same set.
+func TestSimulateAgreesWithVerify(t *testing.T) {
+	for seed := int64(0); seed < 2000; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in := bench.Random(rng, 2+rng.Intn(4), 3, 3, 0.3)
+		c := model.Container{W: 4, H: 4, T: 5}
+		o, err := in.Order()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := model.NewPlacement(in.N())
+		for i := range in.Tasks {
+			p.X[i] = rng.Intn(4)
+			p.Y[i] = rng.Intn(4)
+			p.S[i] = rng.Intn(5)
+		}
+		_, simErr := Simulate(in, c, p, o)
+		verErr := p.Verify(in, c, o)
+		if (simErr == nil) != (verErr == nil) {
+			t.Fatalf("seed %d: simulator %v, verifier %v", seed, simErr, verErr)
+		}
+	}
+}
+
+// TestSimulateDEOptimum replays the paper's Table-1 optimum and checks
+// the utilization figures the solver never computes.
+func TestSimulateDEOptimum(t *testing.T) {
+	de := bench.DE()
+	r, err := solver.MinBase(de, 6, solver.Options{TimeLimit: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Decision != solver.Feasible {
+		t.Fatal("DE optimum not found")
+	}
+	o, _ := de.Order()
+	tr, err := Simulate(de, model.Container{W: 32, H: 32, T: 6}, r.Placement, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Makespan != 6 {
+		t.Fatalf("makespan = %d", tr.Makespan)
+	}
+	// Total busy cell-cycles equal the instance volume (every module
+	// runs exactly once).
+	if tr.BusyCellCycles != de.Volume() {
+		t.Fatalf("busy = %d, volume = %d", tr.BusyCellCycles, de.Volume())
+	}
+	// At T = 6 four multipliers must run concurrently at some point.
+	if tr.PeakCells < 4*256 {
+		t.Fatalf("peak cells = %d, want ≥ 1024", tr.PeakCells)
+	}
+	// Every module loads exactly once: 11 loads, 11 unloads.
+	loads := 0
+	for _, e := range tr.Events {
+		if e.Kind == Load {
+			loads++
+		}
+	}
+	if loads != 11 || len(tr.Events) != 22 {
+		t.Fatalf("%d loads, %d events", loads, len(tr.Events))
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if Load.String() != "load" || Unload.String() != "unload" {
+		t.Fatal("EventKind strings wrong")
+	}
+}

@@ -1,0 +1,114 @@
+package geomsearch
+
+import (
+	"math/rand"
+	"testing"
+
+	"fpga3d/internal/bench"
+	"fpga3d/internal/model"
+)
+
+func mustOrder(t *testing.T, in *model.Instance) *model.Order {
+	t.Helper()
+	o, err := in.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestSolveHandCases(t *testing.T) {
+	two := &model.Instance{
+		Tasks: []model.Task{{W: 2, H: 2, Dur: 2}, {W: 2, H: 2, Dur: 2}},
+	}
+	o := mustOrder(t, two)
+	// Side by side.
+	r := Solve(two, model.Container{W: 4, H: 2, T: 2}, o, Options{})
+	if r.Status != Feasible {
+		t.Fatalf("side-by-side: %v", r.Status)
+	}
+	// Too tight in every direction.
+	r = Solve(two, model.Container{W: 3, H: 3, T: 3}, o, Options{})
+	if r.Status != Infeasible {
+		t.Fatalf("3x3x3 for two 2x2x2: %v", r.Status)
+	}
+	// Sequential reuse.
+	r = Solve(two, model.Container{W: 2, H: 2, T: 4}, o, Options{})
+	if r.Status != Feasible {
+		t.Fatalf("sequential: %v", r.Status)
+	}
+}
+
+func TestSolveRespectsPrecedence(t *testing.T) {
+	in := &model.Instance{
+		Tasks: []model.Task{{W: 1, H: 1, Dur: 2}, {W: 1, H: 1, Dur: 2}},
+		Prec:  []model.Arc{{From: 0, To: 1}},
+	}
+	o := mustOrder(t, in)
+	// Spatially trivial, but the chain needs 4 cycles.
+	if r := Solve(in, model.Container{W: 4, H: 4, T: 3}, o, Options{}); r.Status != Infeasible {
+		t.Fatalf("T=3 for a 4-cycle chain: %v", r.Status)
+	}
+	r := Solve(in, model.Container{W: 4, H: 4, T: 4}, o, Options{})
+	if r.Status != Feasible {
+		t.Fatalf("T=4: %v", r.Status)
+	}
+	if err := r.Placement.Verify(in, model.Container{W: 4, H: 4, T: 4}, o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolvePlacementsVerify(t *testing.T) {
+	for seed := int64(0); seed < 500; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in := bench.Random(rng, 2+rng.Intn(3), 3, 3, 0.3)
+		c := model.Container{W: 3, H: 3, T: 4}
+		if !c.Fits(in) {
+			continue
+		}
+		o := mustOrder(t, in)
+		r := Solve(in, c, o, Options{NodeLimit: 1_000_000})
+		if r.Status == Feasible {
+			if err := r.Placement.Verify(in, c, o); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A hard infeasible instance: many unit tasks that almost fit.
+	in := &model.Instance{}
+	for i := 0; i < 9; i++ {
+		in.Tasks = append(in.Tasks, model.Task{W: 2, H: 2, Dur: 2})
+	}
+	o := mustOrder(t, in)
+	r := Solve(in, model.Container{W: 5, H: 5, T: 3}, o, Options{NodeLimit: 50})
+	if r.Status != NodeLimit {
+		t.Fatalf("status = %v, want node-limit", r.Status)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for s, want := range map[Status]string{
+		Feasible: "feasible", Infeasible: "infeasible",
+		NodeLimit: "node-limit", TimeLimit: "time-limit", Status(9): "unknown",
+	} {
+		if s.String() != want {
+			t.Errorf("Status(%d) = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+func TestQuickRejects(t *testing.T) {
+	in := &model.Instance{Tasks: []model.Task{{W: 5, H: 1, Dur: 1}}}
+	o := mustOrder(t, in)
+	if r := Solve(in, model.Container{W: 4, H: 4, T: 4}, o, Options{}); r.Status != Infeasible {
+		t.Fatal("misfit not rejected")
+	}
+	in2 := &model.Instance{Tasks: []model.Task{{W: 2, H: 2, Dur: 2}, {W: 2, H: 2, Dur: 2}}}
+	o2 := mustOrder(t, in2)
+	if r := Solve(in2, model.Container{W: 2, H: 2, T: 3}, o2, Options{}); r.Status != Infeasible {
+		t.Fatal("volume overflow not rejected")
+	}
+}

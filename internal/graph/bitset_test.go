@@ -1,0 +1,195 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(130) // force multiple words
+	if !s.Empty() {
+		t.Fatal("new set not empty")
+	}
+	for _, v := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Has(v) {
+			t.Fatalf("fresh set has %d", v)
+		}
+		s.Add(v)
+		if !s.Has(v) {
+			t.Fatalf("set missing %d after Add", v)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	if s.Min() != 0 {
+		t.Fatalf("Min = %d, want 0", s.Min())
+	}
+	s.Remove(0)
+	if s.Has(0) || s.Min() != 1 {
+		t.Fatalf("Remove(0) failed: min=%d", s.Min())
+	}
+	if s.Cap() != 130 {
+		t.Fatalf("Cap = %d", s.Cap())
+	}
+}
+
+func TestSetAddIdempotent(t *testing.T) {
+	s := NewSet(10)
+	s.Add(3)
+	s.Add(3)
+	if s.Count() != 1 {
+		t.Fatalf("double Add changed count: %d", s.Count())
+	}
+	s.Remove(7) // removing an absent vertex is a no-op
+	if s.Count() != 1 {
+		t.Fatalf("Remove of absent vertex changed count: %d", s.Count())
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := NewSet(100)
+	b := NewSet(100)
+	for _, v := range []int{1, 5, 70} {
+		a.Add(v)
+	}
+	for _, v := range []int{5, 70, 99} {
+		b.Add(v)
+	}
+
+	u := a.Clone()
+	u.UnionWith(b)
+	if got := u.Slice(); len(got) != 4 || got[0] != 1 || got[3] != 99 {
+		t.Fatalf("union = %v", got)
+	}
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	if got := i.Slice(); len(got) != 2 || got[0] != 5 || got[1] != 70 {
+		t.Fatalf("intersection = %v", got)
+	}
+
+	d := a.Clone()
+	d.SubtractWith(b)
+	if got := d.Slice(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("difference = %v", got)
+	}
+
+	if !i.SubsetOf(a) || !i.SubsetOf(b) {
+		t.Fatal("intersection not subset of operands")
+	}
+	if a.SubsetOf(b) {
+		t.Fatal("a should not be subset of b")
+	}
+	if !a.Intersects(b) {
+		t.Fatal("a and b share 5, 70")
+	}
+	if d.Intersects(b) {
+		t.Fatal("difference should not intersect b")
+	}
+}
+
+func TestSetCloneIndependence(t *testing.T) {
+	a := NewSet(64)
+	a.Add(10)
+	b := a.Clone()
+	b.Add(20)
+	if a.Has(20) {
+		t.Fatal("Clone shares storage with original")
+	}
+	b.CopyFrom(a)
+	if b.Has(20) || !b.Has(10) {
+		t.Fatal("CopyFrom failed")
+	}
+}
+
+func TestSetEqualAndClear(t *testing.T) {
+	a, b := NewSet(70), NewSet(70)
+	a.Add(69)
+	if a.Equal(b) {
+		t.Fatal("unequal sets compare equal")
+	}
+	b.Add(69)
+	if !a.Equal(b) {
+		t.Fatal("equal sets compare unequal")
+	}
+	if a.Equal(NewSet(71)) {
+		t.Fatal("sets of different capacity compare equal")
+	}
+	a.Clear()
+	if !a.Empty() {
+		t.Fatal("Clear left elements")
+	}
+	if a.Min() != -1 {
+		t.Fatalf("Min of empty = %d, want -1", a.Min())
+	}
+}
+
+func TestSetForEachOrder(t *testing.T) {
+	s := NewSet(200)
+	want := []int{0, 63, 64, 100, 199}
+	for _, v := range want {
+		s.Add(v)
+	}
+	var got []int
+	s.ForEach(func(v int) { got = append(got, v) })
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order mismatch: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSetString(t *testing.T) {
+	s := NewSet(10)
+	if s.String() != "{}" {
+		t.Fatalf("empty String = %q", s.String())
+	}
+	s.Add(2)
+	s.Add(7)
+	if s.String() != "{2 7}" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+// TestSetQuickAgainstMap cross-checks the bitset against a map reference
+// under random operation sequences.
+func TestSetQuickAgainstMap(t *testing.T) {
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 150
+		s := NewSet(n)
+		ref := map[int]bool{}
+		for i := 0; i < int(nOps); i++ {
+			v := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				s.Add(v)
+				ref[v] = true
+			case 1:
+				s.Remove(v)
+				delete(ref, v)
+			case 2:
+				if s.Has(v) != ref[v] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for _, v := range s.Slice() {
+			if !ref[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package graph
+
+import "fmt"
+
+// Undirected is a simple undirected graph on vertices 0..n-1 with bitset
+// adjacency rows. Self-loops are not allowed.
+type Undirected struct {
+	n   int
+	adj []Set
+	m   int // number of edges
+}
+
+// NewUndirected returns an edgeless graph on n vertices.
+func NewUndirected(n int) *Undirected {
+	g := &Undirected{n: n, adj: make([]Set, n)}
+	for i := range g.adj {
+		g.adj[i] = NewSet(n)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Undirected) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Undirected) M() int { return g.m }
+
+// AddEdge inserts the edge {u, v}. Adding an existing edge is a no-op;
+// adding a self-loop panics (it always indicates a logic error upstream).
+func (g *Undirected) AddEdge(u, v int) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at vertex %d", u))
+	}
+	if g.adj[u].Has(v) {
+		return
+	}
+	g.adj[u].Add(v)
+	g.adj[v].Add(u)
+	g.m++
+}
+
+// RemoveEdge deletes the edge {u, v} if present.
+func (g *Undirected) RemoveEdge(u, v int) {
+	if !g.adj[u].Has(v) {
+		return
+	}
+	g.adj[u].Remove(v)
+	g.adj[v].Remove(u)
+	g.m--
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Undirected) HasEdge(u, v int) bool { return u != v && g.adj[u].Has(v) }
+
+// Neighbors returns the adjacency set of v. The returned set is shared
+// with the graph; callers must not modify it.
+func (g *Undirected) Neighbors(v int) Set { return g.adj[v] }
+
+// Degree returns the number of neighbors of v.
+func (g *Undirected) Degree(v int) int { return g.adj[v].Count() }
+
+// Clone returns a deep copy of the graph.
+func (g *Undirected) Clone() *Undirected {
+	c := &Undirected{n: g.n, adj: make([]Set, g.n), m: g.m}
+	for i := range g.adj {
+		c.adj[i] = g.adj[i].Clone()
+	}
+	return c
+}
+
+// Complement returns the complement graph: {u,v} is an edge of the result
+// iff u ≠ v and {u,v} is not an edge of g.
+func (g *Undirected) Complement() *Undirected {
+	c := NewUndirected(g.n)
+	for u := 0; u < g.n; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if !g.HasEdge(u, v) {
+				c.AddEdge(u, v)
+			}
+		}
+	}
+	return c
+}
+
+// Edges calls f for every edge {u, v} with u < v.
+func (g *Undirected) Edges(f func(u, v int)) {
+	for u := 0; u < g.n; u++ {
+		g.adj[u].ForEach(func(v int) {
+			if v > u {
+				f(u, v)
+			}
+		})
+	}
+}
+
+// IsStableSet reports whether the vertices of s are pairwise non-adjacent.
+func (g *Undirected) IsStableSet(s Set) bool {
+	ok := true
+	s.ForEach(func(v int) {
+		if ok && g.adj[v].Intersects(s) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// IsClique reports whether the vertices of s are pairwise adjacent.
+func (g *Undirected) IsClique(s Set) bool {
+	vs := s.Slice()
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			if !g.HasEdge(vs[i], vs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

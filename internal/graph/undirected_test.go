@@ -1,0 +1,157 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUndirectedBasics(t *testing.T) {
+	g := NewUndirected(5)
+	if g.N() != 5 || g.M() != 0 {
+		t.Fatalf("fresh graph: n=%d m=%d", g.N(), g.M())
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // duplicate, reversed
+	if g.M() != 1 {
+		t.Fatalf("M = %d after duplicate add", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge not symmetric")
+	}
+	if g.HasEdge(0, 0) {
+		t.Fatal("self loop reported")
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 0 {
+		t.Fatal("degree wrong")
+	}
+	g.RemoveEdge(0, 1)
+	if g.M() != 0 || g.HasEdge(0, 1) {
+		t.Fatal("RemoveEdge failed")
+	}
+	g.RemoveEdge(0, 1) // removing absent edge is a no-op
+	if g.M() != 0 {
+		t.Fatal("RemoveEdge of absent edge changed count")
+	}
+}
+
+func TestUndirectedSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge(2,2) did not panic")
+		}
+	}()
+	NewUndirected(5).AddEdge(2, 2)
+}
+
+func TestUndirectedComplement(t *testing.T) {
+	g := NewUndirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	c := g.Complement()
+	if c.M() != 4 { // K4 has 6 edges; 6-2=4
+		t.Fatalf("complement M = %d, want 4", c.M())
+	}
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			if g.HasEdge(u, v) == c.HasEdge(u, v) {
+				t.Fatalf("edge {%d,%d} in both or neither", u, v)
+			}
+		}
+	}
+	cc := c.Complement()
+	for u := 0; u < 4; u++ {
+		if !cc.Neighbors(u).Equal(g.Neighbors(u)) {
+			t.Fatal("double complement differs from original")
+		}
+	}
+}
+
+func TestUndirectedCloneIndependence(t *testing.T) {
+	g := NewUndirected(3)
+	g.AddEdge(0, 1)
+	c := g.Clone()
+	c.AddEdge(1, 2)
+	if g.HasEdge(1, 2) {
+		t.Fatal("clone shares adjacency with original")
+	}
+	if c.M() != 2 || g.M() != 1 {
+		t.Fatal("edge counts wrong after clone mutation")
+	}
+}
+
+func TestUndirectedEdgesIteration(t *testing.T) {
+	g := NewUndirected(4)
+	g.AddEdge(0, 3)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 1)
+	count := 0
+	g.Edges(func(u, v int) {
+		if u >= v {
+			t.Fatalf("Edges emitted (%d,%d) with u >= v", u, v)
+		}
+		if !g.HasEdge(u, v) {
+			t.Fatalf("Edges emitted non-edge (%d,%d)", u, v)
+		}
+		count++
+	})
+	if count != 3 {
+		t.Fatalf("Edges emitted %d, want 3", count)
+	}
+}
+
+func TestStableAndClique(t *testing.T) {
+	g := NewUndirected(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2) // triangle 0-1-2; vertices 3,4 isolated
+
+	tri := NewSet(5)
+	tri.Add(0)
+	tri.Add(1)
+	tri.Add(2)
+	if !g.IsClique(tri) {
+		t.Fatal("triangle not recognized as clique")
+	}
+	if g.IsStableSet(tri) {
+		t.Fatal("triangle reported stable")
+	}
+
+	iso := NewSet(5)
+	iso.Add(3)
+	iso.Add(4)
+	iso.Add(0)
+	if !g.IsStableSet(iso) {
+		t.Fatal("{0,3,4} should be stable")
+	}
+	if g.IsClique(iso) {
+		t.Fatal("{0,3,4} reported clique")
+	}
+}
+
+// TestComplementQuick: stable sets of g are cliques of the complement.
+func TestComplementQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		g := NewUndirected(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(2) == 0 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		c := g.Complement()
+		s := NewSet(n)
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				s.Add(v)
+			}
+		}
+		return g.IsStableSet(s) == c.IsClique(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

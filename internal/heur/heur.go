@@ -1,0 +1,242 @@
+// Package heur implements stage 2 of the paper's framework: fast
+// heuristics that try to find a feasible packing before the
+// branch-and-bound search is started.
+//
+// The placer is a precedence-respecting list scheduler over an occupancy
+// grid: tasks are taken in priority order (several rules are tried) and
+// each is placed at the earliest start time and bottom-left spatial
+// position where its w×h×dur box is free.
+package heur
+
+import (
+	"math/bits"
+	"sort"
+
+	"fpga3d/internal/model"
+)
+
+// Place attempts to find a feasible placement of in inside c under o.
+// It returns the placement and true on success; a false result is
+// inconclusive (the instance may still be feasible).
+func Place(in *model.Instance, c model.Container, o *model.Order) (*model.Placement, bool) {
+	best, makespan := bestPlacement(in, c.W, c.H, c.T, o)
+	if best == nil || makespan > c.T {
+		return nil, false
+	}
+	return best, true
+}
+
+// MinMakespan greedily minimizes the makespan of in on a W×H chip under
+// o, returning the placement and its makespan. ok is false only if some
+// task does not fit the chip spatially.
+func MinMakespan(in *model.Instance, W, H int, o *model.Order) (*model.Placement, int, bool) {
+	if in.MaxW() > W || in.MaxH() > H {
+		return nil, 0, false
+	}
+	// A fully serialized schedule always fits, so TotalDuration is a
+	// safe horizon.
+	horizon := in.TotalDuration()
+	p, makespan := bestPlacement(in, W, H, horizon, o)
+	if p == nil {
+		return nil, 0, false
+	}
+	return p, makespan, true
+}
+
+// priorityRule orders the tasks for list scheduling.
+type priorityRule int
+
+const (
+	byTail priorityRule = iota // longest remaining chain first
+	byArea                     // biggest footprint first
+	byVolume
+	byDuration
+	numRules
+)
+
+// bestPlacement runs every priority rule and keeps the placement with
+// the smallest makespan that fits the horizon; returns nil if none fits.
+func bestPlacement(in *model.Instance, W, H, T int, o *model.Order) (*model.Placement, int) {
+	var best *model.Placement
+	bestMk := T + 1
+	for r := priorityRule(0); r < numRules; r++ {
+		p, mk, ok := listSchedule(in, W, H, T, o, r)
+		if ok && mk < bestMk {
+			best, bestMk = p, mk
+		}
+	}
+	if best == nil {
+		return nil, 0
+	}
+	return best, bestMk
+}
+
+// listSchedule performs one greedy pass with the given priority rule.
+func listSchedule(in *model.Instance, W, H, T int, o *model.Order, rule priorityRule) (*model.Placement, int, bool) {
+	n := in.N()
+	occ := newOccGrid(W, H, T)
+	place := model.NewPlacement(n)
+	done := make([]bool, n)
+	finish := make([]int, n)
+
+	key := func(v int) (int, int, int) {
+		t := in.Tasks[v]
+		switch rule {
+		case byTail:
+			return -o.Tail(v) - t.Dur, -t.W * t.H, v
+		case byArea:
+			return -t.W * t.H, -o.Tail(v), v
+		case byVolume:
+			return -t.Volume(), -o.Tail(v), v
+		default: // byDuration
+			return -t.Dur, -t.W * t.H, v
+		}
+	}
+
+	for placed := 0; placed < n; placed++ {
+		// Ready tasks: all predecessors placed.
+		ready := make([]int, 0, n)
+		for v := 0; v < n; v++ {
+			if done[v] {
+				continue
+			}
+			ok := true
+			o.Closure().In(v).ForEach(func(u int) {
+				if !done[u] {
+					ok = false
+				}
+			})
+			if ok {
+				ready = append(ready, v)
+			}
+		}
+		sort.Slice(ready, func(a, b int) bool {
+			a1, a2, a3 := key(ready[a])
+			b1, b2, b3 := key(ready[b])
+			if a1 != b1 {
+				return a1 < b1
+			}
+			if a2 != b2 {
+				return a2 < b2
+			}
+			return a3 < b3
+		})
+		v := ready[0]
+		t := in.Tasks[v]
+		est := 0
+		o.Closure().In(v).ForEach(func(u int) {
+			if finish[u] > est {
+				est = finish[u]
+			}
+		})
+		x, y, s, ok := occ.findSlot(t.W, t.H, t.Dur, est)
+		if !ok {
+			return nil, 0, false
+		}
+		occ.fill(x, y, s, t.W, t.H, t.Dur)
+		place.X[v], place.Y[v], place.S[v] = x, y, s
+		finish[v] = s + t.Dur
+		done[v] = true
+	}
+	return place, place.Makespan(in), true
+}
+
+// occGrid is a W×H×T occupancy bitmap. When W ≤ 64 each (cycle, row) is
+// a single uint64 word and region queries use run-of-free-bits masks;
+// wider chips fall back to a boolean grid.
+type occGrid struct {
+	W, H, T int
+	words   [][]uint64 // [cycle][row], W ≤ 64 fast path
+	cells   [][]bool   // [cycle][row*W+x], fallback
+}
+
+func newOccGrid(W, H, T int) *occGrid {
+	g := &occGrid{W: W, H: H, T: T}
+	if W <= 64 {
+		g.words = make([][]uint64, T)
+		for t := range g.words {
+			g.words[t] = make([]uint64, H)
+		}
+	} else {
+		g.cells = make([][]bool, T)
+		for t := range g.cells {
+			g.cells[t] = make([]bool, H*W)
+		}
+	}
+	return g
+}
+
+// runMask returns a bitmask of the x positions at which w consecutive
+// free bits start within the free-mask, restricted to x ≤ W−w.
+func runMask(free uint64, w, W int) uint64 {
+	m := free
+	for i := 1; i < w; i++ {
+		m &= free >> uint(i)
+	}
+	if W-w+1 < 64 {
+		m &= (1 << uint(W-w+1)) - 1
+	}
+	return m
+}
+
+// findSlot returns the earliest-start, bottom-left free position for a
+// w×h×dur box with start ≥ est.
+func (g *occGrid) findSlot(w, h, dur, est int) (x, y, s int, ok bool) {
+	for s = est; s+dur <= g.T; s++ {
+		for y = 0; y+h <= g.H; y++ {
+			if g.words != nil {
+				m := ^uint64(0)
+				for t := s; t < s+dur && m != 0; t++ {
+					for r := y; r < y+h && m != 0; r++ {
+						m &= runMask(^g.words[t][r], w, g.W)
+					}
+				}
+				if m != 0 {
+					return bits.TrailingZeros64(m), y, s, true
+				}
+			} else {
+				for x = 0; x+w <= g.W; x++ {
+					if g.regionFree(x, y, s, w, h, dur) {
+						return x, y, s, true
+					}
+				}
+			}
+		}
+	}
+	return 0, 0, 0, false
+}
+
+func (g *occGrid) regionFree(x, y, s, w, h, dur int) bool {
+	for t := s; t < s+dur; t++ {
+		for r := y; r < y+h; r++ {
+			for c := x; c < x+w; c++ {
+				if g.cells[t][r*g.W+c] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func (g *occGrid) fill(x, y, s, w, h, dur int) {
+	if g.words != nil {
+		mask := (uint64(1)<<uint(w) - 1) << uint(x)
+		if w == 64 {
+			mask = ^uint64(0)
+		}
+		for t := s; t < s+dur; t++ {
+			for r := y; r < y+h; r++ {
+				g.words[t][r] |= mask
+			}
+		}
+		return
+	}
+	for t := s; t < s+dur; t++ {
+		for r := y; r < y+h; r++ {
+			for c := x; c < x+w; c++ {
+				g.cells[t][r*g.W+c] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package intgraph
+
+import "fpga3d/internal/graph"
+
+// Edge is an undirected edge {U, V} with U < V.
+type Edge struct{ U, V int }
+
+// ImplicationClasses partitions the edges of g into the path implication
+// classes of Section 4.3 of the paper (Gallai's color classes): two
+// edges belong to the same class iff a sequence of path implications
+// (rule D1: edges {a,b}, {a,c} with {b,c} a non-edge force each other's
+// orientation relative to a) connects them. Orienting any edge of a
+// class forces the orientation of the entire class.
+//
+// Classes are returned with edges sorted by (U, V) and the classes
+// sorted by their first edge.
+func ImplicationClasses(g *graph.Undirected) [][]Edge {
+	n := g.N()
+	idx := func(u, v int) int {
+		if u > v {
+			u, v = v, u
+		}
+		return u*n + v
+	}
+	parent := map[int]int{}
+	var find func(x int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	g.Edges(func(u, v int) {
+		parent[idx(u, v)] = idx(u, v)
+	})
+	// D1 at every vertex a: edges {a,b}, {a,c} with {b,c} a non-edge are
+	// in the same class.
+	for a := 0; a < n; a++ {
+		nb := g.Neighbors(a).Slice()
+		for i := 0; i < len(nb); i++ {
+			for j := i + 1; j < len(nb); j++ {
+				if !g.HasEdge(nb[i], nb[j]) {
+					union(idx(a, nb[i]), idx(a, nb[j]))
+				}
+			}
+		}
+	}
+	groups := map[int][]Edge{}
+	g.Edges(func(u, v int) {
+		r := find(idx(u, v))
+		groups[r] = append(groups[r], Edge{U: u, V: v})
+	})
+	out := make([][]Edge, 0, len(groups))
+	for _, es := range groups {
+		sortEdges(es)
+		out = append(out, es)
+	}
+	// Sort classes by first edge for determinism.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && edgeLess(out[j][0], out[j-1][0]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func sortEdges(es []Edge) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && edgeLess(es[j], es[j-1]); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+func edgeLess(a, b Edge) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}

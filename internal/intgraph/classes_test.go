@@ -1,0 +1,136 @@
+package intgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"fpga3d/internal/graph"
+)
+
+func TestImplicationClassesP4(t *testing.T) {
+	// On the path 0-1-2-3 every edge forces the next (the Figure 5
+	// situation): a single class.
+	cs := ImplicationClasses(path(4))
+	if len(cs) != 1 || len(cs[0]) != 3 {
+		t.Fatalf("P4 classes = %v", cs)
+	}
+}
+
+func TestImplicationClassesC4(t *testing.T) {
+	// C4 = K2,2 is uniquely partially orderable up to reversal: every
+	// edge forces every other through the missing diagonals — a single
+	// class of all four edges (and hence exactly two transitive
+	// orientations).
+	cs := ImplicationClasses(cycle(4))
+	if len(cs) != 1 || len(cs[0]) != 4 {
+		t.Fatalf("C4 classes = %v", cs)
+	}
+}
+
+func TestImplicationClassesTriangle(t *testing.T) {
+	// In a triangle no path implication fires (every third pair is an
+	// edge): three singleton classes.
+	cs := ImplicationClasses(cycle(3))
+	if len(cs) != 3 {
+		t.Fatalf("K3 classes = %v", cs)
+	}
+}
+
+func TestImplicationClassesC5(t *testing.T) {
+	// The odd hole C5 collapses into one class — the algebraic reason it
+	// has no transitive orientation (the class forces a circular chain).
+	cs := ImplicationClasses(cycle(5))
+	if len(cs) != 1 || len(cs[0]) != 5 {
+		t.Fatalf("C5 classes = %v", cs)
+	}
+}
+
+func TestImplicationClassesStar(t *testing.T) {
+	// A star K1,4: all edges share the center with pairwise non-adjacent
+	// leaves — one class.
+	g := graph.NewUndirected(5)
+	for leaf := 1; leaf < 5; leaf++ {
+		g.AddEdge(0, leaf)
+	}
+	cs := ImplicationClasses(g)
+	if len(cs) != 1 || len(cs[0]) != 4 {
+		t.Fatalf("star classes = %v", cs)
+	}
+}
+
+func TestImplicationClassesPartition(t *testing.T) {
+	// The classes form a partition of the edge set, on random graphs.
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randGraph(rng, 3+rng.Intn(6), 0.5)
+		cs := ImplicationClasses(g)
+		seen := map[Edge]bool{}
+		total := 0
+		for _, c := range cs {
+			for _, e := range c {
+				if seen[e] {
+					t.Fatalf("seed %d: edge %v in two classes", seed, e)
+				}
+				seen[e] = true
+				if !g.HasEdge(e.U, e.V) {
+					t.Fatalf("seed %d: non-edge %v in a class", seed, e)
+				}
+				total++
+			}
+		}
+		if total != g.M() {
+			t.Fatalf("seed %d: %d edges classified of %d", seed, total, g.M())
+		}
+	}
+}
+
+// TestImplicationClassesRespectOrientation: in a comparability graph,
+// orienting one edge of a class and closing under D1/D2 must orient at
+// least the whole class (Gallai). Checked via ExtendTransitive with a
+// single seed.
+func TestImplicationClassesRespectOrientation(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, _ := randomPosetGraph(rng, 3+rng.Intn(5), 0.4)
+		if g.M() == 0 {
+			continue
+		}
+		cs := ImplicationClasses(g)
+		// Seed the first edge of the largest class.
+		best := 0
+		for i := range cs {
+			if len(cs[i]) > len(cs[best]) {
+				best = i
+			}
+		}
+		e := cs[best][0]
+		seeds := graph.NewDigraph(g.N())
+		seeds.AddArc(e.U, e.V)
+		o, err := ExtendTransitive(g, seeds)
+		if err != nil {
+			// The seed direction may be unextendable; the reverse must
+			// work since g is a comparability graph.
+			seeds2 := graph.NewDigraph(g.N())
+			seeds2.AddArc(e.V, e.U)
+			if o2, err2 := ExtendTransitive(g, seeds2); err2 != nil || o2 == nil {
+				t.Fatalf("seed %d: neither direction extendable on a comparability graph", seed)
+			}
+			continue
+		}
+		// Every edge of the class must be oriented (trivially true — the
+		// orientation is total) and the class structure is consistent:
+		// re-running with the forced direction of another class edge
+		// must stay extendable.
+		e2 := cs[best][len(cs[best])-1]
+		dir := graph.NewDigraph(g.N())
+		dir.AddArc(e.U, e.V)
+		if o.HasArc(e2.U, e2.V) {
+			dir.AddArc(e2.U, e2.V)
+		} else {
+			dir.AddArc(e2.V, e2.U)
+		}
+		if _, err := ExtendTransitive(g, dir); err != nil {
+			t.Fatalf("seed %d: class-consistent seeds rejected", seed)
+		}
+	}
+}

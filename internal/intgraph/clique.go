@@ -1,0 +1,105 @@
+package intgraph
+
+import (
+	"sort"
+
+	"fpga3d/internal/graph"
+)
+
+// MaxWeightClique returns a maximum-weight clique of g under the given
+// non-negative vertex weights, together with its total weight.
+// Exact branch-and-bound; intended for the small graphs (n ≲ 40) that
+// arise from module sets.
+func MaxWeightClique(g *graph.Undirected, w []int) (graph.Set, int) {
+	s := newCliqueSearch(g, w)
+	s.target = -1 // find the true maximum
+	cand := graph.NewSet(g.N())
+	for v := 0; v < g.N(); v++ {
+		cand.Add(v)
+	}
+	s.expand(graph.NewSet(g.N()), cand, 0)
+	return s.best, s.bestW
+}
+
+// MaxWeightStableSet returns a maximum-weight stable (independent) set of
+// g, computed as a maximum-weight clique of the complement.
+func MaxWeightStableSet(g *graph.Undirected, w []int) (graph.Set, int) {
+	return MaxWeightClique(g.Complement(), w)
+}
+
+// CliqueHeavierThan reports whether g contains a clique that includes all
+// vertices of must (which callers guarantee to be a clique) and whose
+// total weight exceeds cap. The search stops as soon as one is found.
+func CliqueHeavierThan(g *graph.Undirected, w []int, cap int, must graph.Set) bool {
+	base := 0
+	cand := graph.NewSet(g.N())
+	for v := 0; v < g.N(); v++ {
+		cand.Add(v)
+	}
+	must.ForEach(func(v int) {
+		base += w[v]
+		cand.IntersectWith(g.Neighbors(v))
+	})
+	if base > cap {
+		return true
+	}
+	s := newCliqueSearch(g, w)
+	s.target = cap // succeed on weight > cap
+	s.bestW = cap  // prune anything not exceeding cap
+	s.expand(must.Clone(), cand, base)
+	return s.found
+}
+
+type cliqueSearch struct {
+	g      *graph.Undirected
+	w      []int
+	order  []int // vertices sorted by weight descending
+	best   graph.Set
+	bestW  int
+	target int // if ≥ 0, stop once a clique with weight > target is found
+	found  bool
+}
+
+func newCliqueSearch(g *graph.Undirected, w []int) *cliqueSearch {
+	order := make([]int, g.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return w[order[a]] > w[order[b]] })
+	return &cliqueSearch{g: g, w: w, order: order, best: graph.NewSet(g.N()), bestW: 0}
+}
+
+func (s *cliqueSearch) expand(cur, cand graph.Set, curW int) {
+	if s.found {
+		return
+	}
+	if curW > s.bestW {
+		s.bestW = curW
+		s.best = cur.Clone()
+		if s.target >= 0 && curW > s.target {
+			s.found = true
+			return
+		}
+	}
+	// Bound: current weight plus all remaining candidates.
+	rem := 0
+	cand.ForEach(func(v int) { rem += s.w[v] })
+	if curW+rem <= s.bestW {
+		return
+	}
+	for _, v := range s.order {
+		if s.found {
+			return
+		}
+		if !cand.Has(v) {
+			continue
+		}
+		cand.Remove(v)
+		// Re-check bound after removal: v might have carried the slack.
+		newCand := cand.Clone()
+		newCand.IntersectWith(s.g.Neighbors(v))
+		cur.Add(v)
+		s.expand(cur, newCand, curW+s.w[v])
+		cur.Remove(v)
+	}
+}

@@ -1,0 +1,166 @@
+package intgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpga3d/internal/graph"
+)
+
+// bruteMaxWeightClique enumerates all subsets.
+func bruteMaxWeightClique(g *graph.Undirected, w []int) int {
+	n := g.N()
+	best := 0
+	for mask := 0; mask < 1<<n; mask++ {
+		sum := 0
+		ok := true
+		for u := 0; u < n && ok; u++ {
+			if mask&(1<<u) == 0 {
+				continue
+			}
+			sum += w[u]
+			for v := u + 1; v < n; v++ {
+				if mask&(1<<v) != 0 && !g.HasEdge(u, v) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok && sum > best {
+			best = sum
+		}
+	}
+	return best
+}
+
+func randGraph(rng *rand.Rand, n int, p float64) *graph.Undirected {
+	g := graph.NewUndirected(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+func TestMaxWeightCliqueQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		g := randGraph(rng, n, 0.5)
+		w := make([]int, n)
+		for i := range w {
+			w[i] = 1 + rng.Intn(10)
+		}
+		set, got := MaxWeightClique(g, w)
+		if got != bruteMaxWeightClique(g, w) {
+			return false
+		}
+		// The returned set must itself be a clique of the right weight.
+		if !g.IsClique(set) {
+			return false
+		}
+		sum := 0
+		set.ForEach(func(v int) { sum += w[v] })
+		return sum == got
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxWeightStableSetQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(9)
+		g := randGraph(rng, n, 0.5)
+		w := make([]int, n)
+		for i := range w {
+			w[i] = 1 + rng.Intn(10)
+		}
+		set, got := MaxWeightStableSet(g, w)
+		if !g.IsStableSet(set) {
+			return false
+		}
+		return got == bruteMaxWeightClique(g.Complement(), w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCliqueHeavierThan(t *testing.T) {
+	// Triangle 0-1-2 with weights 5, 6, 7 plus isolated heavy vertex 3.
+	g := graph.NewUndirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	w := []int{5, 6, 7, 100}
+
+	must := graph.NewSet(4)
+	must.Add(0)
+	must.Add(1)
+	if !CliqueHeavierThan(g, w, 17, must) { // 5+6+7 = 18 > 17
+		t.Fatal("triangle of weight 18 not found above 17")
+	}
+	if CliqueHeavierThan(g, w, 18, must) { // nothing beats 18 through {0,1}
+		t.Fatal("claimed clique heavier than 18 through {0,1}")
+	}
+	// Vertex 3 is isolated: through it only itself.
+	must3 := graph.NewSet(4)
+	must3.Add(3)
+	if !CliqueHeavierThan(g, w, 99, must3) {
+		t.Fatal("singleton clique of weight 100 not found above 99")
+	}
+	if CliqueHeavierThan(g, w, 100, must3) {
+		t.Fatal("nothing heavier than 100 exists through vertex 3")
+	}
+}
+
+func TestCliqueHeavierThanQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		g := randGraph(rng, n, 0.6)
+		w := make([]int, n)
+		for i := range w {
+			w[i] = 1 + rng.Intn(8)
+		}
+		// Pick a random edge as the mandatory part (or a single vertex).
+		must := graph.NewSet(n)
+		u := rng.Intn(n)
+		must.Add(u)
+		cap := rng.Intn(30)
+
+		// Reference: max clique weight through u.
+		best := 0
+		for mask := 0; mask < 1<<n; mask++ {
+			if mask&(1<<u) == 0 {
+				continue
+			}
+			sum, ok := 0, true
+			for a := 0; a < n && ok; a++ {
+				if mask&(1<<a) == 0 {
+					continue
+				}
+				sum += w[a]
+				for b := a + 1; b < n; b++ {
+					if mask&(1<<b) != 0 && !g.HasEdge(a, b) {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok && sum > best {
+				best = sum
+			}
+		}
+		return CliqueHeavierThan(g, w, cap, must) == (best > cap)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package intgraph
+
+import (
+	"fmt"
+
+	"fpga3d/internal/graph"
+)
+
+// IsInterval reports whether g is an interval graph, using the
+// Gilmore–Hoffman characterization: g is an interval graph iff g is
+// chordal and its complement is a comparability graph.
+func IsInterval(g *graph.Undirected) bool {
+	return IsChordal(g) && IsComparability(g.Complement())
+}
+
+// Realize computes start coordinates for intervals of the given lengths
+// such that intervals u and v overlap whenever {u,v} is an edge of g...
+// more precisely: whenever {u,v} is NOT an edge, the intervals are
+// disjoint and ordered according to a transitive orientation of the
+// complement that extends seeds (seeds may be nil). Coordinates are the
+// longest-path positions over that orientation, so the maximum endpoint
+// equals the maximum weight of a stable set of g.
+//
+// This is exactly the packing-class-to-packing construction of Theorem 1:
+// pairs joined by a component edge are free to overlap; pairs joined by a
+// comparability edge are laid out disjointly along the axis.
+func Realize(g *graph.Undirected, lengths []int, seeds *graph.Digraph) ([]int, error) {
+	if len(lengths) != g.N() {
+		return nil, fmt.Errorf("intgraph: %d lengths for %d vertices", len(lengths), g.N())
+	}
+	comp := g.Complement()
+	orient, err := ExtendTransitive(comp, seeds)
+	if err != nil {
+		return nil, err
+	}
+	pos, ok := orient.LongestPathFrom(lengths)
+	if !ok {
+		return nil, fmt.Errorf("intgraph: orientation is cyclic")
+	}
+	return pos, nil
+}

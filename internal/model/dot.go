@@ -1,0 +1,35 @@
+package model
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the instance's dependency graph in Graphviz DOT
+// format, in the style of the paper's Figure 2: one node per module,
+// labeled with its name and geometry, one edge per precedence arc.
+func WriteDOT(w io.Writer, in *Instance) error {
+	var err error
+	pr := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pr("digraph %q {\n", nonEmpty(in.Name, "instance"))
+	pr("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n")
+	for i, t := range in.Tasks {
+		pr("  t%d [label=\"%s\\n%dx%dx%d\"];\n", i, nonEmpty(t.Name, fmt.Sprintf("task%d", i)), t.W, t.H, t.Dur)
+	}
+	for _, a := range in.Prec {
+		pr("  t%d -> t%d;\n", a.From, a.To)
+	}
+	pr("}\n")
+	return err
+}
+
+func nonEmpty(s, fallback string) string {
+	if s == "" {
+		return fallback
+	}
+	return s
+}

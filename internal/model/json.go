@@ -1,0 +1,39 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadInstance decodes an Instance from JSON and validates it.
+func ReadInstance(r io.Reader) (*Instance, error) {
+	var in Instance
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("model: decoding instance: %w", err)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return &in, nil
+}
+
+// LoadInstance reads an instance from a JSON file.
+func LoadInstance(path string) (*Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadInstance(f)
+}
+
+// WriteInstance encodes the instance as indented JSON.
+func WriteInstance(w io.Writer, in *Instance) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(in)
+}

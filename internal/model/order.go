@@ -1,0 +1,89 @@
+package model
+
+import (
+	"fmt"
+
+	"fpga3d/internal/graph"
+)
+
+// Order is a precedence partial order prepared for the solver: the
+// transitive closure of the input arcs together with cached longest-path
+// data (earliest start times and tails) under the task durations.
+//
+// The paper's first preprocessing step — "we compute the transitive
+// closure of all data dependencies to allow our algorithm to find
+// contradictions to feasible packings already in the input" — happens in
+// NewOrder.
+type Order struct {
+	n       int
+	closure *graph.Digraph
+	dur     []int
+	est     []int // earliest start = longest duration path strictly before v
+	tail    []int // longest duration path strictly after v
+	crit    int   // critical path length
+}
+
+// NewOrder builds an Order from precedence arcs and task durations.
+// The arcs must form a DAG.
+func NewOrder(prec *graph.Digraph, dur []int) (*Order, error) {
+	if prec.N() != len(dur) {
+		return nil, fmt.Errorf("model: %d durations for %d tasks", len(dur), prec.N())
+	}
+	if !prec.IsAcyclic() {
+		return nil, fmt.Errorf("model: precedence constraints contain a cycle")
+	}
+	cl := prec.TransitiveClosure()
+	est, _ := cl.LongestPathFrom(dur)
+	tail, _ := cl.LongestPathTo(dur)
+	crit := 0
+	for v := 0; v < cl.N(); v++ {
+		if c := est[v] + dur[v] + tail[v]; c > crit {
+			crit = c
+		}
+	}
+	return &Order{n: prec.N(), closure: cl, dur: append([]int(nil), dur...), est: est, tail: tail, crit: crit}, nil
+}
+
+// EmptyOrder returns the trivial order with no constraints over n tasks
+// with the given durations.
+func EmptyOrder(dur []int) *Order {
+	o, err := NewOrder(graph.NewDigraph(len(dur)), dur)
+	if err != nil {
+		panic(err) // empty digraph is always acyclic
+	}
+	return o
+}
+
+// N returns the number of tasks.
+func (o *Order) N() int { return o.n }
+
+// Precedes reports whether u must finish before v starts (in the
+// transitive closure).
+func (o *Order) Precedes(u, v int) bool { return o.closure.HasArc(u, v) }
+
+// Comparable reports whether u and v are related in either direction.
+func (o *Order) Comparable(u, v int) bool {
+	return o.closure.HasArc(u, v) || o.closure.HasArc(v, u)
+}
+
+// Closure returns the transitive closure digraph (shared; do not modify).
+func (o *Order) Closure() *graph.Digraph { return o.closure }
+
+// Empty reports whether the order has no constraints.
+func (o *Order) Empty() bool { return o.closure.Arcs() == 0 }
+
+// EST returns the earliest start time of v implied by the chains ending
+// at v (the head of v).
+func (o *Order) EST(v int) int { return o.est[v] }
+
+// Tail returns the total duration of the longest chain starting strictly
+// after v.
+func (o *Order) Tail(v int) int { return o.tail[v] }
+
+// LFT returns the latest finish time of v for a horizon T: T minus the
+// tail of v.
+func (o *Order) LFT(v int, T int) int { return T - o.tail[v] }
+
+// CriticalPath returns the maximum total duration over all chains — a
+// lower bound on any feasible makespan.
+func (o *Order) CriticalPath() int { return o.crit }

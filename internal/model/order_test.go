@@ -1,0 +1,102 @@
+package model
+
+import (
+	"testing"
+
+	"fpga3d/internal/graph"
+)
+
+func TestOrderChain(t *testing.T) {
+	// 0(3) → 1(2) → 2(5)
+	d := graph.NewDigraph(3)
+	d.AddArc(0, 1)
+	d.AddArc(1, 2)
+	o, err := NewOrder(d, []int{3, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.CriticalPath() != 10 {
+		t.Fatalf("critical path = %d, want 10", o.CriticalPath())
+	}
+	if o.EST(0) != 0 || o.EST(1) != 3 || o.EST(2) != 5 {
+		t.Fatalf("EST = %d %d %d", o.EST(0), o.EST(1), o.EST(2))
+	}
+	if o.Tail(0) != 7 || o.Tail(1) != 5 || o.Tail(2) != 0 {
+		t.Fatalf("tails = %d %d %d", o.Tail(0), o.Tail(1), o.Tail(2))
+	}
+	if o.LFT(0, 12) != 5 || o.LFT(2, 12) != 12 {
+		t.Fatalf("LFT = %d %d", o.LFT(0, 12), o.LFT(2, 12))
+	}
+	// Transitive closure: 0 precedes 2.
+	if !o.Precedes(0, 2) || o.Precedes(2, 0) {
+		t.Fatal("closure wrong")
+	}
+	if !o.Comparable(0, 2) || !o.Comparable(2, 0) {
+		t.Fatal("Comparable should be symmetric")
+	}
+	if o.Empty() {
+		t.Fatal("non-empty order reported empty")
+	}
+	if o.N() != 3 {
+		t.Fatalf("N = %d", o.N())
+	}
+}
+
+func TestOrderRejectsCycle(t *testing.T) {
+	d := graph.NewDigraph(2)
+	d.AddArc(0, 1)
+	d.AddArc(1, 0)
+	if _, err := NewOrder(d, []int{1, 1}); err == nil {
+		t.Fatal("cyclic order accepted")
+	}
+}
+
+func TestOrderDurationMismatch(t *testing.T) {
+	if _, err := NewOrder(graph.NewDigraph(3), []int{1, 2}); err == nil {
+		t.Fatal("duration mismatch accepted")
+	}
+}
+
+func TestEmptyOrder(t *testing.T) {
+	o := EmptyOrder([]int{4, 7, 2})
+	if !o.Empty() {
+		t.Fatal("empty order reported non-empty")
+	}
+	// With no constraints the critical path is the longest single task.
+	if o.CriticalPath() != 7 {
+		t.Fatalf("critical path = %d, want 7", o.CriticalPath())
+	}
+	for v := 0; v < 3; v++ {
+		if o.EST(v) != 0 || o.Tail(v) != 0 {
+			t.Fatalf("task %d has nonzero window", v)
+		}
+	}
+	if o.Comparable(0, 1) {
+		t.Fatal("empty order relates tasks")
+	}
+}
+
+func TestInstanceOrderDiamond(t *testing.T) {
+	in := &Instance{
+		Tasks: []Task{
+			{W: 1, H: 1, Dur: 2}, // 0
+			{W: 1, H: 1, Dur: 3}, // 1
+			{W: 1, H: 1, Dur: 4}, // 2
+			{W: 1, H: 1, Dur: 1}, // 3
+		},
+		Prec: []Arc{{0, 1}, {0, 2}, {1, 3}, {2, 3}},
+	}
+	o, err := in.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.CriticalPath() != 2+4+1 {
+		t.Fatalf("critical path = %d", o.CriticalPath())
+	}
+	if o.EST(3) != 6 {
+		t.Fatalf("EST(3) = %d", o.EST(3))
+	}
+	if !o.Precedes(0, 3) {
+		t.Fatal("closure missing 0→3")
+	}
+}

@@ -1,0 +1,79 @@
+package model
+
+// ComponentGraphs extracts the packing class of a placement: for each
+// dimension d ∈ {x, y, t}, the component graph G_d has an edge {u, v}
+// iff the projections of tasks u and v onto axis d overlap. This is the
+// characterization at the heart of the paper (Section 3.2): the triple
+// satisfies C1 (interval graphs), C2 (stable sets fit the capacity) and
+// C3 (no pair overlaps everywhere) for every feasible placement.
+//
+// The result is returned as three adjacency matrices indexed by task.
+func (p *Placement) ComponentGraphs(in *Instance) [3][][]bool {
+	n := in.N()
+	var out [3][][]bool
+	for d := range out {
+		out[d] = make([][]bool, n)
+		for i := range out[d] {
+			out[d][i] = make([]bool, n)
+		}
+	}
+	coord := func(d, i int) (pos, size int) {
+		switch d {
+		case 0:
+			return p.X[i], in.Tasks[i].W
+		case 1:
+			return p.Y[i], in.Tasks[i].H
+		default:
+			return p.S[i], in.Tasks[i].Dur
+		}
+	}
+	for d := 0; d < 3; d++ {
+		for u := 0; u < n; u++ {
+			pu, su := coord(d, u)
+			for v := u + 1; v < n; v++ {
+				pv, sv := coord(d, v)
+				if pu < pv+sv && pv < pu+su {
+					out[d][u][v] = true
+					out[d][v][u] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// IntervalOrder extracts, for one dimension (0 = x, 1 = y, 2 = t), the
+// interval order realized by the placement: before[u][v] is true iff
+// task u's interval ends no later than task v's begins. On the time
+// axis this is the "executes strictly before" relation; it always
+// extends the instance's precedence order for a feasible placement.
+func (p *Placement) IntervalOrder(in *Instance, dim int) [][]bool {
+	n := in.N()
+	out := make([][]bool, n)
+	for i := range out {
+		out[i] = make([]bool, n)
+	}
+	coord := func(i int) (pos, size int) {
+		switch dim {
+		case 0:
+			return p.X[i], in.Tasks[i].W
+		case 1:
+			return p.Y[i], in.Tasks[i].H
+		default:
+			return p.S[i], in.Tasks[i].Dur
+		}
+	}
+	for u := 0; u < n; u++ {
+		pu, su := coord(u)
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			pv, _ := coord(v)
+			if pu+su <= pv {
+				out[u][v] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package model
+
+import "testing"
+
+func TestComponentGraphs(t *testing.T) {
+	in, p, _ := placedDemo()
+	// a at (0,0,0) 2×2×2; b at (2,0,0) 2×2×2; c at (0,0,2) 1×1×1.
+	g := p.ComponentGraphs(in)
+
+	// x: a=[0,2), b=[2,4), c=[0,1): a–c overlap, a–b disjoint, b–c disjoint.
+	if g[0][0][1] || !g[0][0][2] || g[0][1][2] {
+		t.Fatalf("G_x wrong: %v", g[0])
+	}
+	// y: a=[0,2), b=[0,2), c=[0,1): all overlap.
+	if !g[1][0][1] || !g[1][0][2] || !g[1][1][2] {
+		t.Fatalf("G_y wrong: %v", g[1])
+	}
+	// t: a=[0,2), b=[0,2), c=[2,3): a–b overlap, c after both.
+	if !g[2][0][1] || g[2][0][2] || g[2][1][2] {
+		t.Fatalf("G_t wrong: %v", g[2])
+	}
+	// Symmetry and empty diagonal.
+	for d := 0; d < 3; d++ {
+		for u := 0; u < 3; u++ {
+			if g[d][u][u] {
+				t.Fatal("self loop")
+			}
+			for v := 0; v < 3; v++ {
+				if g[d][u][v] != g[d][v][u] {
+					t.Fatal("asymmetric")
+				}
+			}
+		}
+	}
+	// C3: no pair overlaps in all three dimensions (the placement is
+	// feasible).
+	for u := 0; u < 3; u++ {
+		for v := u + 1; v < 3; v++ {
+			if g[0][u][v] && g[1][u][v] && g[2][u][v] {
+				t.Fatalf("pair {%d,%d} overlaps everywhere", u, v)
+			}
+		}
+	}
+}
+
+func TestIntervalOrder(t *testing.T) {
+	in, p, _ := placedDemo()
+	before := p.IntervalOrder(in, 2)
+	// c (task 2) starts at 2; a and b end at 2: both before c.
+	if !before[0][2] || !before[1][2] {
+		t.Fatalf("a,b should precede c: %v", before)
+	}
+	if before[2][0] || before[0][1] || before[1][0] {
+		t.Fatalf("spurious order: %v", before)
+	}
+	// The time interval order must extend the precedence order.
+	o, err := in.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < in.N(); u++ {
+		for v := 0; v < in.N(); v++ {
+			if u != v && o.Precedes(u, v) && !before[u][v] {
+				t.Fatalf("precedence %d≺%d not realized", u, v)
+			}
+		}
+	}
+	// x-axis order: a=[0,2) ends where b=[2,4) starts.
+	bx := p.IntervalOrder(in, 0)
+	if !bx[0][1] || bx[1][0] {
+		t.Fatalf("x order wrong: %v", bx)
+	}
+	// y-axis: everything overlaps, no order at all.
+	by := p.IntervalOrder(in, 1)
+	for u := 0; u < 3; u++ {
+		for v := 0; v < 3; v++ {
+			if by[u][v] {
+				t.Fatalf("y order nonempty: %v", by)
+			}
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package model
+
+import "fmt"
+
+// Reconfiguration overhead, Section 2.1 of the paper: "The time needed
+// for carrying out reconfigurations may be modeled by a constant
+// (possibly a different number for each task) … this may be considered
+// part of the execution time of a task." The helpers below fold such
+// constants into the task durations, producing a new instance that the
+// exact solver handles unchanged.
+
+// WithReconfigOverhead returns a copy of the instance in which task i's
+// duration is extended by overhead[i] cycles (the time to stream task
+// i's configuration onto the chip before it can compute).
+func (in *Instance) WithReconfigOverhead(overhead []int) (*Instance, error) {
+	if len(overhead) != len(in.Tasks) {
+		return nil, fmt.Errorf("model: %d overheads for %d tasks", len(overhead), len(in.Tasks))
+	}
+	c := in.Clone()
+	for i := range c.Tasks {
+		if overhead[i] < 0 {
+			return nil, fmt.Errorf("model: negative reconfiguration overhead for task %d", i)
+		}
+		c.Tasks[i].Dur += overhead[i]
+	}
+	if c.Name != "" {
+		c.Name += " (+reconfig)"
+	}
+	return c, nil
+}
+
+// WithUniformReconfigOverhead extends every task duration by the same
+// per-reconfiguration constant.
+func (in *Instance) WithUniformReconfigOverhead(delta int) (*Instance, error) {
+	ov := make([]int, len(in.Tasks))
+	for i := range ov {
+		ov[i] = delta
+	}
+	return in.WithReconfigOverhead(ov)
+}

@@ -1,0 +1,120 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWithReconfigOverhead(t *testing.T) {
+	in := demoInstance() // durations 4, 2, 1
+	out, err := in.WithReconfigOverhead([]int{1, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tasks[0].Dur != 5 || out.Tasks[1].Dur != 2 || out.Tasks[2].Dur != 4 {
+		t.Fatalf("durations = %v", out.Durations())
+	}
+	if in.Tasks[0].Dur != 4 {
+		t.Fatal("original mutated")
+	}
+	if !strings.Contains(out.Name, "+reconfig") {
+		t.Fatalf("name = %q", out.Name)
+	}
+	// Precedence structure carries over.
+	if len(out.Prec) != len(in.Prec) {
+		t.Fatal("arcs lost")
+	}
+}
+
+func TestWithReconfigOverheadErrors(t *testing.T) {
+	in := demoInstance()
+	if _, err := in.WithReconfigOverhead([]int{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := in.WithReconfigOverhead([]int{1, -1, 0}); err == nil {
+		t.Fatal("negative overhead accepted")
+	}
+}
+
+func TestWithUniformReconfigOverhead(t *testing.T) {
+	in := demoInstance()
+	out, err := in.WithUniformReconfigOverhead(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in.Tasks {
+		if out.Tasks[i].Dur != in.Tasks[i].Dur+2 {
+			t.Fatalf("task %d duration %d", i, out.Tasks[i].Dur)
+		}
+	}
+	// Overhead stretches the critical path accordingly: the demo chain
+	// 0→1→2 has durations 4+2+1 = 7, plus 3 tasks × 2 cycles.
+	o, err := out.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.CriticalPath() != 7+6 {
+		t.Fatalf("critical path = %d, want 13", o.CriticalPath())
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	in, p, c := placedDemo()
+	var b strings.Builder
+	if err := p.WriteSVG(&b, in, c); err != nil {
+		t.Fatal(err)
+	}
+	svg := b.String()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	for _, want := range []string{"cycle 0", "cycle 2", "makespan 3", ">a<", ">b<", ">c<"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// Three frame outlines (event times 0, 1?, 2 — starts {0,0,2},
+	// finishes {2,2,3}: events 0, 2, 3 → frames at 0 and 2) plus task
+	// rectangles plus Gantt bars.
+	if got := strings.Count(svg, "<rect"); got < 7 {
+		t.Fatalf("only %d rects", got)
+	}
+}
+
+func TestSVGEscapesNames(t *testing.T) {
+	in := &Instance{Tasks: []Task{{Name: "a<&>b", W: 1, H: 1, Dur: 1}}}
+	p := NewPlacement(1)
+	var b strings.Builder
+	if err := p.WriteSVG(&b, in, Container{W: 2, H: 2, T: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "a<&>b") {
+		t.Fatal("unescaped task name in SVG")
+	}
+	if !strings.Contains(b.String(), "a&lt;&amp;&gt;b") {
+		t.Fatal("escaped name missing")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	in := demoInstance()
+	var b strings.Builder
+	if err := WriteDOT(&b, in); err != nil {
+		t.Fatal(err)
+	}
+	dot := b.String()
+	for _, want := range []string{"digraph", "t0 -> t1", "t1 -> t2", "2x3x4", "a\\n"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Anonymous instance and tasks get fallback names.
+	anon := &Instance{Tasks: []Task{{W: 1, H: 1, Dur: 1}}}
+	b.Reset()
+	if err := WriteDOT(&b, anon); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "task0") || !strings.Contains(b.String(), `"instance"`) {
+		t.Fatalf("fallback names missing:\n%s", b.String())
+	}
+}

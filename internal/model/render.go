@@ -1,0 +1,65 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Gantt renders the schedule of a placement as an ASCII chart: one row
+// per task, one column per clock cycle.
+func (p *Placement) Gantt(in *Instance) string {
+	makespan := p.Makespan(in)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s ", "cycle")
+	for t := 0; t < makespan; t++ {
+		b.WriteByte("0123456789"[t%10])
+	}
+	b.WriteByte('\n')
+	for i, task := range in.Tasks {
+		name := task.Name
+		if name == "" {
+			name = fmt.Sprintf("task%d", i)
+		}
+		fmt.Fprintf(&b, "%-10s ", name)
+		for t := 0; t < makespan; t++ {
+			switch {
+			case t >= p.S[i] && t < p.S[i]+task.Dur:
+				b.WriteByte('#')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FrameAt renders the chip occupancy at clock cycle t as an ASCII grid:
+// each cell shows the letter of the task running on it ('.' when idle).
+// Tasks are lettered a, b, c, … by index (wrapping after 52).
+func (p *Placement) FrameAt(in *Instance, c Container, t int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	grid := make([][]byte, c.H)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(".", c.W))
+	}
+	for i, task := range in.Tasks {
+		if t < p.S[i] || t >= p.S[i]+task.Dur {
+			continue
+		}
+		ch := letters[i%len(letters)]
+		for y := p.Y[i]; y < p.Y[i]+task.H; y++ {
+			for x := p.X[i]; x < p.X[i]+task.W; x++ {
+				grid[y][x] = ch
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle %d:\n", t)
+	// Render with y increasing upward, like the paper's figures.
+	for y := c.H - 1; y >= 0; y-- {
+		b.Write(grid[y])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

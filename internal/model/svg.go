@@ -1,0 +1,114 @@
+package model
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteSVG renders a placement as an SVG document: one chip frame per
+// event time (every instant where some task starts or finishes), with
+// tasks drawn as colored, labeled rectangles, plus a Gantt strip along
+// the bottom. The output is self-contained and viewable in any browser.
+func (p *Placement) WriteSVG(w io.Writer, in *Instance, c Container) error {
+	events := map[int]bool{0: true}
+	for i, t := range in.Tasks {
+		events[p.S[i]] = true
+		events[p.S[i]+t.Dur] = true
+	}
+	times := make([]int, 0, len(events))
+	for t := range events {
+		times = append(times, t)
+	}
+	sort.Ints(times)
+	if len(times) > 1 {
+		times = times[:len(times)-1] // the final instant shows an empty chip
+	}
+
+	const (
+		cell    = 6  // pixels per FPGA cell
+		pad     = 24 // padding around each frame
+		ganttH  = 14
+		ganttPx = 10 // pixels per cycle in the Gantt strip
+	)
+	frameW := c.W*cell + pad
+	frameH := c.H*cell + pad + 16
+	makespan := p.Makespan(in)
+	totalW := frameW * len(times)
+	ganttTop := frameH + 8
+	totalH := ganttTop + (len(in.Tasks)+1)*ganttH + 24
+
+	var err error
+	pr := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	pr(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="10">`+"\n",
+		totalW, totalH)
+	pr(`<rect width="100%%" height="100%%" fill="white"/>` + "\n")
+
+	for fi, t0 := range times {
+		ox := fi * frameW
+		pr(`<text x="%d" y="12">cycle %d</text>`+"\n", ox+4, t0)
+		pr(`<rect x="%d" y="16" width="%d" height="%d" fill="#f8f8f8" stroke="#444"/>`+"\n",
+			ox+4, c.W*cell, c.H*cell)
+		for i, task := range in.Tasks {
+			if t0 < p.S[i] || t0 >= p.S[i]+task.Dur {
+				continue
+			}
+			// y grows upward in the paper's figures; SVG y grows down.
+			x := ox + 4 + p.X[i]*cell
+			y := 16 + (c.H-p.Y[i]-task.H)*cell
+			pr(`<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#222" fill-opacity="0.85"/>`+"\n",
+				x, y, task.W*cell, task.H*cell, taskColor(i))
+			pr(`<text x="%d" y="%d">%s</text>`+"\n", x+2, y+11, svgEscape(taskName(in, i)))
+		}
+	}
+
+	// Gantt strip.
+	pr(`<text x="4" y="%d">schedule (1 column = 1 cycle, makespan %d)</text>`+"\n", ganttTop+10, makespan)
+	for i, task := range in.Tasks {
+		y := ganttTop + (i+1)*ganttH
+		pr(`<text x="4" y="%d">%s</text>`+"\n", y+10, svgEscape(taskName(in, i)))
+		pr(`<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#222"/>`+"\n",
+			90+p.S[i]*ganttPx, y+2, task.Dur*ganttPx, ganttH-4, taskColor(i))
+	}
+	pr("</svg>\n")
+	return err
+}
+
+// taskColor cycles a fixed qualitative palette by task index.
+func taskColor(i int) string {
+	palette := []string{
+		"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+		"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+		"#86bcb6", "#d37295",
+	}
+	return palette[i%len(palette)]
+}
+
+func taskName(in *Instance, i int) string {
+	if in.Tasks[i].Name != "" {
+		return in.Tasks[i].Name
+	}
+	return fmt.Sprintf("task%d", i)
+}
+
+func svgEscape(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '<':
+			out = append(out, []rune("&lt;")...)
+		case '>':
+			out = append(out, []rune("&gt;")...)
+		case '&':
+			out = append(out, []rune("&amp;")...)
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

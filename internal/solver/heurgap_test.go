@@ -1,0 +1,68 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"fpga3d/internal/bench"
+	"fpga3d/internal/heur"
+)
+
+// TestHeuristicGap evaluates stage 2 of the framework: how close the
+// greedy list-scheduling placer comes to the exact optimum on random
+// instances. The heuristic must never beat the proven optimum (that
+// would be a soundness bug on one of the two sides), and its mean gap
+// is reported for EXPERIMENTS.md.
+func TestHeuristicGap(t *testing.T) {
+	opt := Options{TimeLimit: 30 * time.Second}
+	W, H := 4, 4
+	cases, optimal := 0, 0
+	var ratioSum float64
+	worst := 1.0
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in := bench.Random(rng, 3+rng.Intn(4), 3, 3, 0.3)
+		if in.MaxW() > W || in.MaxH() > H {
+			continue
+		}
+		order, err := in.Order()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, heurT, ok := heur.MinMakespan(in, W, H, order)
+		if !ok {
+			t.Fatalf("seed %d: heuristic failed", seed)
+		}
+		exact, err := MinTime(in, W, H, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.Decision != Feasible {
+			t.Fatalf("seed %d: exact solver undecided", seed)
+		}
+		if heurT < exact.Value {
+			t.Fatalf("seed %d: heuristic makespan %d beats the proven optimum %d",
+				seed, heurT, exact.Value)
+		}
+		cases++
+		if heurT == exact.Value {
+			optimal++
+		}
+		ratio := float64(heurT) / float64(exact.Value)
+		ratioSum += ratio
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	if cases < 100 {
+		t.Fatalf("only %d cases evaluated", cases)
+	}
+	t.Logf("heuristic gap over %d random instances: optimal in %d (%.0f%%), mean ratio %.3f, worst %.2f",
+		cases, optimal, 100*float64(optimal)/float64(cases), ratioSum/float64(cases), worst)
+	// The greedy placer should be optimal on a healthy majority of easy
+	// random instances; a collapse below 60% signals a regression.
+	if float64(optimal)/float64(cases) < 0.6 {
+		t.Errorf("heuristic optimality rate dropped to %d/%d", optimal, cases)
+	}
+}

@@ -1,0 +1,147 @@
+package solver
+
+import (
+	"time"
+
+	"fpga3d/internal/model"
+)
+
+// MinTimeWithRotation computes the smallest execution time on a W×H
+// chip when modules may rotate by 90°. Feasibility is monotone in T
+// for any fixed orientation assignment, hence also for the best one, so
+// binary search applies.
+func MinTimeWithRotation(in *model.Instance, W, H int, opt Options) (*OptResult, []bool, error) {
+	if err := in.Validate(); err != nil {
+		return nil, nil, err
+	}
+	order, err := in.Order()
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	res := &OptResult{}
+	// A module fits (in some orientation) iff its smaller side fits the
+	// smaller chip side and its larger side the larger one.
+	for _, t := range in.Tasks {
+		lo, hi := t.W, t.H
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cLo, cHi := W, H
+		if cLo > cHi {
+			cLo, cHi = cHi, cLo
+		}
+		if lo > cLo || hi > cHi {
+			res.Decision = Infeasible
+			res.Elapsed = time.Since(start)
+			return res, nil, nil
+		}
+	}
+	lb := order.CriticalPath()
+	res.LowerBound = lb
+	ub := in.TotalDuration() // serialization always fits once each task does
+
+	lo, hi := lb, ub
+	probe := func(T int) (Decision, *model.Placement, []bool, error) {
+		r, err := SolveOPPWithRotation(in, model.Container{W: W, H: H, T: T}, opt)
+		if err != nil {
+			return Unknown, nil, nil, err
+		}
+		res.Probes++
+		res.Stats.Add(r.Stats)
+		return r.Decision, r.Placement, r.Rotations, nil
+	}
+	// Establish the upper end.
+	d, p, rots, err := probe(ub)
+	if err != nil {
+		return nil, nil, err
+	}
+	if d != Feasible {
+		res.Decision = Unknown
+		res.Elapsed = time.Since(start)
+		return res, nil, nil
+	}
+	best, bestPlace, bestRot := ub, p, rots
+	for lo < hi {
+		mid := (lo + hi) / 2
+		d, p, rots, err := probe(mid)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch d {
+		case Feasible:
+			hi, best, bestPlace, bestRot = mid, mid, p, rots
+		case Infeasible:
+			lo = mid + 1
+		default:
+			res.Decision = Unknown
+			res.Elapsed = time.Since(start)
+			return res, nil, nil
+		}
+	}
+	res.Decision = Feasible
+	res.Value = best
+	res.Placement = bestPlace
+	res.Elapsed = time.Since(start)
+	return res, bestRot, nil
+}
+
+// MinTimeMultiChip computes the smallest execution time on k identical
+// W×H chips.
+func MinTimeMultiChip(in *model.Instance, chipW, chipH, k int, opt Options) (*MultiChipResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := in.Order()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &MultiChipResult{Chips: k}
+	if in.MaxW() > chipW || in.MaxH() > chipH || k < 1 {
+		res.Decision = Infeasible
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	lo, hi := order.CriticalPath(), in.TotalDuration()
+	// The serialized horizon is feasible on a single chip, a fortiori
+	// on k.
+	var best *MultiChipResult
+	r, err := solveMultiChip(in, chipW, chipH, hi, k, order, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Probes++
+	res.Stats.Add(r.Stats)
+	if r.Decision != Feasible {
+		res.Decision = Unknown
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	best = r
+	bestT := hi
+	for lo < hi {
+		mid := (lo + hi) / 2
+		r, err := solveMultiChip(in, chipW, chipH, mid, k, order, opt)
+		if err != nil {
+			return nil, err
+		}
+		res.Probes++
+		res.Stats.Add(r.Stats)
+		switch r.Decision {
+		case Feasible:
+			hi, best, bestT = mid, r, mid
+		case Infeasible:
+			lo = mid + 1
+		default:
+			res.Decision = Unknown
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+	}
+	best.Probes = res.Probes
+	best.Stats = res.Stats
+	best.Elapsed = time.Since(start)
+	best.MinTime = bestT
+	return best, nil
+}

@@ -1,0 +1,195 @@
+package solver
+
+import (
+	"fmt"
+	"time"
+
+	"fpga3d/internal/core"
+	"fpga3d/internal/model"
+)
+
+// Multi-FPGA partitioning is an extension built on the engine's
+// dimension-genericity: a system of k identical W×H chips is modeled as
+// a fourth packing dimension of capacity k in which every task has
+// extent 1 — two tasks overlap in the chip dimension iff they are
+// assigned to the same chip, and only then must they separate in space
+// or time. Precedence constraints stay on the time axis and hold across
+// chips (the task model's memory-based communication needs no
+// modification: results travel via the external memory interface).
+
+// MultiChipResult reports a multi-chip feasibility or minimization
+// outcome.
+type MultiChipResult struct {
+	Decision Decision
+	// Chips is the number of chips used (the minimized value for
+	// MinChips, the given k for SolveMultiChip).
+	Chips int
+	// Chip[i] is the chip index assigned to task i; Placement holds the
+	// per-chip spatial coordinates and start times.
+	Chip      []int
+	Placement *model.Placement
+	// MinTime is the minimized makespan (set by MinTimeMultiChip only).
+	MinTime int
+	Probes  int
+	Stats   core.Stats
+	Elapsed time.Duration
+}
+
+// SolveMultiChip decides whether the instance fits k identical W×H
+// chips within T cycles under its precedence constraints.
+func SolveMultiChip(in *model.Instance, chipW, chipH, T, k int, opt Options) (*MultiChipResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("solver: %d chips", k)
+	}
+	order, err := in.Order()
+	if err != nil {
+		return nil, err
+	}
+	return solveMultiChip(in, chipW, chipH, T, k, order, opt)
+}
+
+func solveMultiChip(in *model.Instance, chipW, chipH, T, k int, order *model.Order, opt Options) (*MultiChipResult, error) {
+	start := time.Now()
+	res := &MultiChipResult{Chips: k}
+	n := in.N()
+	if in.MaxW() > chipW || in.MaxH() > chipH {
+		res.Decision = Infeasible
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	if order.CriticalPath() > T {
+		res.Decision = Infeasible
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	ws := make([]int, n)
+	hs := make([]int, n)
+	ds := make([]int, n)
+	ones := make([]int, n)
+	for i, t := range in.Tasks {
+		ws[i], hs[i], ds[i] = t.W, t.H, t.Dur
+		ones[i] = 1
+	}
+	prob := &core.Problem{
+		N: n,
+		Dims: []core.Dim{
+			{Cap: chipW, Sizes: ws},
+			{Cap: chipH, Sizes: hs},
+			{Cap: T, Sizes: ds, Ordered: true},
+			{Cap: k, Sizes: ones},
+		},
+	}
+	const timeDim = 2
+	cl := order.Closure()
+	for u := 0; u < n; u++ {
+		uu := u
+		cl.Out(uu).ForEach(func(v int) {
+			prob.Seeds = append(prob.Seeds, core.SeedArc{Dim: timeDim, From: uu, To: v})
+		})
+	}
+	r := core.Solve(prob, opt.coreOptions())
+	res.Stats = r.Stats
+	res.Elapsed = time.Since(start)
+	switch r.Status {
+	case core.StatusFeasible:
+		res.Decision = Feasible
+		res.Placement = &model.Placement{
+			X: append([]int(nil), r.Solution.Coords[0]...),
+			Y: append([]int(nil), r.Solution.Coords[1]...),
+			S: append([]int(nil), r.Solution.Coords[2]...),
+		}
+		res.Chip = append([]int(nil), r.Solution.Coords[3]...)
+		if err := verifyMultiChip(in, chipW, chipH, T, k, res, order); err != nil {
+			return nil, fmt.Errorf("solver: multi-chip placement invalid: %w", err)
+		}
+	case core.StatusInfeasible:
+		res.Decision = Infeasible
+	default:
+		res.Decision = Unknown
+	}
+	return res, nil
+}
+
+// MinChips finds the minimal number of identical W×H chips on which the
+// instance completes within T cycles. Feasibility is monotone in k, so
+// a linear ascent from the volume bound is exact.
+func MinChips(in *model.Instance, chipW, chipH, T int, opt Options) (*MultiChipResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := in.Order()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if in.MaxW() > chipW || in.MaxH() > chipH || order.CriticalPath() > T {
+		return &MultiChipResult{Decision: Infeasible, Elapsed: time.Since(start)}, nil
+	}
+	// Lower bound: total volume over one chip's space-time volume.
+	kLo := (in.Volume() + chipW*chipH*T - 1) / (chipW * chipH * T)
+	if kLo < 1 {
+		kLo = 1
+	}
+	// Upper bound: one chip per task always works (critical path fits).
+	probes := 0
+	var agg core.Stats
+	for k := kLo; k <= in.N(); k++ {
+		r, err := solveMultiChip(in, chipW, chipH, T, k, order, opt)
+		if err != nil {
+			return nil, err
+		}
+		probes++
+		agg.Add(r.Stats)
+		switch r.Decision {
+		case Feasible:
+			r.Probes = probes
+			r.Stats = agg
+			r.Elapsed = time.Since(start)
+			return r, nil
+		case Unknown:
+			return &MultiChipResult{Decision: Unknown, Probes: probes, Stats: agg,
+				Elapsed: time.Since(start)}, nil
+		}
+	}
+	return nil, fmt.Errorf("solver: %q infeasible even with one chip per task (internal error)", in.Name)
+}
+
+// verifyMultiChip checks bounds, same-chip non-overlap and precedence.
+func verifyMultiChip(in *model.Instance, chipW, chipH, T, k int, r *MultiChipResult, order *model.Order) error {
+	n := in.N()
+	p := r.Placement
+	for i, t := range in.Tasks {
+		if r.Chip[i] < 0 || r.Chip[i] >= k {
+			return fmt.Errorf("task %d on chip %d of %d", i, r.Chip[i], k)
+		}
+		if p.X[i] < 0 || p.Y[i] < 0 || p.S[i] < 0 ||
+			p.X[i]+t.W > chipW || p.Y[i]+t.H > chipH || p.S[i]+t.Dur > T {
+			return fmt.Errorf("task %d out of bounds", i)
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Chip[u] != r.Chip[v] {
+				continue
+			}
+			tu, tv := in.Tasks[u], in.Tasks[v]
+			if p.X[u] < p.X[v]+tv.W && p.X[v] < p.X[u]+tu.W &&
+				p.Y[u] < p.Y[v]+tv.H && p.Y[v] < p.Y[u]+tu.H &&
+				p.S[u] < p.S[v]+tv.Dur && p.S[v] < p.S[u]+tu.Dur {
+				return fmt.Errorf("tasks %d and %d collide on chip %d", u, v, r.Chip[u])
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && order.Precedes(u, v) && p.S[u]+in.Tasks[u].Dur > p.S[v] {
+				return fmt.Errorf("precedence %d≺%d violated", u, v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+package solver
+
+import (
+	"fmt"
+	"time"
+
+	"fpga3d/internal/bounds"
+	"fpga3d/internal/core"
+	"fpga3d/internal/heur"
+	"fpga3d/internal/model"
+)
+
+// OptResult is the outcome of an optimization run (MinTime / MinBase).
+type OptResult struct {
+	Decision  Decision
+	Value     int              // the optimal T (MinTime) or h (MinBase)
+	Placement *model.Placement // a witness for the optimum
+	// LowerBound is the stage-1 bound the search started from.
+	LowerBound int
+	// Probes counts the OPP decision calls made.
+	Probes int
+	// Stats accumulates engine statistics over all probes.
+	Stats   core.Stats
+	Elapsed time.Duration
+}
+
+// MinTime solves MinT&FindS (the strip packing problem SPP): the
+// smallest execution time T such that the instance fits a W×H chip
+// while satisfying its precedence constraints.
+func MinTime(in *model.Instance, W, H int, opt Options) (*OptResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := in.Order()
+	if err != nil {
+		return nil, err
+	}
+	return minTime(in, W, H, order, opt)
+}
+
+func minTime(in *model.Instance, W, H int, order *model.Order, opt Options) (*OptResult, error) {
+	start := time.Now()
+	res := &OptResult{}
+	if in.MaxW() > W || in.MaxH() > H {
+		res.Decision = Infeasible
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	lb := bounds.MinTimeLB(in, W, H, order)
+	res.LowerBound = lb
+
+	// Upper bound from the greedy placer; a serialized schedule always
+	// exists, so this cannot fail given the spatial fit check above.
+	ubPlace, ub, ok := heur.MinMakespan(in, W, H, order)
+	if !ok {
+		return nil, fmt.Errorf("solver: heuristic failed to serialize instance %q", in.Name)
+	}
+	if err := ubPlace.Verify(in, model.Container{W: W, H: H, T: ub}, order); err != nil {
+		return nil, fmt.Errorf("solver: heuristic produced invalid schedule: %w", err)
+	}
+	best, bestPlace := ub, ubPlace
+
+	// Binary search on the monotone predicate "fits within T".
+	lo, hi := lb, ub // hi is known feasible
+	for lo < hi {
+		mid := (lo + hi) / 2
+		r, err := solveOPP(in, model.Container{W: W, H: H, T: mid}, order, opt)
+		if err != nil {
+			return nil, err
+		}
+		res.Probes++
+		res.Stats.Add(r.Stats)
+		switch r.Decision {
+		case Feasible:
+			hi = mid
+			best, bestPlace = mid, r.Placement
+		case Infeasible:
+			lo = mid + 1
+		default:
+			res.Decision = Unknown
+			res.Value = best
+			res.Placement = bestPlace
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+	}
+	res.Decision = Feasible
+	res.Value = best
+	res.Placement = bestPlace
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// MinBase solves MinA&FindS (the base minimization problem BMP): the
+// smallest square chip h×h on which the instance completes within time T
+// while satisfying its precedence constraints.
+func MinBase(in *model.Instance, T int, opt Options) (*OptResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := in.Order()
+	if err != nil {
+		return nil, err
+	}
+	return minBase(in, T, order, opt)
+}
+
+func minBase(in *model.Instance, T int, order *model.Order, opt Options) (*OptResult, error) {
+	start := time.Now()
+	res := &OptResult{}
+	if order.CriticalPath() > T {
+		// No chip of any size can beat the dependency chains.
+		res.Decision = Infeasible
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	lb := bounds.MinBaseLB(in, T, order)
+	res.LowerBound = lb
+
+	// With every task spatially disjoint (a huge chip), only the
+	// critical path matters, so a finite upper bound always exists.
+	hMax := 0
+	for _, t := range in.Tasks {
+		m := t.W
+		if t.H > m {
+			m = t.H
+		}
+		hMax += m
+	}
+	for h := lb; h <= hMax; h++ {
+		r, err := solveOPP(in, model.Container{W: h, H: h, T: T}, order, opt)
+		if err != nil {
+			return nil, err
+		}
+		res.Probes++
+		res.Stats.Add(r.Stats)
+		switch r.Decision {
+		case Feasible:
+			res.Decision = Feasible
+			res.Value = h
+			res.Placement = r.Placement
+			res.Elapsed = time.Since(start)
+			return res, nil
+		case Infeasible:
+			// keep growing h
+		default:
+			res.Decision = Unknown
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("solver: no feasible chip up to %dx%d for instance %q (internal bound error)",
+		hMax, hMax, in.Name)
+}
+
+// FeasibleFixedSchedule solves FeasA&FixedS: given start times for every
+// task, decide whether a non-overlapping spatial placement on the W×H
+// chip exists. With the time dimension fully decided, the packing-class
+// search degenerates to the two spatial dimensions — the simplification
+// highlighted in Section 4 of the paper.
+func FeasibleFixedSchedule(in *model.Instance, c model.Container, starts []int, opt Options) (*OPPResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := in.Order()
+	if err != nil {
+		return nil, err
+	}
+	if err := model.VerifySchedule(in, starts, c.T, order); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &OPPResult{}
+	prob := buildProblem(in, c, order, starts)
+	r := core.Solve(prob, opt.coreOptions())
+	res.Stats = r.Stats
+	res.Elapsed = time.Since(start)
+	switch r.Status {
+	case core.StatusFeasible:
+		// The engine realizes some schedule with the same component
+		// graph and orientation; the prescribed start times are another
+		// realization of it, so the spatial coordinates carry over.
+		p := solutionToPlacement(r.Solution)
+		p.S = append([]int(nil), starts...)
+		if err := p.Verify(in, c, order); err != nil {
+			return nil, fmt.Errorf("solver: fixed-schedule placement invalid: %w", err)
+		}
+		res.Decision = Feasible
+		res.Placement = p
+		res.DecidedBy = "search"
+	case core.StatusInfeasible:
+		res.Decision = Infeasible
+		res.DecidedBy = "search"
+	default:
+		res.Decision = Unknown
+		res.DecidedBy = "limit"
+	}
+	return res, nil
+}
+
+// MinBaseFixedSchedule solves MinA&FixedS: the smallest square chip that
+// admits a spatial placement for the prescribed start times.
+func MinBaseFixedSchedule(in *model.Instance, starts []int, opt Options) (*OptResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := in.Order()
+	if err != nil {
+		return nil, err
+	}
+	T := 0
+	for i, t := range in.Tasks {
+		if f := starts[i] + t.Dur; f > T {
+			T = f
+		}
+	}
+	if err := model.VerifySchedule(in, starts, T, order); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &OptResult{}
+	lb := in.MaxW()
+	if h := in.MaxH(); h > lb {
+		lb = h
+	}
+	res.LowerBound = lb
+	hMax := 0
+	for _, t := range in.Tasks {
+		m := t.W
+		if t.H > m {
+			m = t.H
+		}
+		hMax += m
+	}
+	for h := lb; h <= hMax; h++ {
+		r, err := FeasibleFixedSchedule(in, model.Container{W: h, H: h, T: T}, starts, opt)
+		if err != nil {
+			return nil, err
+		}
+		res.Probes++
+		res.Stats.Add(r.Stats)
+		switch r.Decision {
+		case Feasible:
+			res.Decision = Feasible
+			res.Value = h
+			res.Placement = r.Placement
+			res.Elapsed = time.Since(start)
+			return res, nil
+		case Infeasible:
+		default:
+			res.Decision = Unknown
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("solver: no feasible chip for fixed schedule of %q", in.Name)
+}

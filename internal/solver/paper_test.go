@@ -1,0 +1,183 @@
+package solver
+
+import (
+	"testing"
+	"time"
+
+	"fpga3d/internal/bench"
+	"fpga3d/internal/model"
+)
+
+// The tests in this file pin the solver to the published results of the
+// paper's evaluation section (Section 5): Table 1, Table 2 and Figure 7.
+
+func TestTable1DE(t *testing.T) {
+	de := bench.DE()
+	opt := Options{TimeLimit: 120 * time.Second}
+	for _, row := range []struct{ T, wantH int }{
+		{6, 32},
+		{13, 17},
+		{14, 16},
+	} {
+		r, err := MinBase(de, row.T, opt)
+		if err != nil {
+			t.Fatalf("T=%d: %v", row.T, err)
+		}
+		if r.Decision != Feasible || r.Value != row.wantH {
+			t.Errorf("T=%d: chip %d (%v), want %d", row.T, r.Value, r.Decision, row.wantH)
+		}
+		if r.Placement == nil {
+			t.Errorf("T=%d: no witness placement", row.T)
+		}
+	}
+}
+
+// TestTable1DESearchOnly proves the same optima with bounds and
+// heuristic disabled: every decision comes from the packing-class
+// branch and bound.
+func TestTable1DESearchOnly(t *testing.T) {
+	de := bench.DE()
+	opt := Options{SkipBounds: true, SkipHeuristic: true, TimeLimit: 120 * time.Second}
+	cases := []struct {
+		c    model.Container
+		want Decision
+	}{
+		{model.Container{W: 16, H: 16, T: 14}, Feasible},
+		{model.Container{W: 16, H: 16, T: 13}, Infeasible},
+		{model.Container{W: 17, H: 17, T: 13}, Feasible},
+		{model.Container{W: 17, H: 17, T: 12}, Infeasible},
+		{model.Container{W: 31, H: 31, T: 12}, Infeasible},
+		{model.Container{W: 32, H: 32, T: 6}, Feasible},
+		{model.Container{W: 32, H: 32, T: 5}, Infeasible},
+		{model.Container{W: 31, H: 31, T: 6}, Infeasible},
+	}
+	for _, tc := range cases {
+		r, err := SolveOPP(de, tc.c, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.c, err)
+		}
+		if r.Decision != tc.want {
+			t.Errorf("%v: %v, want %v", tc.c, r.Decision, tc.want)
+		}
+	}
+}
+
+func TestTable2VideoCodec(t *testing.T) {
+	vc := bench.VideoCodec()
+	opt := Options{TimeLimit: 120 * time.Second}
+
+	// Minimal latency on the 64×64 chip is 59 (Table 2).
+	r, err := MinTime(vc, 64, 64, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Decision != Feasible || r.Value != 59 {
+		t.Errorf("MinTime(64x64) = %d (%v), want 59", r.Value, r.Decision)
+	}
+
+	// "There is no solution for container sizes smaller than 64x64."
+	rb, err := MinBase(vc, 59, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Decision != Feasible || rb.Value != 64 {
+		t.Errorf("MinBase(T=59) = %d (%v), want 64", rb.Value, rb.Decision)
+	}
+	small, err := SolveOPP(vc, model.Container{W: 63, H: 63, T: 1000}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Decision != Infeasible {
+		t.Errorf("63x63 chip should be infeasible at any horizon, got %v", small.Decision)
+	}
+}
+
+func TestFigure7Pareto(t *testing.T) {
+	de := bench.DE()
+	opt := Options{TimeLimit: 120 * time.Second}
+
+	withPrec, err := ParetoFront(de, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSolid := []ParetoPoint{{T: 6, H: 32}, {T: 13, H: 17}, {T: 14, H: 16}}
+	if !samePoints(withPrec.Points, wantSolid) {
+		t.Errorf("Figure 7(a) = %v, want %v", withPrec.Points, wantSolid)
+	}
+
+	noPrec, err := ParetoFront(de.WithoutPrec(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDashed := []ParetoPoint{{T: 2, H: 48}, {T: 4, H: 32}, {T: 12, H: 17}, {T: 13, H: 16}}
+	if !samePoints(noPrec.Points, wantDashed) {
+		t.Errorf("Figure 7(b) = %v, want %v", noPrec.Points, wantDashed)
+	}
+
+	// The curves must be staircases: strictly decreasing h over points,
+	// non-increasing h over the full probe sequence.
+	for _, res := range []*ParetoResult{withPrec, noPrec} {
+		for i := 1; i < len(res.Points); i++ {
+			if res.Points[i].H >= res.Points[i-1].H || res.Points[i].T <= res.Points[i-1].T {
+				t.Errorf("points not strictly improving: %v", res.Points)
+			}
+		}
+		for i := 1; i < len(res.Curve); i++ {
+			if res.Curve[i].H > res.Curve[i-1].H {
+				t.Errorf("curve not monotone: %v", res.Curve)
+			}
+		}
+	}
+}
+
+func samePoints(a, b []ParetoPoint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDEWithoutPrecedenceIsEasier: dropping the partial order can only
+// shrink the minimal time for every chip (Figure 7's two curves never
+// cross).
+func TestDEWithoutPrecedenceIsEasier(t *testing.T) {
+	de := bench.DE()
+	free := de.WithoutPrec()
+	opt := Options{TimeLimit: 120 * time.Second}
+	for _, h := range []int{16, 17, 32, 48} {
+		a, err := MinTime(de, h, h, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := MinTime(free, h, h, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Decision != Feasible || b.Decision != Feasible {
+			t.Fatalf("h=%d undecided", h)
+		}
+		if b.Value > a.Value {
+			t.Errorf("h=%d: unconstrained optimum %d worse than constrained %d", h, b.Value, a.Value)
+		}
+	}
+}
+
+// TestVideoCodecSinglePareto reproduces the paper's remark that the
+// video codec has "only one Pareto-point": the minimal chip (64×64,
+// forced by the block matcher) already achieves the minimal latency
+// (59, the dependency critical path), so the trade-off curve collapses.
+func TestVideoCodecSinglePareto(t *testing.T) {
+	vc := bench.VideoCodec()
+	r, err := ParetoFront(vc, Options{TimeLimit: 120 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 1 || r.Points[0] != (ParetoPoint{T: 59, H: 64}) {
+		t.Fatalf("codec Pareto = %v, want exactly {59 64}", r.Points)
+	}
+}

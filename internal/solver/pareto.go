@@ -1,0 +1,74 @@
+package solver
+
+import (
+	"fmt"
+	"time"
+
+	"fpga3d/internal/model"
+)
+
+// ParetoPoint is one point of the (execution time, chip side) trade-off
+// curve of Figure 7: at time budget T, the minimal square chip is H×H.
+type ParetoPoint struct {
+	T int
+	H int
+}
+
+// ParetoResult is the full trade-off curve plus bookkeeping.
+type ParetoResult struct {
+	// Points holds the Pareto-optimal (T, h) pairs, ascending in T and
+	// strictly descending in h.
+	Points []ParetoPoint
+	// Curve holds the minimal h for every probed T (including dominated
+	// points), for plotting the staircase.
+	Curve   []ParetoPoint
+	Probes  int
+	Elapsed time.Duration
+}
+
+// ParetoFront computes the Pareto-optimal (time, chip size) pairs for
+// the instance: for each feasible time budget starting at the critical
+// path, the minimal square chip side, stopping once the chip can no
+// longer shrink (it has reached the largest single module).
+//
+// For the unconstrained curve of Figure 7(b), pass in.WithoutPrec().
+func ParetoFront(in *model.Instance, opt Options) (*ParetoResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := in.Order()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &ParetoResult{}
+
+	hFloor := in.MaxW()
+	if h := in.MaxH(); h > hFloor {
+		hFloor = h
+	}
+	tMin := order.CriticalPath()
+	tCap := tMin + in.TotalDuration() // every instance serializes by then
+
+	prevH := -1
+	for T := tMin; T <= tCap; T++ {
+		r, err := minBase(in, T, order, opt)
+		if err != nil {
+			return nil, err
+		}
+		res.Probes += r.Probes
+		if r.Decision != Feasible {
+			return nil, fmt.Errorf("solver: pareto probe at T=%d undecided", T)
+		}
+		res.Curve = append(res.Curve, ParetoPoint{T: T, H: r.Value})
+		if prevH == -1 || r.Value < prevH {
+			res.Points = append(res.Points, ParetoPoint{T: T, H: r.Value})
+			prevH = r.Value
+		}
+		if r.Value == hFloor {
+			break
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,218 @@
+// Package solver orchestrates the paper's three-stage framework
+// (Section 3.1) around the packing-class engine:
+//
+//  1. try to disprove feasibility with fast lower bounds,
+//  2. try to find a feasible packing with a fast heuristic,
+//  3. only then run the branch-and-bound search over packing classes.
+//
+// On top of the OPP decision procedure it provides the optimization
+// drivers of the paper: MinT&FindS (strip packing / minimal makespan),
+// MinA&FindS (base minimization / minimal square chip), the FixedS
+// variants with prescribed start times, and the Pareto front of
+// (chip size, execution time) trade-offs shown in Figure 7.
+package solver
+
+import (
+	"fmt"
+	"time"
+
+	"fpga3d/internal/bounds"
+	"fpga3d/internal/core"
+	"fpga3d/internal/heur"
+	"fpga3d/internal/model"
+)
+
+// Decision is the three-valued outcome of a decision problem.
+type Decision int
+
+const (
+	// Unknown means the solver hit a node or time limit.
+	Unknown Decision = iota
+	// Feasible means a placement was found (and verified).
+	Feasible
+	// Infeasible means no placement exists.
+	Infeasible
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures the solver. The zero value enables every stage and
+// rule with no search limits.
+type Options struct {
+	// NodeLimit bounds the branch-and-bound nodes per OPP call
+	// (0 = unlimited).
+	NodeLimit int64
+	// TimeLimit bounds the wall time per OPP call (0 = unlimited).
+	TimeLimit time.Duration
+
+	// SkipBounds disables stage 1 (lower bounds).
+	SkipBounds bool
+	// SkipHeuristic disables stage 2 (the greedy placer).
+	SkipHeuristic bool
+
+	// DisableC4Rule, DisableHoleRule, DisableCliqueRule,
+	// DisableCliqueForce and DisableOrientRules are forwarded to the
+	// engine (ablations).
+	DisableC4Rule      bool
+	DisableHoleRule    bool
+	DisableCliqueRule  bool
+	DisableCliqueForce bool
+	DisableOrientRules bool
+	// TimeDisjointFirst flips the engine's value ordering on the time
+	// axis to try Disjoint before Overlap.
+	TimeDisjointFirst bool
+}
+
+func (o Options) coreOptions() core.Options {
+	c := core.Options{
+		NodeLimit:          o.NodeLimit,
+		DisableC4Rule:      o.DisableC4Rule,
+		DisableHoleRule:    o.DisableHoleRule,
+		DisableCliqueRule:  o.DisableCliqueRule,
+		DisableCliqueForce: o.DisableCliqueForce,
+		DisableOrientRules: o.DisableOrientRules,
+		TimeOverlapFirst:   !o.TimeDisjointFirst,
+	}
+	if o.TimeLimit > 0 {
+		c.Deadline = time.Now().Add(o.TimeLimit)
+	}
+	return c
+}
+
+// OPPResult is the outcome of one orthogonal packing decision.
+type OPPResult struct {
+	Decision  Decision
+	Placement *model.Placement // non-nil iff Decision == Feasible
+	// DecidedBy names the stage that settled the question:
+	// "bound: <name>", "heuristic", or "search".
+	DecidedBy string
+	Stats     core.Stats
+	Elapsed   time.Duration
+}
+
+// SolveOPP decides whether the instance fits into container c while
+// satisfying its precedence constraints (problem FeasAT&FindS).
+// To solve the unconstrained variant, pass in.WithoutPrec().
+func SolveOPP(in *model.Instance, c model.Container, opt Options) (*OPPResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := in.Order()
+	if err != nil {
+		return nil, err
+	}
+	return solveOPP(in, c, order, opt)
+}
+
+func solveOPP(in *model.Instance, c model.Container, order *model.Order, opt Options) (*OPPResult, error) {
+	start := time.Now()
+	res := &OPPResult{}
+
+	// Stage 1: lower bounds.
+	if !opt.SkipBounds {
+		if bad, why := bounds.OPPInfeasible(in, c, order); bad {
+			res.Decision = Infeasible
+			res.DecidedBy = "bound: " + why
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+	}
+	// Stage 2: greedy placer.
+	if !opt.SkipHeuristic {
+		if p, ok := heur.Place(in, c, order); ok {
+			if err := p.Verify(in, c, order); err != nil {
+				return nil, fmt.Errorf("solver: heuristic produced invalid placement: %w", err)
+			}
+			res.Decision = Feasible
+			res.Placement = p
+			res.DecidedBy = "heuristic"
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+	}
+	// Stage 3: packing-class branch and bound.
+	prob := buildProblem(in, c, order, nil)
+	r := core.Solve(prob, opt.coreOptions())
+	res.Stats = r.Stats
+	res.Elapsed = time.Since(start)
+	switch r.Status {
+	case core.StatusFeasible:
+		p := solutionToPlacement(r.Solution)
+		if err := p.Verify(in, c, order); err != nil {
+			return nil, fmt.Errorf("solver: search produced invalid placement: %w", err)
+		}
+		res.Decision = Feasible
+		res.Placement = p
+		res.DecidedBy = "search"
+	case core.StatusInfeasible:
+		res.Decision = Infeasible
+		res.DecidedBy = "search"
+	default:
+		res.Decision = Unknown
+		res.DecidedBy = "limit"
+	}
+	return res, nil
+}
+
+// buildProblem translates an instance+container into the engine's
+// three-dimensional problem. fixedStarts, when non-nil, freezes the time
+// dimension according to the given schedule (the FixedS variants).
+func buildProblem(in *model.Instance, c model.Container, order *model.Order, fixedStarts []int) *core.Problem {
+	n := in.N()
+	ws := make([]int, n)
+	hs := make([]int, n)
+	ds := make([]int, n)
+	for i, t := range in.Tasks {
+		ws[i], hs[i], ds[i] = t.W, t.H, t.Dur
+	}
+	p := &core.Problem{
+		N: n,
+		Dims: []core.Dim{
+			{Cap: c.W, Sizes: ws},
+			{Cap: c.H, Sizes: hs},
+			{Cap: c.T, Sizes: ds, Ordered: true},
+		},
+	}
+	const timeDim = 2
+	if fixedStarts != nil {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				su, eu := fixedStarts[u], fixedStarts[u]+in.Tasks[u].Dur
+				sv, ev := fixedStarts[v], fixedStarts[v]+in.Tasks[v].Dur
+				if su < ev && sv < eu {
+					p.Fixed = append(p.Fixed, core.FixedEdge{Dim: timeDim, U: u, V: v, State: core.Overlap})
+				} else if eu <= sv {
+					p.Seeds = append(p.Seeds, core.SeedArc{Dim: timeDim, From: u, To: v})
+				} else {
+					p.Seeds = append(p.Seeds, core.SeedArc{Dim: timeDim, From: v, To: u})
+				}
+			}
+		}
+		return p
+	}
+	cl := order.Closure()
+	for u := 0; u < n; u++ {
+		uu := u
+		cl.Out(uu).ForEach(func(v int) {
+			p.Seeds = append(p.Seeds, core.SeedArc{Dim: timeDim, From: uu, To: v})
+		})
+	}
+	return p
+}
+
+func solutionToPlacement(s *core.Solution) *model.Placement {
+	return &model.Placement{
+		X: append([]int(nil), s.Coords[0]...),
+		Y: append([]int(nil), s.Coords[1]...),
+		S: append([]int(nil), s.Coords[2]...),
+	}
+}

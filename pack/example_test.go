@@ -1,0 +1,57 @@
+package pack_test
+
+import (
+	"fmt"
+	"log"
+
+	"fpga3d/pack"
+)
+
+// ExampleDecide solves a 2D rectangle packing question: do four 2×2
+// squares fill a 4×4 square exactly?
+func ExampleDecide() {
+	p := &pack.Problem{
+		Container:  []int{4, 4},
+		Boxes:      []pack.Box{{2, 2}, {2, 2}, {2, 2}, {2, 2}},
+		OrderedDim: -1,
+	}
+	r, err := pack.Decide(p, pack.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.Feasible)
+	// Output: true
+}
+
+// ExampleMinimize solves a strip packing problem: the minimal height of
+// a width-4 strip holding a 4×1 plank and two 2×2 squares.
+func ExampleMinimize() {
+	p := &pack.Problem{
+		Container:  []int{4, 100},
+		Boxes:      []pack.Box{{4, 1}, {2, 2}, {2, 2}},
+		OrderedDim: -1,
+	}
+	h, _, err := pack.Minimize(p, 1, pack.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(h)
+	// Output: 3
+}
+
+// ExampleDecide_withOrder schedules three unit-width jobs of length 2
+// on two machines (a 2×T strip) with a chain constraint.
+func ExampleDecide_withOrder() {
+	p := &pack.Problem{
+		Container:  []int{2, 4},
+		Boxes:      []pack.Box{{1, 2}, {1, 2}, {1, 2}},
+		OrderedDim: 1,
+		Arcs:       [][2]int{{0, 1}}, // job 0 before job 1
+	}
+	r, err := pack.Decide(p, pack.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.Feasible)
+	// Output: true
+}

@@ -1,0 +1,327 @@
+// Package pack exposes the packing-class engine as a general exact
+// solver for d-dimensional orthogonal packing problems with optional
+// order constraints on one dimension.
+//
+// The FPGA placement solver of the parent module is the 3-dimensional
+// instantiation of this machinery (x, y, time); the engine itself is
+// dimension-generic, as is the Fekete–Schepers theory it implements.
+// This package makes it usable for related problems: 2-dimensional
+// rectangle packing, strip packing, or higher-dimensional scheduling
+// models.
+package pack
+
+import (
+	"fmt"
+	"time"
+
+	"fpga3d/internal/core"
+	"fpga3d/internal/graph"
+)
+
+// Box is one item: its extent in every dimension.
+type Box []int
+
+// Problem is a d-dimensional orthogonal packing decision problem:
+// do the boxes fit into the container without overlap?
+//
+// Arcs optionally impose a partial order on OrderedDim: for an arc
+// (u, v), box u's interval on that dimension must end before box v's
+// begins. Set OrderedDim to -1 (or leave Arcs empty) for a plain
+// packing problem.
+type Problem struct {
+	// Container holds the capacity of each dimension; its length is the
+	// dimension count d ≥ 2.
+	Container []int
+	// Boxes holds the items; every box must have d extents.
+	Boxes []Box
+	// OrderedDim designates the dimension carrying the order
+	// constraints, or -1 for none.
+	OrderedDim int
+	// Arcs are the order constraints (indices into Boxes).
+	Arcs [][2]int
+}
+
+// Validate checks the problem for structural errors.
+func (p *Problem) Validate() error {
+	d := len(p.Container)
+	if d < 2 {
+		return fmt.Errorf("pack: %d dimensions; need at least 2", d)
+	}
+	if len(p.Boxes) == 0 {
+		return fmt.Errorf("pack: no boxes")
+	}
+	for i, c := range p.Container {
+		if c <= 0 {
+			return fmt.Errorf("pack: container dimension %d is %d", i, c)
+		}
+	}
+	for b, box := range p.Boxes {
+		if len(box) != d {
+			return fmt.Errorf("pack: box %d has %d extents for %d dimensions", b, len(box), d)
+		}
+		for i, w := range box {
+			if w <= 0 {
+				return fmt.Errorf("pack: box %d has extent %d in dimension %d", b, w, i)
+			}
+		}
+	}
+	if len(p.Arcs) > 0 && (p.OrderedDim < 0 || p.OrderedDim >= d) {
+		return fmt.Errorf("pack: arcs given but OrderedDim = %d", p.OrderedDim)
+	}
+	for _, a := range p.Arcs {
+		if a[0] < 0 || a[0] >= len(p.Boxes) || a[1] < 0 || a[1] >= len(p.Boxes) || a[0] == a[1] {
+			return fmt.Errorf("pack: arc %v out of range", a)
+		}
+	}
+	if !p.arcDigraph().IsAcyclic() {
+		return fmt.Errorf("pack: order constraints contain a cycle")
+	}
+	return nil
+}
+
+func (p *Problem) arcDigraph() *graph.Digraph {
+	d := graph.NewDigraph(len(p.Boxes))
+	for _, a := range p.Arcs {
+		d.AddArc(a[0], a[1])
+	}
+	return d
+}
+
+// Options bounds the search effort; the zero value means no limits.
+type Options struct {
+	NodeLimit int64
+	TimeLimit time.Duration
+}
+
+// Result reports the outcome of a Decide call.
+type Result struct {
+	// Feasible is valid only when Decided is true.
+	Feasible bool
+	// Decided is false when a node or time limit was hit first.
+	Decided bool
+	// Positions[b][i] is box b's coordinate in dimension i
+	// (present only for feasible results).
+	Positions [][]int
+	// Nodes is the number of branch-and-bound nodes expended.
+	Nodes int64
+}
+
+// Decide solves the packing decision problem exactly.
+func Decide(p *Problem, opt Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// A box exceeding the container in any dimension is an immediate no.
+	for _, box := range p.Boxes {
+		for i, w := range box {
+			if w > p.Container[i] {
+				return &Result{Decided: true, Feasible: false}, nil
+			}
+		}
+	}
+	cp := &core.Problem{N: len(p.Boxes)}
+	for i, c := range p.Container {
+		dim := core.Dim{Cap: c, Sizes: make([]int, len(p.Boxes)), Ordered: i == p.OrderedDim}
+		for b, box := range p.Boxes {
+			dim.Sizes[b] = box[i]
+		}
+		cp.Dims = append(cp.Dims, dim)
+	}
+	if len(p.Arcs) > 0 {
+		// Seed with the transitive closure, as the paper recommends, so
+		// contradictions surface as early as possible.
+		cl := p.arcDigraph().TransitiveClosure()
+		for u := 0; u < cl.N(); u++ {
+			uu := u
+			cl.Out(uu).ForEach(func(v int) {
+				cp.Seeds = append(cp.Seeds, core.SeedArc{Dim: p.OrderedDim, From: uu, To: v})
+			})
+		}
+	}
+	copt := core.Options{NodeLimit: opt.NodeLimit, TimeOverlapFirst: true}
+	if opt.TimeLimit > 0 {
+		copt.Deadline = time.Now().Add(opt.TimeLimit)
+	}
+	r := core.Solve(cp, copt)
+	res := &Result{Nodes: r.Stats.Nodes}
+	switch r.Status {
+	case core.StatusFeasible:
+		res.Decided, res.Feasible = true, true
+		res.Positions = make([][]int, len(p.Boxes))
+		for b := range p.Boxes {
+			pos := make([]int, len(p.Container))
+			for i := range p.Container {
+				pos[i] = r.Solution.Coords[i][b]
+			}
+			res.Positions[b] = pos
+		}
+		if err := verify(p, res.Positions); err != nil {
+			return nil, fmt.Errorf("pack: internal error: %w", err)
+		}
+	case core.StatusInfeasible:
+		res.Decided = true
+	}
+	return res, nil
+}
+
+// Minimize finds the smallest capacity of dimension dim for which the
+// problem becomes feasible, holding the other capacities fixed.
+// With dim == OrderedDim this is the strip packing / makespan problem.
+// It returns the minimal capacity, a witness, and whether the question
+// was decided within the limits.
+func Minimize(p *Problem, dim int, opt Options) (int, *Result, error) {
+	if err := p.Validate(); err != nil {
+		return 0, nil, err
+	}
+	if dim < 0 || dim >= len(p.Container) {
+		return 0, nil, fmt.Errorf("pack: dimension %d out of range", dim)
+	}
+	// Misfits in the fixed dimensions can never be repaired.
+	for b, box := range p.Boxes {
+		for i, w := range box {
+			if i != dim && w > p.Container[i] {
+				return 0, nil, fmt.Errorf("pack: box %d does not fit the fixed dimensions", b)
+			}
+		}
+	}
+	// Upper bound: stacking every box along dim always fits.
+	ub := 0
+	lb := 1
+	for _, box := range p.Boxes {
+		ub += box[dim]
+		if box[dim] > lb {
+			lb = box[dim]
+		}
+	}
+	work := *p
+	work.Container = append([]int(nil), p.Container...)
+
+	probe := func(c int) (*Result, error) {
+		work.Container[dim] = c
+		return Decide(&work, opt)
+	}
+	// Establish feasibility at ub (guaranteed unless arcs make even the
+	// stack infeasible — impossible, a topological stack satisfies any
+	// acyclic order).
+	best, err := probe(ub)
+	if err != nil {
+		return 0, nil, err
+	}
+	if !best.Decided || !best.Feasible {
+		return 0, best, nil // limits hit even on the trivial horizon
+	}
+	bestC := ub
+	lo, hi := lb, ub
+	for lo < hi {
+		mid := (lo + hi) / 2
+		r, err := probe(mid)
+		if err != nil {
+			return 0, nil, err
+		}
+		if !r.Decided {
+			return bestC, best, nil // report the best proven point
+		}
+		if r.Feasible {
+			hi, best, bestC = mid, r, mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return bestC, best, nil
+}
+
+// MinimizeBins solves the d-dimensional bin packing problem built on
+// the same engine: the minimal number of identical containers (bins)
+// holding all boxes. The bin index is modeled as an extra dimension of
+// unit extent per box — two boxes in the same bin must separate in a
+// real dimension. Order constraints (if any) apply within the
+// configured OrderedDim and hold across bins.
+func MinimizeBins(p *Problem, opt Options) (int, *Result, []int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, nil, nil, err
+	}
+	for b, box := range p.Boxes {
+		for i, w := range box {
+			if w > p.Container[i] {
+				return 0, nil, nil, fmt.Errorf("pack: box %d does not fit a single bin", b)
+			}
+		}
+	}
+	d := len(p.Container)
+	// Volume lower bound.
+	binVol := 1
+	for _, c := range p.Container {
+		binVol *= c
+	}
+	total := 0
+	for _, box := range p.Boxes {
+		v := 1
+		for _, w := range box {
+			v *= w
+		}
+		total += v
+	}
+	kLo := (total + binVol - 1) / binVol
+	if kLo < 1 {
+		kLo = 1
+	}
+	for k := kLo; k <= len(p.Boxes); k++ {
+		ext := &Problem{
+			Container:  append(append([]int(nil), p.Container...), k),
+			OrderedDim: p.OrderedDim,
+			Arcs:       p.Arcs,
+		}
+		for _, box := range p.Boxes {
+			ext.Boxes = append(ext.Boxes, append(append(Box(nil), box...), 1))
+		}
+		r, err := Decide(ext, opt)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		if !r.Decided {
+			return 0, r, nil, nil
+		}
+		if r.Feasible {
+			bins := make([]int, len(p.Boxes))
+			for b := range p.Boxes {
+				bins[b] = r.Positions[b][d]
+				r.Positions[b] = r.Positions[b][:d]
+			}
+			return k, r, bins, nil
+		}
+	}
+	return 0, nil, nil, fmt.Errorf("pack: infeasible even with one bin per box (internal error)")
+}
+
+// verify checks the returned positions geometrically.
+func verify(p *Problem, pos [][]int) error {
+	d := len(p.Container)
+	for b, box := range p.Boxes {
+		for i := 0; i < d; i++ {
+			if pos[b][i] < 0 || pos[b][i]+box[i] > p.Container[i] {
+				return fmt.Errorf("box %d out of bounds in dimension %d", b, i)
+			}
+		}
+	}
+	for a := 0; a < len(p.Boxes); a++ {
+		for b := a + 1; b < len(p.Boxes); b++ {
+			all := true
+			for i := 0; i < d; i++ {
+				if pos[a][i]+p.Boxes[a][i] <= pos[b][i] || pos[b][i]+p.Boxes[b][i] <= pos[a][i] {
+					all = false
+					break
+				}
+			}
+			if all {
+				return fmt.Errorf("boxes %d and %d overlap", a, b)
+			}
+		}
+	}
+	for _, arc := range p.Arcs {
+		u, v := arc[0], arc[1]
+		if pos[u][p.OrderedDim]+p.Boxes[u][p.OrderedDim] > pos[v][p.OrderedDim] {
+			return fmt.Errorf("arc %v violated", arc)
+		}
+	}
+	return nil
+}

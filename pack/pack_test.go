@@ -1,0 +1,331 @@
+package pack
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func decide(t *testing.T, p *Problem) bool {
+	t.Helper()
+	r, err := Decide(p, Options{TimeLimit: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Decided {
+		t.Fatal("undecided")
+	}
+	return r.Feasible
+}
+
+func TestValidate(t *testing.T) {
+	good := &Problem{Container: []int{4, 4}, Boxes: []Box{{2, 2}}, OrderedDim: -1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Problem{
+		{Container: []int{4}, Boxes: []Box{{2}}, OrderedDim: -1},
+		{Container: []int{4, 4}, OrderedDim: -1},
+		{Container: []int{4, 0}, Boxes: []Box{{2, 2}}, OrderedDim: -1},
+		{Container: []int{4, 4}, Boxes: []Box{{2}}, OrderedDim: -1},
+		{Container: []int{4, 4}, Boxes: []Box{{2, 0}}, OrderedDim: -1},
+		{Container: []int{4, 4}, Boxes: []Box{{2, 2}, {1, 1}}, OrderedDim: -1, Arcs: [][2]int{{0, 1}}},
+		{Container: []int{4, 4}, Boxes: []Box{{2, 2}, {1, 1}}, OrderedDim: 0, Arcs: [][2]int{{0, 2}}},
+		{Container: []int{4, 4}, Boxes: []Box{{2, 2}, {1, 1}}, OrderedDim: 0, Arcs: [][2]int{{0, 1}, {1, 0}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad problem %d accepted", i)
+		}
+	}
+}
+
+func Test2DSquares(t *testing.T) {
+	// Four unit squares tile a 2×2 square.
+	p := &Problem{Container: []int{2, 2}, OrderedDim: -1,
+		Boxes: []Box{{1, 1}, {1, 1}, {1, 1}, {1, 1}}}
+	if !decide(t, p) {
+		t.Fatal("4 unit squares in 2x2 rejected")
+	}
+	// Five do not.
+	p.Boxes = append(p.Boxes, Box{1, 1})
+	if decide(t, p) {
+		t.Fatal("5 unit squares in 2x2 accepted")
+	}
+}
+
+func Test2DClassicRectangles(t *testing.T) {
+	// 2×3 and 3×2 fit in 5×3 side by side; not in 4×3.
+	p := &Problem{Container: []int{5, 3}, OrderedDim: -1,
+		Boxes: []Box{{2, 3}, {3, 2}}}
+	if !decide(t, p) {
+		t.Fatal("5x3 case rejected")
+	}
+	p.Container = []int{4, 3}
+	if decide(t, p) {
+		t.Fatal("4x3 case accepted")
+	}
+	// A perfect 2D tiling: 4x4 from one 2x4, two 2x2, one 4x2… area 8+4+4+8 = 24 ≠ 16.
+	// Instead: 4×4 from four 2×2.
+	p = &Problem{Container: []int{4, 4}, OrderedDim: -1,
+		Boxes: []Box{{2, 2}, {2, 2}, {2, 2}, {2, 2}}}
+	if !decide(t, p) {
+		t.Fatal("perfect 2x2 tiling rejected")
+	}
+}
+
+// TestRamsey2D: six 2×2 squares in a 5×5 container — pairwise each pair
+// must separate in x or y; R(3,3)=6 forces a 3-chain (6 > 5): infeasible
+// although the area (24 ≤ 25) allows it.
+func TestRamsey2D(t *testing.T) {
+	p := &Problem{Container: []int{5, 5}, OrderedDim: -1}
+	for i := 0; i < 6; i++ {
+		p.Boxes = append(p.Boxes, Box{2, 2})
+	}
+	if decide(t, p) {
+		t.Fatal("six 2x2 in 5x5 accepted")
+	}
+	p.Container = []int{6, 5}
+	if !decide(t, p) {
+		t.Fatal("six 2x2 in 6x5 rejected")
+	}
+}
+
+func Test4D(t *testing.T) {
+	// Two hypercubes of side 2 in a 2×2×2×4 container: stack along the
+	// last axis.
+	p := &Problem{Container: []int{2, 2, 2, 4}, OrderedDim: -1,
+		Boxes: []Box{{2, 2, 2, 2}, {2, 2, 2, 2}}}
+	if !decide(t, p) {
+		t.Fatal("4D stacking rejected")
+	}
+	p.Container = []int{2, 2, 2, 3}
+	if decide(t, p) {
+		t.Fatal("overfull 4D container accepted")
+	}
+}
+
+func TestOrderConstraints(t *testing.T) {
+	// Two boxes in a 1×1 spatial slot with a chain on dimension 1.
+	p := &Problem{
+		Container:  []int{1, 4},
+		Boxes:      []Box{{1, 2}, {1, 2}},
+		OrderedDim: 1,
+		Arcs:       [][2]int{{0, 1}},
+	}
+	r, err := Decide(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible {
+		t.Fatal("chain rejected")
+	}
+	if r.Positions[0][1]+2 > r.Positions[1][1] {
+		t.Fatalf("order violated: %v", r.Positions)
+	}
+	// The reverse order is also representable; both at once are not.
+	p.Arcs = [][2]int{{0, 1}, {1, 0}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("cyclic arcs accepted")
+	}
+}
+
+func TestOrderMakesInfeasible(t *testing.T) {
+	// Without order: two 1×2 boxes fit side by side in 2×2.
+	p := &Problem{Container: []int{2, 2}, OrderedDim: -1,
+		Boxes: []Box{{1, 2}, {1, 2}}}
+	if !decide(t, p) {
+		t.Fatal("side-by-side rejected")
+	}
+	// An order constraint on dimension 1 forces them sequential: the
+	// container is too short.
+	p.OrderedDim = 1
+	p.Arcs = [][2]int{{0, 1}}
+	if decide(t, p) {
+		t.Fatal("order-violating packing accepted")
+	}
+}
+
+func TestMisfitBox(t *testing.T) {
+	p := &Problem{Container: []int{3, 3}, OrderedDim: -1, Boxes: []Box{{4, 1}}}
+	r, err := Decide(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Decided || r.Feasible {
+		t.Fatal("misfit box accepted")
+	}
+}
+
+func TestMinimizeStrip(t *testing.T) {
+	// Classic strip packing: minimize the height of a width-4 strip for
+	// rectangles (widths × heights): 4×1, 2×2, 2×2 → optimal height 3.
+	p := &Problem{
+		Container:  []int{4, 999},
+		Boxes:      []Box{{4, 1}, {2, 2}, {2, 2}},
+		OrderedDim: -1,
+	}
+	h, r, err := Minimize(p, 1, Options{TimeLimit: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 3 {
+		t.Fatalf("strip height = %d, want 3", h)
+	}
+	if r == nil || !r.Feasible {
+		t.Fatal("no witness")
+	}
+}
+
+func TestMinimizeWithOrder(t *testing.T) {
+	// Makespan of a chain of three unit-area jobs of length 2 = 6.
+	p := &Problem{
+		Container:  []int{2, 999},
+		Boxes:      []Box{{1, 2}, {1, 2}, {1, 2}},
+		OrderedDim: 1,
+		Arcs:       [][2]int{{0, 1}, {1, 2}},
+	}
+	m, _, err := Minimize(p, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 6 {
+		t.Fatalf("makespan = %d, want 6", m)
+	}
+	// Without the chain they pack two abreast: ⌈3/2⌉·2 = 4.
+	p.Arcs = nil
+	p.OrderedDim = -1
+	m, _, err = Minimize(p, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 4 {
+		t.Fatalf("unordered makespan = %d, want 4", m)
+	}
+}
+
+func TestMinimizeErrors(t *testing.T) {
+	p := &Problem{Container: []int{2, 2}, OrderedDim: -1, Boxes: []Box{{3, 1}}}
+	if _, _, err := Minimize(p, 1, Options{}); err == nil {
+		t.Fatal("fixed-dimension misfit accepted")
+	}
+	p = &Problem{Container: []int{2, 2}, OrderedDim: -1, Boxes: []Box{{1, 1}}}
+	if _, _, err := Minimize(p, 5, Options{}); err == nil {
+		t.Fatal("out-of-range dimension accepted")
+	}
+}
+
+// brute2D exhaustively enumerates 2D positions.
+func brute2D(p *Problem) bool {
+	n := len(p.Boxes)
+	pos := make([][2]int, n)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == n {
+			return true
+		}
+		for x := 0; x+p.Boxes[i][0] <= p.Container[0]; x++ {
+		next:
+			for y := 0; y+p.Boxes[i][1] <= p.Container[1]; y++ {
+				for j := 0; j < i; j++ {
+					if pos[j][0] < x+p.Boxes[i][0] && x < pos[j][0]+p.Boxes[j][0] &&
+						pos[j][1] < y+p.Boxes[i][1] && y < pos[j][1]+p.Boxes[j][1] {
+						continue next
+					}
+				}
+				pos[i] = [2]int{x, y}
+				if rec(i + 1) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+func TestDecide2DQuickAgainstBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 600; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := &Problem{
+			Container:  []int{2 + rng.Intn(3), 2 + rng.Intn(3)},
+			OrderedDim: -1,
+		}
+		n := 2 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			p.Boxes = append(p.Boxes, Box{1 + rng.Intn(p.Container[0]), 1 + rng.Intn(p.Container[1])})
+		}
+		want := brute2D(p)
+		if got := decide(t, p); got != want {
+			t.Fatalf("seed %d: pack=%v brute=%v for %+v", seed, got, want, p)
+		}
+	}
+}
+
+func TestMinimizeBins2D(t *testing.T) {
+	// Five 2×2 squares into 4×4 bins: each bin holds four, so two bins
+	// suffice and one is impossible (a 4×4 bin holds at most four).
+	p := &Problem{Container: []int{4, 4}, OrderedDim: -1}
+	for i := 0; i < 5; i++ {
+		p.Boxes = append(p.Boxes, Box{2, 2})
+	}
+	k, r, bins, err := MinimizeBins(p, Options{TimeLimit: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 {
+		t.Fatalf("bins = %d, want 2", k)
+	}
+	if r == nil || !r.Feasible || len(bins) != 5 {
+		t.Fatal("no witness")
+	}
+	for _, b := range bins {
+		if b < 0 || b >= 2 {
+			t.Fatalf("bin assignment %v", bins)
+		}
+	}
+	// Witness positions are d-dimensional again (bin axis stripped).
+	if len(r.Positions[0]) != 2 {
+		t.Fatalf("positions carry %d dims", len(r.Positions[0]))
+	}
+}
+
+func TestMinimizeBinsSingle(t *testing.T) {
+	p := &Problem{Container: []int{4, 4}, OrderedDim: -1,
+		Boxes: []Box{{2, 2}, {2, 2}}}
+	k, _, _, err := MinimizeBins(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Fatalf("bins = %d, want 1", k)
+	}
+}
+
+func TestMinimizeBinsMisfit(t *testing.T) {
+	p := &Problem{Container: []int{2, 2}, OrderedDim: -1, Boxes: []Box{{3, 1}}}
+	if _, _, _, err := MinimizeBins(p, Options{}); err == nil {
+		t.Fatal("misfit accepted")
+	}
+}
+
+func TestMinimizeBinsWithOrder(t *testing.T) {
+	// Two full-bin jobs with a chain: the order lives on dimension 1,
+	// both fit one bin sequentially (container tall enough).
+	p := &Problem{
+		Container:  []int{2, 4},
+		Boxes:      []Box{{2, 2}, {2, 2}},
+		OrderedDim: 1,
+		Arcs:       [][2]int{{0, 1}},
+	}
+	k, r, _, err := MinimizeBins(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Fatalf("bins = %d, want 1", k)
+	}
+	if r.Positions[0][1]+2 > r.Positions[1][1] {
+		t.Fatalf("order violated: %v", r.Positions)
+	}
+}
