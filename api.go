@@ -146,6 +146,8 @@ type Result struct {
 	Placement *Placement // non-nil iff Decision == Feasible
 	DecidedBy string     // "bound: …", "heuristic", or "search"
 	Nodes     int64      // branch-and-bound nodes expended
+	Stats     Stats      // full engine statistics
+	Stages    StageTimings
 	Elapsed   time.Duration
 }
 
@@ -156,6 +158,8 @@ type OptimizeResult struct {
 	Placement  *Placement
 	LowerBound int
 	Nodes      int64
+	Stats      Stats // engine statistics summed over all probes
+	Stages     StageTimings
 	Elapsed    time.Duration
 }
 
@@ -173,13 +177,7 @@ func Solve(in *Instance, c Chip, o *Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
-		Decision:  r.Decision,
-		Placement: r.Placement,
-		DecidedBy: r.DecidedBy,
-		Nodes:     r.Stats.Nodes,
-		Elapsed:   r.Elapsed,
-	}, nil
+	return convertFeas(r), nil
 }
 
 // MinimizeTime computes the smallest execution time on a fixed W×H chip
@@ -212,13 +210,7 @@ func FixedSchedule(in *Instance, c Chip, starts []int, o *Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
-		Decision:  r.Decision,
-		Placement: r.Placement,
-		DecidedBy: r.DecidedBy,
-		Nodes:     r.Stats.Nodes,
-		Elapsed:   r.Elapsed,
-	}, nil
+	return convertFeas(r), nil
 }
 
 // MinimizeChipFixedSchedule computes the smallest square chip that
@@ -234,6 +226,18 @@ func MinimizeChipFixedSchedule(in *Instance, starts []int, o *Options) (*Optimiz
 	return convertOpt(r), nil
 }
 
+func convertFeas(r *solver.OPPResult) *Result {
+	return &Result{
+		Decision:  r.Decision,
+		Placement: r.Placement,
+		DecidedBy: r.DecidedBy,
+		Nodes:     r.Stats.Nodes,
+		Stats:     r.Stats,
+		Stages:    r.Stages,
+		Elapsed:   r.Elapsed,
+	}
+}
+
 func convertOpt(r *solver.OptResult) *OptimizeResult {
 	return &OptimizeResult{
 		Decision:   r.Decision,
@@ -241,6 +245,8 @@ func convertOpt(r *solver.OptResult) *OptimizeResult {
 		Placement:  r.Placement,
 		LowerBound: r.LowerBound,
 		Nodes:      r.Stats.Nodes,
+		Stats:      r.Stats,
+		Stages:     r.Stages,
 		Elapsed:    r.Elapsed,
 	}
 }

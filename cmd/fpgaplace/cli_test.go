@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fpga3d"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		mode string
+		set  []string
+		ok   bool
+	}{
+		{"opp", []string{"builtin", "W", "H", "T"}, true},
+		{"spp", []string{"builtin", "W", "H", "trace", "json"}, true},
+		{"spp", []string{"builtin", "W", "H", "starts"}, false},
+		{"spp", []string{"builtin", "W", "H", "T"}, false}, // T is derived in spp
+		{"bmp", []string{"builtin", "T", "progress"}, true},
+		{"bmp", []string{"builtin", "T", "W"}, false},
+		{"fixed", []string{"builtin", "W", "H", "T", "starts"}, true},
+		{"pareto", []string{"builtin", "metrics"}, true},
+		{"pareto", []string{"builtin", "chips"}, false},
+		{"multichip", []string{"builtin", "W", "H", "T", "chips"}, true},
+		{"rotate", []string{"builtin", "W", "H", "T", "chips"}, false},
+		{"tracestats", []string{"mode", "trace", "json"}, true},
+		{"tracestats", []string{"mode", "trace", "builtin"}, false},
+		{"nonsense", []string{"chips"}, true}, // unknown mode errors later, not here
+	}
+	for _, tc := range cases {
+		set := make(map[string]bool)
+		for _, f := range tc.set {
+			set[f] = true
+		}
+		err := validateFlags(tc.mode, set)
+		if (err == nil) != tc.ok {
+			t.Errorf("validateFlags(%q, %v) = %v, want ok=%v", tc.mode, tc.set, err, tc.ok)
+		}
+	}
+}
+
+// TestTraceStatsRoundTrip records a real solver trace and summarizes it
+// with the tracestats aggregator, in both output formats.
+func TestTraceStatsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := &fpga3d.Options{Trace: fpga3d.NewTracer(f), SkipBounds: true, SkipHeuristic: true}
+	in := fpga3d.NewInstance("cli")
+	in.AddTask("a", 2, 2, 1)
+	in.AddTask("b", 2, 2, 1)
+	if _, err := fpga3d.Solve(in, fpga3d.Chip{W: 2, H: 2, T: 2}, opt); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var human bytes.Buffer
+	if err := traceStats(&human, path, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"events by type", "opp_end", "search effort by rule", "c3"} {
+		if !strings.Contains(human.String(), want) {
+			t.Errorf("human summary missing %q:\n%s", want, human.String())
+		}
+	}
+
+	var js bytes.Buffer
+	if err := traceStats(&js, path, true); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Events        map[string]int   `json:"events"`
+		DecidedBy     map[string]int   `json:"opp_decided_by"`
+		Conflicts     map[string]int64 `json:"conflicts_by_rule"`
+		Forced        map[string]int64 `json:"forced_by_rule"`
+		SearchedCalls int              `json:"searched_calls"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &rep); err != nil {
+		t.Fatalf("summary is not JSON: %v\n%s", err, js.String())
+	}
+	if rep.Events["opp_end"] != 1 || rep.SearchedCalls != 1 {
+		t.Errorf("summary events %v, searched %d", rep.Events, rep.SearchedCalls)
+	}
+	if rep.DecidedBy["search"] != 1 {
+		t.Errorf("decided_by %v", rep.DecidedBy)
+	}
+	// Both modules overlap in x and y, so C3 must have forced the time
+	// disjointness at least once on the searched call.
+	if rep.Forced["c3"] == 0 {
+		t.Errorf("forced_by_rule %v has no c3 entry", rep.Forced)
+	}
+	if _, ok := rep.Conflicts["c3"]; !ok {
+		t.Errorf("conflicts_by_rule %v missing the c3 rule row", rep.Conflicts)
+	}
+}
+
+func TestTraceStatsRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(path, []byte("{\"ev\":\"x\"}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := traceStats(&bytes.Buffer{}, path, false); err == nil {
+		t.Fatal("malformed line not reported")
+	}
+	if err := traceStats(&bytes.Buffer{}, filepath.Join(t.TempDir(), "missing.jsonl"), false); err == nil {
+		t.Fatal("missing file not reported")
+	}
+}

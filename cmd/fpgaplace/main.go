@@ -13,13 +13,24 @@
 // Modes follow the paper's problem names: opp = FeasAT&FindS,
 // spp = MinT&FindS, bmp = MinA&FindS, fixed = FeasA&FixedS,
 // pareto = the Figure-7 trade-off curve.
+//
+// Observability:
+//
+//	fpgaplace -builtin de -mode spp -W 17 -H 17 -progress          # live status line on stderr
+//	fpgaplace -builtin de -mode spp -W 17 -H 17 -trace run.jsonl   # JSONL event trace
+//	fpgaplace -builtin de -mode spp -W 17 -H 17 -json              # machine-readable result
+//	fpgaplace -builtin de -mode spp -W 17 -H 17 -metrics :8123     # live metrics endpoint
+//	fpgaplace -mode tracestats -trace run.jsonl                    # summarize a recorded trace
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -34,7 +45,7 @@ func main() {
 	var (
 		instancePath = flag.String("instance", "", "JSON instance file")
 		builtin      = flag.String("builtin", "", "built-in benchmark instead of a file: de, videocodec")
-		mode         = flag.String("mode", "opp", "opp | spp | bmp | fixed | pareto | minarea | multichip | rotate")
+		mode         = flag.String("mode", "opp", "opp | spp | bmp | fixed | pareto | minarea | multichip | rotate | tracestats")
 		w            = flag.Int("W", 0, "chip width in cells (opp, spp, fixed)")
 		h            = flag.Int("H", 0, "chip height in cells (opp, spp, fixed)")
 		tBudget      = flag.Int("T", 0, "time budget in cycles (opp, bmp, fixed)")
@@ -47,8 +58,26 @@ func main() {
 		reconfig     = flag.Int("reconfig", 0, "per-task reconfiguration overhead folded into durations")
 		nodeLimit    = flag.Int64("node-limit", 0, "branch-and-bound node budget (0 = unlimited)")
 		timeLimit    = flag.Duration("time-limit", 5*time.Minute, "wall-clock budget per decision")
+		progress     = flag.Bool("progress", false, "print a live search status line to stderr")
+		tracePath    = flag.String("trace", "", "write a JSONL event trace to this file (input file for mode=tracestats)")
+		metricsAddr  = flag.String("metrics", "", "serve live solver metrics as JSON on this address (e.g. :8123)")
+		jsonOut      = flag.Bool("json", false, "print the result as JSON instead of text")
 	)
 	flag.Parse()
+
+	if err := validateFlags(*mode, setFlags()); err != nil {
+		log.Fatal(err)
+	}
+
+	if *mode == "tracestats" {
+		if *tracePath == "" {
+			log.Fatal("mode=tracestats needs -trace with the JSONL file to summarize")
+		}
+		if err := traceStats(os.Stdout, *tracePath, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	in, err := loadInstance(*instancePath, *builtin)
 	if err != nil {
@@ -64,6 +93,15 @@ func main() {
 		}
 	}
 	opt := &fpga3d.Options{NodeLimit: *nodeLimit, TimeLimit: *timeLimit}
+	finishObs, err := setupObs(opt, *progress, *tracePath, *metricsAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer finishObs()
+	// With -json the human placement table is off unless asked for.
+	if *jsonOut && !flagWasSet("placement") {
+		*showPlace = false
+	}
 	svgOut := func(p *fpga3d.Placement, c fpga3d.Chip) {
 		if *svgPath == "" || p == nil {
 			return
@@ -87,8 +125,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		finishObs()
+		if *jsonOut {
+			emitJSON(feasJSON(in, "opp", chip, res))
+			break
+		}
 		fmt.Printf("%s on %v: %v (decided by %s, %d nodes, %v)\n",
 			in.Name(), chip, res.Decision, res.DecidedBy, res.Nodes, res.Elapsed.Round(time.Microsecond))
+		fmt.Printf("stages: %v\n", res.Stages)
 		printPlacement(in, res.Placement, *showPlace, *showGantt)
 		svgOut(res.Placement, chip)
 
@@ -98,9 +142,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		finishObs()
+		if *jsonOut {
+			emitJSON(optJSON(in, "spp", res))
+			break
+		}
 		fmt.Printf("%s on %dx%d: minimal time %d cycles (%v, lower bound %d, %d nodes, %v)\n",
 			in.Name(), *w, *h, res.Value, res.Decision, res.LowerBound, res.Nodes,
 			res.Elapsed.Round(time.Microsecond))
+		fmt.Printf("stages: %v\n", res.Stages)
 		printPlacement(in, res.Placement, *showPlace, *showGantt)
 		svgOut(res.Placement, fpga3d.Chip{W: *w, H: *h, T: res.Value})
 
@@ -110,9 +160,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		finishObs()
+		if *jsonOut {
+			emitJSON(optJSON(in, "bmp", res))
+			break
+		}
 		fmt.Printf("%s within T=%d: minimal chip %dx%d (%v, lower bound %d, %d nodes, %v)\n",
 			in.Name(), *tBudget, res.Value, res.Value, res.Decision, res.LowerBound, res.Nodes,
 			res.Elapsed.Round(time.Microsecond))
+		fmt.Printf("stages: %v\n", res.Stages)
 		printPlacement(in, res.Placement, *showPlace, *showGantt)
 		svgOut(res.Placement, fpga3d.Chip{W: res.Value, H: res.Value, T: *tBudget})
 
@@ -127,6 +183,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		finishObs()
+		if *jsonOut {
+			emitJSON(feasJSON(in, "fixed", chip, res))
+			break
+		}
 		fmt.Printf("%s with fixed schedule on %v: %v (%d nodes, %v)\n",
 			in.Name(), chip, res.Decision, res.Nodes, res.Elapsed.Round(time.Microsecond))
 		printPlacement(in, res.Placement, *showPlace, *showGantt)
@@ -136,6 +197,11 @@ func main() {
 		pts, err := fpga3d.Pareto(in, opt)
 		if err != nil {
 			log.Fatal(err)
+		}
+		finishObs()
+		if *jsonOut {
+			emitJSON(map[string]any{"instance": in.Name(), "mode": "pareto", "points": pts})
+			break
 		}
 		fmt.Printf("%s: Pareto-optimal (time, chip) points:\n", in.Name())
 		for _, p := range pts {
@@ -147,6 +213,15 @@ func main() {
 		res, err := fpga3d.MinimizeChipArea(in, *tBudget, opt)
 		if err != nil {
 			log.Fatal(err)
+		}
+		finishObs()
+		if *jsonOut {
+			emitJSON(map[string]any{
+				"instance": in.Name(), "mode": "minarea",
+				"decision": res.Decision.String(), "W": res.W, "H": res.H, "area": res.Area,
+				"stats": res.Stats, "placement": res.Placement,
+			})
+			break
 		}
 		fmt.Printf("%s within T=%d: minimal rectangle %dx%d (%d cells, %v)\n",
 			in.Name(), *tBudget, res.W, res.H, res.Area, res.Decision)
@@ -164,6 +239,15 @@ func main() {
 		}
 		if err != nil {
 			log.Fatal(err)
+		}
+		finishObs()
+		if *jsonOut {
+			emitJSON(map[string]any{
+				"instance": in.Name(), "mode": "multichip",
+				"decision": res.Decision.String(), "chips": res.Chips,
+				"stats": res.Stats, "placement": res.Placement, "chip_of_task": res.Chip,
+			})
+			break
 		}
 		fmt.Printf("%s on %dx%d chips within T=%d: %v with %d chips\n",
 			in.Name(), *w, *h, *tBudget, res.Decision, res.Chips)
@@ -188,6 +272,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		finishObs()
+		if *jsonOut {
+			emitJSON(map[string]any{
+				"instance": in.Name(), "mode": "rotate",
+				"decision": res.Decision.String(), "rotations": res.Rotations,
+				"stats": res.Stats, "placement": res.Placement,
+			})
+			break
+		}
 		fmt.Printf("%s on %v with rotation: %v\n", in.Name(), chip, res.Decision)
 		if res.Decision == fpga3d.Feasible {
 			rotated := 0
@@ -201,7 +294,156 @@ func main() {
 		}
 
 	default:
-		log.Fatalf("unknown mode %q (want opp, spp, bmp, fixed, pareto, minarea, multichip or rotate)", *mode)
+		log.Fatalf("unknown mode %q (want opp, spp, bmp, fixed, pareto, minarea, multichip, rotate or tracestats)", *mode)
+	}
+}
+
+// setFlags returns the names of the flags explicitly set on the
+// command line.
+func setFlags() map[string]bool {
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return set
+}
+
+func flagWasSet(name string) bool { return setFlags()[name] }
+
+// commonFlags are meaningful in every solving mode.
+var commonFlags = map[string]bool{
+	"instance": true, "builtin": true, "mode": true, "no-prec": true,
+	"placement": true, "gantt": true, "svg": true, "reconfig": true,
+	"node-limit": true, "time-limit": true,
+	"progress": true, "trace": true, "metrics": true, "json": true,
+}
+
+// modeFlags lists the mode-specific flags each mode accepts.
+var modeFlags = map[string]map[string]bool{
+	"opp":        {"W": true, "H": true, "T": true},
+	"spp":        {"W": true, "H": true},
+	"bmp":        {"T": true},
+	"fixed":      {"W": true, "H": true, "T": true, "starts": true},
+	"pareto":     {},
+	"minarea":    {"T": true},
+	"multichip":  {"W": true, "H": true, "T": true, "chips": true},
+	"rotate":     {"W": true, "H": true, "T": true},
+	"tracestats": {"mode": true, "trace": true, "json": true},
+}
+
+// validateFlags rejects flag combinations that the chosen mode would
+// silently ignore, before any solving starts.
+func validateFlags(mode string, set map[string]bool) error {
+	allowed, ok := modeFlags[mode]
+	if !ok {
+		return nil // unknown mode is reported by the main switch
+	}
+	var bad []string
+	for name := range set {
+		if mode == "tracestats" {
+			if !allowed[name] {
+				bad = append(bad, "-"+name)
+			}
+			continue
+		}
+		if !commonFlags[name] && !allowed[name] {
+			bad = append(bad, "-"+name)
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	return fmt.Errorf("%s not valid in mode=%s (run -help for per-mode flags)",
+		strings.Join(bad, ", "), mode)
+}
+
+// setupObs wires the -progress, -trace and -metrics flags into the
+// solver options. The returned function flushes and closes the sinks;
+// it is idempotent so it can run both before result printing (to get
+// the progress line off the screen) and on the deferred path.
+func setupObs(opt *fpga3d.Options, progress bool, tracePath, metricsAddr string) (func(), error) {
+	var done []func()
+	if progress {
+		opt.Progress = fpga3d.ProgressPrinter(os.Stderr, 0)
+		done = append(done, func() { fmt.Fprintln(os.Stderr) })
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		tr := fpga3d.NewTracer(f)
+		opt.Trace = tr
+		done = append(done, func() {
+			if err := tr.Err(); err != nil {
+				log.Printf("trace: %v", err)
+			}
+			f.Close()
+		})
+	}
+	if metricsAddr != "" {
+		reg := fpga3d.NewMetrics()
+		opt.Metrics = reg
+		go func() {
+			if err := http.ListenAndServe(metricsAddr, reg); err != nil {
+				log.Printf("metrics: %v", err)
+			}
+		}()
+	}
+	ran := false
+	return func() {
+		if ran {
+			return
+		}
+		ran = true
+		for _, f := range done {
+			f()
+		}
+	}, nil
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func feasJSON(in *fpga3d.Instance, mode string, chip fpga3d.Chip, res *fpga3d.Result) map[string]any {
+	return map[string]any{
+		"instance":   in.Name(),
+		"mode":       mode,
+		"chip":       map[string]int{"W": chip.W, "H": chip.H, "T": chip.T},
+		"decision":   res.Decision.String(),
+		"decided_by": res.DecidedBy,
+		"nodes":      res.Nodes,
+		"elapsed_ms": float64(res.Elapsed) / float64(time.Millisecond),
+		"stages_ms":  stagesMSJSON(res.Stages),
+		"stats":      res.Stats,
+		"placement":  res.Placement,
+	}
+}
+
+func optJSON(in *fpga3d.Instance, mode string, res *fpga3d.OptimizeResult) map[string]any {
+	return map[string]any{
+		"instance":    in.Name(),
+		"mode":        mode,
+		"decision":    res.Decision.String(),
+		"value":       res.Value,
+		"lower_bound": res.LowerBound,
+		"nodes":       res.Nodes,
+		"elapsed_ms":  float64(res.Elapsed) / float64(time.Millisecond),
+		"stages_ms":   stagesMSJSON(res.Stages),
+		"stats":       res.Stats,
+		"placement":   res.Placement,
+	}
+}
+
+func stagesMSJSON(s fpga3d.StageTimings) map[string]float64 {
+	return map[string]float64{
+		"bounds":    float64(s.Bounds) / float64(time.Millisecond),
+		"heuristic": float64(s.Heuristic) / float64(time.Millisecond),
+		"search":    float64(s.Search) / float64(time.Millisecond),
 	}
 }
 

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// traceStats summarizes a JSONL trace written by -trace into per-rule
+// effort tables: how often each propagation rule fired and each pruning
+// rule rejected, summed over the OPP calls of the run — the raw
+// material for the Section 6 effort tables in EXPERIMENTS.md.
+func traceStats(w io.Writer, path string, asJSON bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	agg := newTraceAgg()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(strings.TrimSpace(sc.Text())) == 0 {
+			continue
+		}
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		agg.add(ev)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if agg.events == 0 {
+		return fmt.Errorf("%s: no events", path)
+	}
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(agg.report())
+	}
+	agg.print(w, path)
+	return nil
+}
+
+// traceAgg accumulates the per-event and per-rule tallies of one trace.
+type traceAgg struct {
+	events    int
+	byType    map[string]int
+	decidedBy map[string]int
+	outcomes  map[string]int // opp_end decisions
+	nodes     int64
+	elapsedMS float64
+	stagesMS  map[string]float64
+	stats     map[string]int64 // summed engine stats over opp_end events
+	statCalls int
+}
+
+func newTraceAgg() *traceAgg {
+	return &traceAgg{
+		byType:    make(map[string]int),
+		decidedBy: make(map[string]int),
+		outcomes:  make(map[string]int),
+		stagesMS:  make(map[string]float64),
+		stats:     make(map[string]int64),
+	}
+}
+
+func (a *traceAgg) add(ev map[string]any) {
+	a.events++
+	kind, _ := ev["ev"].(string)
+	a.byType[kind]++
+	switch kind {
+	case "opp_end":
+		if d, ok := ev["decided_by"].(string); ok {
+			// Bound refutations carry the binding bound name after a
+			// colon; fold them into one row.
+			if i := strings.IndexByte(d, ':'); i > 0 {
+				d = d[:i]
+			}
+			a.decidedBy[d]++
+		}
+		if d, ok := ev["decision"].(string); ok {
+			a.outcomes[d]++
+		}
+		if n, ok := ev["nodes"].(float64); ok {
+			a.nodes += int64(n)
+		}
+		if e, ok := ev["elapsed_ms"].(float64); ok {
+			a.elapsedMS += e
+		}
+		if sm, ok := ev["stages_ms"].(map[string]any); ok {
+			for k, v := range sm {
+				if f, ok := v.(float64); ok {
+					a.stagesMS[k] += f
+				}
+			}
+		}
+		if st, ok := ev["stats"].(map[string]any); ok {
+			a.statCalls++
+			for k, v := range st {
+				if f, ok := v.(float64); ok {
+					a.stats[k] += int64(f)
+				}
+			}
+		}
+	}
+}
+
+// byPrefix extracts the summed stats fields with the given name prefix
+// into a rule-name → count table (e.g. ConflictC3 → c3).
+func (a *traceAgg) byPrefix(prefix string) map[string]int64 {
+	out := make(map[string]int64)
+	for k, v := range a.stats {
+		if len(k) > len(prefix) && strings.HasPrefix(k, prefix) {
+			out[strings.ToLower(k[len(prefix):])] = v
+		}
+	}
+	return out
+}
+
+func (a *traceAgg) report() map[string]any {
+	return map[string]any{
+		"events":            a.byType,
+		"opp_decided_by":    a.decidedBy,
+		"opp_outcomes":      a.outcomes,
+		"nodes":             a.nodes,
+		"opp_elapsed_ms":    a.elapsedMS,
+		"stages_ms":         a.stagesMS,
+		"searched_calls":    a.statCalls,
+		"conflicts_by_rule": a.byPrefix("Conflict"),
+		"forced_by_rule":    a.byPrefix("Forced"),
+		"rejects_by_reason": a.byPrefix("Reject"),
+	}
+}
+
+func (a *traceAgg) print(w io.Writer, path string) {
+	fmt.Fprintf(w, "%s: %d events\n", path, a.events)
+	fmt.Fprintln(w, "\nevents by type:")
+	printCountTable(w, a.byType)
+	if n := a.byType["opp_end"]; n > 0 {
+		fmt.Fprintf(w, "\nOPP calls: %d (", n)
+		first := true
+		for _, k := range sortedKeys(a.decidedBy) {
+			if !first {
+				fmt.Fprint(w, ", ")
+			}
+			fmt.Fprintf(w, "%s %d", k, a.decidedBy[k])
+			first = false
+		}
+		fmt.Fprintf(w, "), %d nodes, %v engine time\n",
+			a.nodes, (time.Duration(a.elapsedMS * float64(time.Millisecond))).Round(time.Microsecond))
+	}
+	if len(a.stagesMS) > 0 {
+		fmt.Fprintln(w, "\nstage time (summed over OPP calls):")
+		for _, k := range sortedKeys(a.stagesMS) {
+			fmt.Fprintf(w, "  %-12s %10.3f ms\n", k, a.stagesMS[k])
+		}
+	}
+	if a.statCalls > 0 {
+		conflicts, forced := a.byPrefix("Conflict"), a.byPrefix("Forced")
+		fmt.Fprintf(w, "\nsearch effort by rule (%d searched calls):\n", a.statCalls)
+		fmt.Fprintf(w, "  %-10s %12s %12s\n", "rule", "conflicts", "forced")
+		for _, rule := range sortedKeys(conflicts) {
+			fmt.Fprintf(w, "  %-10s %12d %12d\n", rule, conflicts[rule], forced[rule])
+		}
+		fmt.Fprintln(w, "\nleaf rejects by reason:")
+		printCountTable(w, a.byPrefix("Reject"))
+	}
+}
+
+func printCountTable[V int | int64](w io.Writer, m map[string]V) {
+	for _, k := range sortedKeys(m) {
+		fmt.Fprintf(w, "  %-14s %10d\n", k, m[k])
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -116,6 +116,8 @@ type MultiChipResult struct {
 	Chips     int
 	Chip      []int
 	Placement *Placement
+	Stats     Stats
+	Stages    StageTimings
 }
 
 // SolveMultiChip decides whether the instance fits k identical W×H
@@ -128,7 +130,8 @@ func SolveMultiChip(in *Instance, chipW, chipH, t, k int, o *Options) (*MultiChi
 	if err != nil {
 		return nil, err
 	}
-	return &MultiChipResult{Decision: r.Decision, Chips: r.Chips, Chip: r.Chip, Placement: r.Placement}, nil
+	return &MultiChipResult{Decision: r.Decision, Chips: r.Chips, Chip: r.Chip,
+		Placement: r.Placement, Stats: r.Stats, Stages: r.Stages}, nil
 }
 
 // MinimizeChips finds the minimal number of identical W×H chips on
@@ -138,7 +141,8 @@ func MinimizeChips(in *Instance, chipW, chipH, t int, o *Options) (*MultiChipRes
 	if err != nil {
 		return nil, err
 	}
-	return &MultiChipResult{Decision: r.Decision, Chips: r.Chips, Chip: r.Chip, Placement: r.Placement}, nil
+	return &MultiChipResult{Decision: r.Decision, Chips: r.Chips, Chip: r.Chip,
+		Placement: r.Placement, Stats: r.Stats, Stages: r.Stages}, nil
 }
 
 // RectResult is the outcome of a rectangular chip minimization.
@@ -147,6 +151,8 @@ type RectResult struct {
 	W, H      int
 	Area      int
 	Placement *Placement
+	Stats     Stats
+	Stages    StageTimings
 }
 
 // MinimizeChipArea generalizes MinimizeChip to rectangular chips: it
@@ -166,6 +172,8 @@ func MinimizeChipArea(in *Instance, t int, o *Options) (*RectResult, error) {
 		H:         r.H,
 		Area:      r.Area,
 		Placement: r.Placement,
+		Stats:     r.Stats,
+		Stages:    r.Stages,
 	}, nil
 }
 

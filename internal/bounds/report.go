@@ -3,6 +3,7 @@ package bounds
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"fpga3d/internal/model"
 )
@@ -19,6 +20,19 @@ type Report struct {
 	// Best is the maximum of the components — the value MinTimeLB
 	// returns.
 	Best int
+	// Timings records the wall-clock cost of each component bound —
+	// stage-1 effort data for the observability layer (the cheap
+	// critical-path/max-duration/volume bounds are timed together).
+	Timings ReportTimings
+}
+
+// ReportTimings is the per-bound wall-clock breakdown of a Report.
+// Durations serialize as integer nanoseconds in JSON traces.
+type ReportTimings struct {
+	Simple        time.Duration `json:"simple_ns"`        // critical path, max duration, volume
+	Serialization time.Duration `json:"serialization_ns"` // clique serialization bound
+	Energetic     time.Duration `json:"energetic_ns"`     // energetic-reasoning binary search
+	Total         time.Duration `json:"total_ns"`
 }
 
 // String renders the report as a one-line summary with the binding
@@ -52,6 +66,7 @@ func (r Report) String() string {
 // MinTimeReport computes the per-bound breakdown of the makespan lower
 // bound for a W×H chip.
 func MinTimeReport(in *model.Instance, W, H int, o *model.Order) Report {
+	t0 := time.Now()
 	r := Report{CriticalPath: o.CriticalPath()}
 	for _, t := range in.Tasks {
 		if t.Dur > r.MaxDuration {
@@ -59,7 +74,11 @@ func MinTimeReport(in *model.Instance, W, H int, o *model.Order) Report {
 		}
 	}
 	r.Volume = ceilDiv(in.Volume(), W*H)
+	t1 := time.Now()
+	r.Timings.Simple = t1.Sub(t0)
 	r.Serialization = SerializationMinT(in, W, H, o)
+	t2 := time.Now()
+	r.Timings.Serialization = t2.Sub(t1)
 
 	// Energetic component, isolated: binary search as in MinTimeLB but
 	// starting from 1.
@@ -76,6 +95,8 @@ func MinTimeReport(in *model.Instance, W, H int, o *model.Order) Report {
 		}
 		r.Energetic = lo + 1
 	}
+	r.Timings.Energetic = time.Since(t2)
+	r.Timings.Total = time.Since(t0)
 
 	r.Best = r.CriticalPath
 	for _, v := range []int{r.MaxDuration, r.Volume, r.Serialization, r.Energetic} {

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"fpga3d/internal/graph"
+	"fpga3d/internal/obs"
 )
 
 // changeKind discriminates trail entries.
@@ -75,7 +76,8 @@ type engine struct {
 
 	stats    Stats
 	nodeTick int64
-	aborted  Status // StatusFeasible (sentinel "not aborted") or a limit status
+	start    time.Time // search start, for progress snapshots
+	aborted  Status    // StatusFeasible (sentinel "not aborted") or a limit status
 
 	solution *Solution
 
@@ -100,7 +102,7 @@ type engine struct {
 func newEngine(p *Problem, opt Options) *engine {
 	n := p.N
 	nd := len(p.Dims)
-	e := &engine{p: p, opt: opt, n: n, nd: nd, aborted: StatusFeasible}
+	e := &engine{p: p, opt: opt, n: n, nd: nd, aborted: StatusFeasible, start: time.Now()}
 	e.pidx = make([][]int, n)
 	for u := 0; u < n; u++ {
 		e.pidx[u] = make([]int, n)
@@ -357,7 +359,9 @@ func (e *engine) undoTo(m int) {
 	e.conflict = noConflict
 }
 
-// checkLimits updates the abort status from node/time budgets.
+// checkLimits updates the abort status from node/time budgets and, on
+// the same every-256-nodes cadence as the deadline poll, delivers a
+// progress snapshot to the Progress hook.
 func (e *engine) checkLimits() bool {
 	if e.aborted != StatusFeasible {
 		return false
@@ -367,9 +371,37 @@ func (e *engine) checkLimits() bool {
 		return false
 	}
 	e.nodeTick++
-	if !e.opt.Deadline.IsZero() && e.nodeTick%256 == 0 && time.Now().After(e.opt.Deadline) {
+	if e.nodeTick%256 != 0 {
+		return true
+	}
+	if !e.opt.Deadline.IsZero() && time.Now().After(e.opt.Deadline) {
 		e.aborted = StatusTimeLimit
 		return false
 	}
+	if e.opt.Progress != nil {
+		e.emitProgress()
+	}
 	return true
+}
+
+// emitProgress builds a Snapshot from the current counters and hands
+// it to the Progress hook.
+func (e *engine) emitProgress() {
+	elapsed := time.Since(e.start)
+	nps := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		nps = float64(e.stats.Nodes) / s
+	}
+	phase := e.opt.ProgressPhase
+	if phase == "" {
+		phase = obs.PhaseSearch
+	}
+	e.opt.Progress(obs.Snapshot{
+		Phase:       phase,
+		Nodes:       e.stats.Nodes,
+		NodesPerSec: nps,
+		MaxDepth:    e.stats.MaxDepth,
+		Elapsed:     elapsed,
+		Conflicts:   e.stats.ConflictsByRule(),
+	})
 }

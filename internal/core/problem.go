@@ -26,6 +26,8 @@ package core
 import (
 	"fmt"
 	"time"
+
+	"fpga3d/internal/obs"
 )
 
 // EdgeState is the decision state of one (dimension, pair) variable.
@@ -193,6 +195,16 @@ type Options struct {
 	// Deadline aborts the search after this instant (zero = none).
 	Deadline time.Time
 
+	// Progress, when non-nil, receives a Snapshot of search effort on
+	// the engine's node-count cadence — every 256 nodes, piggybacking
+	// on the deadline poll, so the untraced hot path pays only a nil
+	// check. Callbacks must be fast; they run inside the search loop.
+	Progress obs.ProgressFunc
+	// ProgressPhase labels emitted snapshots; empty means "search".
+	// Callers embedding the engine in a larger pipeline (the solver's
+	// three-stage framework) set it to distinguish stages.
+	ProgressPhase string
+
 	// DisableC4Rule turns off the induced-chordless-4-cycle propagation
 	// (condition C1 during the search; leaves still verify chordality).
 	DisableC4Rule bool
@@ -213,64 +225,6 @@ type Options struct {
 	// when true (default behaviour is set by the solver), Overlap is
 	// tried before Disjoint on the time axis.
 	TimeOverlapFirst bool
-}
-
-// Stats reports search effort and which rules fired.
-type Stats struct {
-	Nodes       int64
-	MaxDepth    int
-	Leaves      int64
-	LeafRejects int64
-
-	ConflictC3     int64
-	ConflictSize   int64
-	ConflictClique int64
-	ConflictArea   int64
-	ConflictC4     int64
-	ConflictHole   int64
-	ConflictOrient int64
-
-	ForcedC3     int64
-	ForcedC4     int64
-	ForcedHole   int64
-	ForcedClique int64
-	ForcedArea   int64
-	ForcedOrient int64
-	ForcedSize   int64
-
-	// Leaf rejection reasons.
-	RejectChordal int64
-	RejectStable  int64
-	RejectOrient  int64
-	RejectBounds  int64
-}
-
-// Add accumulates o into s.
-func (s *Stats) Add(o Stats) {
-	s.Nodes += o.Nodes
-	if o.MaxDepth > s.MaxDepth {
-		s.MaxDepth = o.MaxDepth
-	}
-	s.Leaves += o.Leaves
-	s.LeafRejects += o.LeafRejects
-	s.ConflictC3 += o.ConflictC3
-	s.ConflictSize += o.ConflictSize
-	s.ConflictClique += o.ConflictClique
-	s.ConflictArea += o.ConflictArea
-	s.ConflictC4 += o.ConflictC4
-	s.ConflictHole += o.ConflictHole
-	s.ConflictOrient += o.ConflictOrient
-	s.ForcedC3 += o.ForcedC3
-	s.ForcedC4 += o.ForcedC4
-	s.ForcedHole += o.ForcedHole
-	s.ForcedClique += o.ForcedClique
-	s.ForcedArea += o.ForcedArea
-	s.ForcedOrient += o.ForcedOrient
-	s.ForcedSize += o.ForcedSize
-	s.RejectChordal += o.RejectChordal
-	s.RejectStable += o.RejectStable
-	s.RejectOrient += o.RejectOrient
-	s.RejectBounds += o.RejectBounds
 }
 
 // Result bundles the outcome of a Solve call.

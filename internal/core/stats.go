@@ -1,0 +1,93 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+)
+
+// Stats reports search effort and which rules fired. The counter names
+// follow a prefix convention the introspection helpers below rely on:
+// Conflict* counts conflicts detected by a rule, Forced* counts edge
+// states fixed by a rule, Reject* counts leaf rejection reasons.
+type Stats struct {
+	Nodes       int64
+	MaxDepth    int
+	Leaves      int64
+	LeafRejects int64
+
+	ConflictC3     int64
+	ConflictSize   int64
+	ConflictClique int64
+	ConflictArea   int64
+	ConflictC4     int64
+	ConflictHole   int64
+	ConflictOrient int64
+
+	ForcedC3     int64
+	ForcedC4     int64
+	ForcedHole   int64
+	ForcedClique int64
+	ForcedArea   int64
+	ForcedOrient int64
+	ForcedSize   int64
+
+	// Leaf rejection reasons.
+	RejectChordal int64
+	RejectStable  int64
+	RejectOrient  int64
+	RejectBounds  int64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Nodes += o.Nodes
+	if o.MaxDepth > s.MaxDepth {
+		s.MaxDepth = o.MaxDepth
+	}
+	s.Leaves += o.Leaves
+	s.LeafRejects += o.LeafRejects
+	s.ConflictC3 += o.ConflictC3
+	s.ConflictSize += o.ConflictSize
+	s.ConflictClique += o.ConflictClique
+	s.ConflictArea += o.ConflictArea
+	s.ConflictC4 += o.ConflictC4
+	s.ConflictHole += o.ConflictHole
+	s.ConflictOrient += o.ConflictOrient
+	s.ForcedC3 += o.ForcedC3
+	s.ForcedC4 += o.ForcedC4
+	s.ForcedHole += o.ForcedHole
+	s.ForcedClique += o.ForcedClique
+	s.ForcedArea += o.ForcedArea
+	s.ForcedOrient += o.ForcedOrient
+	s.ForcedSize += o.ForcedSize
+	s.RejectChordal += o.RejectChordal
+	s.RejectStable += o.RejectStable
+	s.RejectOrient += o.RejectOrient
+	s.RejectBounds += o.RejectBounds
+}
+
+// ConflictsByRule returns the Conflict* counters keyed by lower-cased
+// rule name ("c3", "size", "clique", "area", "c4", "hole", "orient").
+// The map is built by reflection over the field names, so counters
+// added later can never be silently missing from snapshots.
+func (s *Stats) ConflictsByRule() map[string]int64 { return s.byPrefix("Conflict") }
+
+// ForcedByRule returns the Forced* counters keyed by rule name.
+func (s *Stats) ForcedByRule() map[string]int64 { return s.byPrefix("Forced") }
+
+// RejectsByReason returns the Reject* leaf-rejection counters keyed by
+// reason name.
+func (s *Stats) RejectsByReason() map[string]int64 { return s.byPrefix("Reject") }
+
+func (s *Stats) byPrefix(prefix string) map[string]int64 {
+	rv := reflect.ValueOf(s).Elem()
+	rt := rv.Type()
+	out := make(map[string]int64)
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		if len(name) > len(prefix) && strings.HasPrefix(name, prefix) {
+			out[strings.ToLower(name[len(prefix):])] = rv.Field(i).Int()
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a lightweight expvar-style metrics registry: named
+// monotone counters and settable gauges, all atomic, exported as a
+// JSON object over HTTP for long-running processes.
+//
+// A nil *Registry is valid: Counter and Gauge return shared no-op
+// sinks, so instrumentation call sites need no guards. All methods are
+// safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Counter is a monotone atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// nopCounter and nopGauge absorb writes from nil registries. They are
+// shared and never read.
+var (
+	nopCounter = &Counter{}
+	nopGauge   = &Gauge{}
+)
+
+// Counter returns the counter with the given name, creating it on
+// first use. On a nil registry it returns a shared discard counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nopCounter
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first
+// use. On a nil registry it returns a shared discard gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nopGauge
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Snapshot returns the current value of every counter and gauge, keyed
+// by name. Counters and gauges share the namespace.
+func (r *Registry) Snapshot() map[string]int64 {
+	out := make(map[string]int64)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// ServeHTTP writes the registry as a JSON object with sorted keys, so
+// a Registry can be mounted directly as an HTTP handler.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// encoding/json sorts map keys, giving a stable export.
+	_ = enc.Encode(r.Snapshot())
+}

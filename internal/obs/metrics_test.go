@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("opp.calls").Inc()
+	r.Counter("opp.calls").Add(2)
+	r.Gauge("incumbent").Set(17)
+	r.Gauge("incumbent").Set(13)
+	snap := r.Snapshot()
+	if snap["opp.calls"] != 3 {
+		t.Errorf("opp.calls = %d, want 3", snap["opp.calls"])
+	}
+	if snap["incumbent"] != 13 {
+		t.Errorf("incumbent = %d, want 13", snap["incumbent"])
+	}
+	// Same name returns the same counter.
+	if r.Counter("opp.calls") != r.Counter("opp.calls") {
+		t.Error("Counter not idempotent")
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc() // must not panic
+	r.Gauge("y").Set(5)
+	if len(r.Snapshot()) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+}
+
+// TestRegistryConcurrent hammers the registry from many goroutines
+// while snapshots are taken — the scenario of a Pareto sweep running
+// OPP calls in parallel. Run under -race in CI.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers, each = 16, 1000
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Counter("nodes").Inc()
+				r.Counter("opp.calls").Add(1)
+				r.Gauge("depth").Set(int64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("nodes").Value(); got != workers*each {
+		t.Errorf("nodes = %d, want %d", got, workers*each)
+	}
+	if got := r.Counter("opp.calls").Value(); got != workers*each {
+		t.Errorf("opp.calls = %d, want %d", got, workers*each)
+	}
+}
+
+func TestRegistryServeHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("opp.calls").Add(7)
+	r.Gauge("incumbent").Set(32)
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var got map[string]int64
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("bad JSON %q: %v", rec.Body.String(), err)
+	}
+	if got["opp.calls"] != 7 || got["incumbent"] != 32 {
+		t.Errorf("export = %v", got)
+	}
+}

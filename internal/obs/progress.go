@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// NewPrinter returns a ProgressFunc that renders snapshots as a live
+// single-line ticker on w (typically stderr): the line is rewritten in
+// place with carriage returns, at most once per interval. Snapshots
+// that change the phase always print immediately. The returned hook is
+// safe for concurrent use.
+//
+// Callers that enable the ticker should emit a final "\n" to w once
+// the solve returns, to move past the ticker line.
+func NewPrinter(w io.Writer, interval time.Duration) ProgressFunc {
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	p := &printer{w: w, interval: interval}
+	return p.observe
+}
+
+type printer struct {
+	mu       sync.Mutex
+	w        io.Writer
+	interval time.Duration
+	last     time.Time
+	phase    string
+}
+
+func (p *printer) observe(s Snapshot) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	if s.Phase == p.phase && now.Sub(p.last) < p.interval {
+		return
+	}
+	p.phase = s.Phase
+	p.last = now
+	// Fixed-width fields so successive lines fully overwrite each other.
+	fmt.Fprintf(p.w, "\r[%-9s] nodes %-12d depth %-4d %10.0f nodes/s  conflicts %-10d %8s",
+		s.Phase, s.Nodes, s.MaxDepth, s.NodesPerSec, s.TotalConflicts(),
+		s.Elapsed.Round(time.Millisecond))
+}

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPrinterThrottlesAndPrintsPhaseChanges(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPrinter(&buf, time.Hour) // throttle everything but phase changes
+	p(Snapshot{Phase: PhaseBounds})
+	p(Snapshot{Phase: PhaseSearch, Nodes: 512, MaxDepth: 9,
+		NodesPerSec: 1000, Elapsed: time.Second,
+		Conflicts: map[string]int64{"c4": 2, "clique": 3}})
+	p(Snapshot{Phase: PhaseSearch, Nodes: 1024}) // throttled: same phase, too soon
+	out := buf.String()
+	if got := strings.Count(out, "\r"); got != 2 {
+		t.Fatalf("printed %d lines, want 2:\n%q", got, out)
+	}
+	if !strings.Contains(out, "bounds") || !strings.Contains(out, "search") {
+		t.Errorf("missing phases in %q", out)
+	}
+	if !strings.Contains(out, "512") || !strings.Contains(out, "conflicts 5") {
+		t.Errorf("missing counters in %q", out)
+	}
+	if strings.Contains(out, "1024") {
+		t.Errorf("throttled snapshot leaked into %q", out)
+	}
+}
+
+func TestSnapshotTotalConflicts(t *testing.T) {
+	s := Snapshot{Conflicts: map[string]int64{"c3": 1, "hole": 4}}
+	if s.TotalConflicts() != 5 {
+		t.Errorf("TotalConflicts = %d", s.TotalConflicts())
+	}
+	if (Snapshot{}).TotalConflicts() != 0 {
+		t.Error("empty snapshot has conflicts")
+	}
+}

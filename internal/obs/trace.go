@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+)
+
+// Tracer emits structured search events as JSON Lines: one JSON object
+// per event, with two reserved keys — "ev" (the event type) and "t"
+// (seconds since the first event, microsecond precision) — merged with
+// the caller's fields. Keys are emitted in sorted order (encoding/json
+// map semantics), so traces of deterministic runs are byte-stable
+// modulo timing fields.
+//
+// A nil *Tracer is valid and discards every event, so instrumentation
+// call sites need no guards. All methods are safe for concurrent use;
+// events from parallel solver calls interleave line-atomically.
+//
+// Event types emitted by the solver stack:
+//
+//	solve_start / solve_end   an optimization run (spp, bmp, pareto, …)
+//	opp_start / opp_end       one OPP decision call
+//	stage                     a stage transition inside an OPP call
+//	lower_bound               the stage-1 bound report of a run
+//	probe                     one probe of an optimization loop
+//	incumbent                 a new best value with a witness
+//	pareto_point              one point of the trade-off curve
+//	progress                  a periodic engine snapshot (optional)
+type Tracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	now    func() time.Time
+	start  time.Time
+	events int64
+	err    error
+}
+
+// NewTracer returns a Tracer writing JSONL events to w. The caller
+// retains ownership of w and closes it after the last Emit.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, now: time.Now}
+}
+
+// NewTracerWithClock is NewTracer with an injectable clock, for
+// deterministic tests.
+func NewTracerWithClock(w io.Writer, now func() time.Time) *Tracer {
+	return &Tracer{w: w, now: now}
+}
+
+// Emit writes one event. The reserved keys "ev" and "t" override any
+// homonymous caller fields. Emit is a no-op on a nil Tracer and after
+// the first write error.
+func (t *Tracer) Emit(ev string, fields map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	now := t.now()
+	if t.start.IsZero() {
+		t.start = now
+	}
+	obj := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		obj[k] = v
+	}
+	obj["ev"] = ev
+	obj["t"] = math.Round(now.Sub(t.start).Seconds()*1e6) / 1e6
+	b, err := json.Marshal(obj)
+	if err != nil {
+		t.err = fmt.Errorf("obs: marshal %s event: %w", ev, err)
+		return
+	}
+	b = append(b, '\n')
+	if _, err := t.w.Write(b); err != nil {
+		t.err = fmt.Errorf("obs: write %s event: %w", ev, err)
+		return
+	}
+	t.events++
+}
+
+// Events returns the number of events successfully written.
+func (t *Tracer) Events() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+// Err returns the first write or marshal error, if any. Once an error
+// occurs the tracer drops all further events.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}

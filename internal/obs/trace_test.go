@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTracerGolden pins the exact JSONL bytes for a fixed clock: one
+// object per line, sorted keys, reserved "ev"/"t" fields, microsecond
+// time precision relative to the first event.
+func TestTracerGolden(t *testing.T) {
+	var buf bytes.Buffer
+	base := time.Unix(1000, 0)
+	tick := 0
+	tr := NewTracerWithClock(&buf, func() time.Time {
+		now := base.Add(time.Duration(tick) * 1500 * time.Microsecond)
+		tick++
+		return now
+	})
+
+	tr.Emit("solve_start", map[string]any{"mode": "spp", "instance": "de", "W": 17, "H": 17})
+	tr.Emit("probe", map[string]any{"T": 13, "outcome": "feasible"})
+	tr.Emit("solve_end", map[string]any{"decision": "feasible", "value": 13})
+
+	want := strings.Join([]string{
+		`{"H":17,"W":17,"ev":"solve_start","instance":"de","mode":"spp","t":0}`,
+		`{"T":13,"ev":"probe","outcome":"feasible","t":0.0015}`,
+		`{"decision":"feasible","ev":"solve_end","t":0.003,"value":13}`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("trace mismatch:\ngot:\n%swant:\n%s", got, want)
+	}
+	if tr.Events() != 3 {
+		t.Errorf("Events() = %d, want 3", tr.Events())
+	}
+	if tr.Err() != nil {
+		t.Errorf("Err() = %v", tr.Err())
+	}
+}
+
+func TestTracerReservedKeysWin(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracerWithClock(&buf, func() time.Time { return time.Unix(0, 0) })
+	tr.Emit("real", map[string]any{"ev": "fake", "t": 99})
+	var obj map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatal(err)
+	}
+	if obj["ev"] != "real" || obj["t"] != float64(0) {
+		t.Errorf("reserved keys overridden: %v", obj)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+// TestTracerStopsAfterError: the first write error latches; later
+// events are dropped rather than interleaving partial lines.
+func TestTracerStopsAfterError(t *testing.T) {
+	tr := NewTracer(&failWriter{n: 1})
+	tr.Emit("a", nil)
+	tr.Emit("b", nil)
+	tr.Emit("c", nil)
+	if tr.Err() == nil {
+		t.Fatal("write error not reported")
+	}
+	if tr.Events() != 1 {
+		t.Errorf("Events() = %d, want 1", tr.Events())
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit("anything", map[string]any{"x": 1}) // must not panic
+	if tr.Events() != 0 || tr.Err() != nil {
+		t.Fatal("nil tracer not inert")
+	}
+}
+
+// TestTracerConcurrent: parallel emitters produce whole, parseable
+// lines (run under -race in CI).
+func TestTracerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	var wg sync.WaitGroup
+	const workers, each = 8, 50
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr.Emit("tick", map[string]any{"worker": g, "i": i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != workers*each {
+		t.Fatalf("%d lines, want %d", len(lines), workers*each)
+	}
+	for _, ln := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(ln), &obj); err != nil {
+			t.Fatalf("corrupt line %q: %v", ln, err)
+		}
+	}
+	if tr.Events() != workers*each {
+		t.Errorf("Events() = %d, want %d", tr.Events(), workers*each)
+	}
+}

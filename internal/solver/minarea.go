@@ -52,6 +52,8 @@ func MinArea(in *model.Instance, T int, opt Options) (*OptRectResult, error) {
 		}
 		res.Probes++
 		res.Stats.Add(r.Stats)
+		res.Stages.Add(r.Stages)
+		opt.probe("minarea", map[string]any{"W": w, "H": h, "outcome": r.Decision.String()})
 		return r.Decision, r.Placement, nil
 	}
 
@@ -160,5 +162,6 @@ type OptRectResult struct {
 	Placement *model.Placement
 	Probes    int
 	Stats     core.Stats
+	Stages    StageTimings
 	Elapsed   time.Duration
 }

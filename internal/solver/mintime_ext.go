@@ -49,6 +49,8 @@ func MinTimeWithRotation(in *model.Instance, W, H int, opt Options) (*OptResult,
 		}
 		res.Probes++
 		res.Stats.Add(r.Stats)
+		res.Stages.Add(r.Stages)
+		opt.probe("spp_rotate", map[string]any{"T": T, "outcome": r.Decision.String()})
 		return r.Decision, r.Placement, r.Rotations, nil
 	}
 	// Establish the upper end.
@@ -113,6 +115,7 @@ func MinTimeMultiChip(in *model.Instance, chipW, chipH, k int, opt Options) (*Mu
 	}
 	res.Probes++
 	res.Stats.Add(r.Stats)
+	res.Stages.Add(r.Stages)
 	if r.Decision != Feasible {
 		res.Decision = Unknown
 		res.Elapsed = time.Since(start)
@@ -128,6 +131,8 @@ func MinTimeMultiChip(in *model.Instance, chipW, chipH, k int, opt Options) (*Mu
 		}
 		res.Probes++
 		res.Stats.Add(r.Stats)
+		res.Stages.Add(r.Stages)
+		opt.probe("spp_multichip", map[string]any{"T": mid, "outcome": r.Decision.String()})
 		switch r.Decision {
 		case Feasible:
 			hi, best, bestT = mid, r, mid
@@ -141,6 +146,7 @@ func MinTimeMultiChip(in *model.Instance, chipW, chipH, k int, opt Options) (*Mu
 	}
 	best.Probes = res.Probes
 	best.Stats = res.Stats
+	best.Stages = res.Stages
 	best.Elapsed = time.Since(start)
 	best.MinTime = bestT
 	return best, nil

@@ -6,6 +6,7 @@ import (
 
 	"fpga3d/internal/core"
 	"fpga3d/internal/model"
+	"fpga3d/internal/obs"
 )
 
 // Multi-FPGA partitioning is an extension built on the engine's
@@ -32,6 +33,7 @@ type MultiChipResult struct {
 	MinTime int
 	Probes  int
 	Stats   core.Stats
+	Stages  StageTimings
 	Elapsed time.Duration
 }
 
@@ -91,9 +93,16 @@ func solveMultiChip(in *model.Instance, chipW, chipH, T, k int, order *model.Ord
 			prob.Seeds = append(prob.Seeds, core.SeedArc{Dim: timeDim, From: uu, To: v})
 		})
 	}
-	r := core.Solve(prob, opt.coreOptions())
+	opt.Metrics.Counter("opp.calls").Inc()
+	opt.Trace.Emit("opp_start", map[string]any{
+		"instance": in.Name, "n": n, "W": chipW, "H": chipH, "T": T, "chips": k,
+	})
+	opt.notifyPhase(obs.PhaseSearch)
+	r := core.Solve(prob, opt.searchOptions())
 	res.Stats = r.Stats
 	res.Elapsed = time.Since(start)
+	res.Stages.Search = res.Elapsed
+	opt.Metrics.Counter("search.nodes").Add(r.Stats.Nodes)
 	switch r.Status {
 	case core.StatusFeasible:
 		res.Decision = Feasible
@@ -110,6 +119,18 @@ func solveMultiChip(in *model.Instance, chipW, chipH, T, k int, order *model.Ord
 		res.Decision = Infeasible
 	default:
 		res.Decision = Unknown
+	}
+	opt.Metrics.Counter("opp." + res.Decision.String()).Inc()
+	if opt.Trace != nil {
+		opt.Trace.Emit("opp_end", map[string]any{
+			"decision":   res.Decision.String(),
+			"decided_by": "search",
+			"chips":      k,
+			"nodes":      res.Stats.Nodes,
+			"elapsed_ms": ms(res.Elapsed),
+			"stages_ms":  stagesMS(res.Stages),
+			"stats":      res.Stats,
+		})
 	}
 	return res, nil
 }
@@ -137,6 +158,7 @@ func MinChips(in *model.Instance, chipW, chipH, T int, opt Options) (*MultiChipR
 	// Upper bound: one chip per task always works (critical path fits).
 	probes := 0
 	var agg core.Stats
+	var aggStages StageTimings
 	for k := kLo; k <= in.N(); k++ {
 		r, err := solveMultiChip(in, chipW, chipH, T, k, order, opt)
 		if err != nil {
@@ -144,15 +166,19 @@ func MinChips(in *model.Instance, chipW, chipH, T int, opt Options) (*MultiChipR
 		}
 		probes++
 		agg.Add(r.Stats)
+		aggStages.Add(r.Stages)
+		opt.probe("multichip", map[string]any{"chips": k, "outcome": r.Decision.String()})
 		switch r.Decision {
 		case Feasible:
 			r.Probes = probes
 			r.Stats = agg
+			r.Stages = aggStages
 			r.Elapsed = time.Since(start)
+			opt.incumbent("multichip", k, "search")
 			return r, nil
 		case Unknown:
 			return &MultiChipResult{Decision: Unknown, Probes: probes, Stats: agg,
-				Elapsed: time.Since(start)}, nil
+				Stages: aggStages, Elapsed: time.Since(start)}, nil
 		}
 	}
 	return nil, fmt.Errorf("solver: %q infeasible even with one chip per task (internal error)", in.Name)

@@ -8,6 +8,7 @@ import (
 	"fpga3d/internal/core"
 	"fpga3d/internal/heur"
 	"fpga3d/internal/model"
+	"fpga3d/internal/obs"
 )
 
 // OptResult is the outcome of an optimization run (MinTime / MinBase).
@@ -20,7 +21,9 @@ type OptResult struct {
 	// Probes counts the OPP decision calls made.
 	Probes int
 	// Stats accumulates engine statistics over all probes.
-	Stats   core.Stats
+	Stats core.Stats
+	// Stages accumulates per-stage wall-clock durations over all probes.
+	Stages  StageTimings
 	Elapsed time.Duration
 }
 
@@ -41,17 +44,36 @@ func MinTime(in *model.Instance, W, H int, opt Options) (*OptResult, error) {
 func minTime(in *model.Instance, W, H int, order *model.Order, opt Options) (*OptResult, error) {
 	start := time.Now()
 	res := &OptResult{}
+	opt.Trace.Emit("solve_start", map[string]any{
+		"mode": "spp", "instance": in.Name, "n": in.N(), "W": W, "H": H,
+	})
 	if in.MaxW() > W || in.MaxH() > H {
 		res.Decision = Infeasible
 		res.Elapsed = time.Since(start)
+		opt.traceSolveEnd("spp", res)
 		return res, nil
 	}
-	lb := bounds.MinTimeLB(in, W, H, order)
+	// With a tracer attached, compute the full per-bound breakdown (and
+	// its per-bound timings) instead of just the maximum.
+	opt.notifyPhase(obs.PhaseBounds)
+	tBounds := time.Now()
+	var lb int
+	if opt.Trace != nil {
+		rep := bounds.MinTimeReport(in, W, H, order)
+		lb = rep.Best
+		opt.Trace.Emit("lower_bound", map[string]any{"mode": "spp", "value": rep.Best, "report": rep})
+	} else {
+		lb = bounds.MinTimeLB(in, W, H, order)
+	}
 	res.LowerBound = lb
+	res.Stages.Bounds += time.Since(tBounds)
 
 	// Upper bound from the greedy placer; a serialized schedule always
 	// exists, so this cannot fail given the spatial fit check above.
+	opt.notifyPhase(obs.PhaseHeuristic)
+	tHeur := time.Now()
 	ubPlace, ub, ok := heur.MinMakespan(in, W, H, order)
+	res.Stages.Heuristic += time.Since(tHeur)
 	if !ok {
 		return nil, fmt.Errorf("solver: heuristic failed to serialize instance %q", in.Name)
 	}
@@ -59,6 +81,7 @@ func minTime(in *model.Instance, W, H int, order *model.Order, opt Options) (*Op
 		return nil, fmt.Errorf("solver: heuristic produced invalid schedule: %w", err)
 	}
 	best, bestPlace := ub, ubPlace
+	opt.incumbent("spp", ub, "heuristic")
 
 	// Binary search on the monotone predicate "fits within T".
 	lo, hi := lb, ub // hi is known feasible
@@ -70,10 +93,13 @@ func minTime(in *model.Instance, W, H int, order *model.Order, opt Options) (*Op
 		}
 		res.Probes++
 		res.Stats.Add(r.Stats)
+		res.Stages.Add(r.Stages)
+		opt.probe("spp", map[string]any{"T": mid, "outcome": r.Decision.String()})
 		switch r.Decision {
 		case Feasible:
 			hi = mid
 			best, bestPlace = mid, r.Placement
+			opt.incumbent("spp", mid, r.DecidedBy)
 		case Infeasible:
 			lo = mid + 1
 		default:
@@ -81,6 +107,7 @@ func minTime(in *model.Instance, W, H int, order *model.Order, opt Options) (*Op
 			res.Value = best
 			res.Placement = bestPlace
 			res.Elapsed = time.Since(start)
+			opt.traceSolveEnd("spp", res)
 			return res, nil
 		}
 	}
@@ -88,7 +115,46 @@ func minTime(in *model.Instance, W, H int, order *model.Order, opt Options) (*Op
 	res.Value = best
 	res.Placement = bestPlace
 	res.Elapsed = time.Since(start)
+	opt.traceSolveEnd("spp", res)
 	return res, nil
+}
+
+// probe records one optimization-loop probe in the trace.
+func (o Options) probe(mode string, fields map[string]any) {
+	if o.Trace == nil {
+		return
+	}
+	f := map[string]any{"mode": mode}
+	for k, v := range fields {
+		f[k] = v
+	}
+	o.Trace.Emit("probe", f)
+	o.Metrics.Counter("probes").Inc()
+}
+
+// incumbent records a new best objective value with its source stage.
+func (o Options) incumbent(mode string, value int, source string) {
+	o.Metrics.Gauge("incumbent." + mode).Set(int64(value))
+	o.Trace.Emit("incumbent", map[string]any{"mode": mode, "value": value, "source": source})
+}
+
+// traceSolveEnd closes an optimization run in the trace with its
+// aggregated effort.
+func (o Options) traceSolveEnd(mode string, res *OptResult) {
+	if o.Trace == nil {
+		return
+	}
+	o.Trace.Emit("solve_end", map[string]any{
+		"mode":        mode,
+		"decision":    res.Decision.String(),
+		"value":       res.Value,
+		"lower_bound": res.LowerBound,
+		"probes":      res.Probes,
+		"nodes":       res.Stats.Nodes,
+		"elapsed_ms":  ms(res.Elapsed),
+		"stages_ms":   stagesMS(res.Stages),
+		"stats":       res.Stats,
+	})
 }
 
 // MinBase solves MinA&FindS (the base minimization problem BMP): the
@@ -108,14 +174,22 @@ func MinBase(in *model.Instance, T int, opt Options) (*OptResult, error) {
 func minBase(in *model.Instance, T int, order *model.Order, opt Options) (*OptResult, error) {
 	start := time.Now()
 	res := &OptResult{}
+	opt.Trace.Emit("solve_start", map[string]any{
+		"mode": "bmp", "instance": in.Name, "n": in.N(), "T": T,
+	})
 	if order.CriticalPath() > T {
 		// No chip of any size can beat the dependency chains.
 		res.Decision = Infeasible
 		res.Elapsed = time.Since(start)
+		opt.traceSolveEnd("bmp", res)
 		return res, nil
 	}
+	opt.notifyPhase(obs.PhaseBounds)
+	tBounds := time.Now()
 	lb := bounds.MinBaseLB(in, T, order)
 	res.LowerBound = lb
+	res.Stages.Bounds += time.Since(tBounds)
+	opt.Trace.Emit("lower_bound", map[string]any{"mode": "bmp", "value": lb})
 
 	// With every task spatially disjoint (a huge chip), only the
 	// critical path matters, so a finite upper bound always exists.
@@ -134,18 +208,23 @@ func minBase(in *model.Instance, T int, order *model.Order, opt Options) (*OptRe
 		}
 		res.Probes++
 		res.Stats.Add(r.Stats)
+		res.Stages.Add(r.Stages)
+		opt.probe("bmp", map[string]any{"h": h, "outcome": r.Decision.String()})
 		switch r.Decision {
 		case Feasible:
 			res.Decision = Feasible
 			res.Value = h
 			res.Placement = r.Placement
 			res.Elapsed = time.Since(start)
+			opt.incumbent("bmp", h, r.DecidedBy)
+			opt.traceSolveEnd("bmp", res)
 			return res, nil
 		case Infeasible:
 			// keep growing h
 		default:
 			res.Decision = Unknown
 			res.Elapsed = time.Since(start)
+			opt.traceSolveEnd("bmp", res)
 			return res, nil
 		}
 	}
@@ -171,10 +250,17 @@ func FeasibleFixedSchedule(in *model.Instance, c model.Container, starts []int, 
 	}
 	start := time.Now()
 	res := &OPPResult{}
+	opt.Metrics.Counter("opp.calls").Inc()
+	opt.Trace.Emit("opp_start", map[string]any{
+		"instance": in.Name, "n": in.N(), "W": c.W, "H": c.H, "T": c.T, "fixed_schedule": true,
+	})
+	opt.notifyPhase(obs.PhaseSearch)
 	prob := buildProblem(in, c, order, starts)
-	r := core.Solve(prob, opt.coreOptions())
+	r := core.Solve(prob, opt.searchOptions())
 	res.Stats = r.Stats
 	res.Elapsed = time.Since(start)
+	res.Stages.Search = res.Elapsed
+	opt.Metrics.Counter("search.nodes").Add(r.Stats.Nodes)
 	switch r.Status {
 	case core.StatusFeasible:
 		// The engine realizes some schedule with the same component
@@ -188,13 +274,17 @@ func FeasibleFixedSchedule(in *model.Instance, c model.Container, starts []int, 
 		res.Decision = Feasible
 		res.Placement = p
 		res.DecidedBy = "search"
+		opt.Metrics.Counter("opp.decided_by.search").Inc()
 	case core.StatusInfeasible:
 		res.Decision = Infeasible
 		res.DecidedBy = "search"
+		opt.Metrics.Counter("opp.decided_by.search").Inc()
 	default:
 		res.Decision = Unknown
 		res.DecidedBy = "limit"
+		opt.Metrics.Counter("opp.decided_by.limit").Inc()
 	}
+	opt.traceOPPEnd(res, nil)
 	return res, nil
 }
 
@@ -239,17 +329,22 @@ func MinBaseFixedSchedule(in *model.Instance, starts []int, opt Options) (*OptRe
 		}
 		res.Probes++
 		res.Stats.Add(r.Stats)
+		res.Stages.Add(r.Stages)
+		opt.probe("bmp_fixed", map[string]any{"h": h, "outcome": r.Decision.String()})
 		switch r.Decision {
 		case Feasible:
 			res.Decision = Feasible
 			res.Value = h
 			res.Placement = r.Placement
 			res.Elapsed = time.Since(start)
+			opt.incumbent("bmp_fixed", h, r.DecidedBy)
+			opt.traceSolveEnd("bmp_fixed", res)
 			return res, nil
 		case Infeasible:
 		default:
 			res.Decision = Unknown
 			res.Elapsed = time.Since(start)
+			opt.traceSolveEnd("bmp_fixed", res)
 			return res, nil
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"fpga3d/internal/core"
 	"fpga3d/internal/model"
 )
 
@@ -21,8 +22,12 @@ type ParetoResult struct {
 	Points []ParetoPoint
 	// Curve holds the minimal h for every probed T (including dominated
 	// points), for plotting the staircase.
-	Curve   []ParetoPoint
-	Probes  int
+	Curve  []ParetoPoint
+	Probes int
+	// Stats and Stages accumulate engine effort over every probe of
+	// the sweep.
+	Stats   core.Stats
+	Stages  StageTimings
 	Elapsed time.Duration
 }
 
@@ -42,6 +47,9 @@ func ParetoFront(in *model.Instance, opt Options) (*ParetoResult, error) {
 	}
 	start := time.Now()
 	res := &ParetoResult{}
+	opt.Trace.Emit("solve_start", map[string]any{
+		"mode": "pareto", "instance": in.Name, "n": in.N(),
+	})
 
 	hFloor := in.MaxW()
 	if h := in.MaxH(); h > hFloor {
@@ -57,6 +65,8 @@ func ParetoFront(in *model.Instance, opt Options) (*ParetoResult, error) {
 			return nil, err
 		}
 		res.Probes += r.Probes
+		res.Stats.Add(r.Stats)
+		res.Stages.Add(r.Stages)
 		if r.Decision != Feasible {
 			return nil, fmt.Errorf("solver: pareto probe at T=%d undecided", T)
 		}
@@ -64,11 +74,24 @@ func ParetoFront(in *model.Instance, opt Options) (*ParetoResult, error) {
 		if prevH == -1 || r.Value < prevH {
 			res.Points = append(res.Points, ParetoPoint{T: T, H: r.Value})
 			prevH = r.Value
+			opt.Trace.Emit("pareto_point", map[string]any{"T": T, "h": r.Value})
 		}
 		if r.Value == hFloor {
 			break
 		}
 	}
 	res.Elapsed = time.Since(start)
+	if opt.Trace != nil {
+		opt.Trace.Emit("solve_end", map[string]any{
+			"mode":       "pareto",
+			"decision":   Feasible.String(),
+			"points":     len(res.Points),
+			"probes":     res.Probes,
+			"nodes":      res.Stats.Nodes,
+			"elapsed_ms": ms(res.Elapsed),
+			"stages_ms":  stagesMS(res.Stages),
+			"stats":      res.Stats,
+		})
+	}
 	return res, nil
 }

@@ -75,6 +75,7 @@ func SolveOPPWithRotation(in *model.Instance, c model.Container, opt Options) (*
 			return nil, err
 		}
 		out.Stats.Add(r.Stats)
+		out.Stages.Add(r.Stages)
 		out.Elapsed += r.Elapsed
 		switch r.Decision {
 		case Feasible:
@@ -134,6 +135,7 @@ func MinBaseWithRotation(in *model.Instance, T int, opt Options) (*OptResult, []
 		}
 		res.Probes++
 		res.Stats.Add(r.Stats)
+		res.Stages.Add(r.Stages)
 		switch r.Decision {
 		case Feasible:
 			res.Decision = Feasible

@@ -20,6 +20,7 @@ import (
 	"fpga3d/internal/core"
 	"fpga3d/internal/heur"
 	"fpga3d/internal/model"
+	"fpga3d/internal/obs"
 )
 
 // Decision is the three-valued outcome of a decision problem.
@@ -70,11 +71,25 @@ type Options struct {
 	// TimeDisjointFirst flips the engine's value ordering on the time
 	// axis to try Disjoint before Overlap.
 	TimeDisjointFirst bool
+
+	// Progress, when non-nil, receives live snapshots: one at every
+	// stage transition and one per 256 branch-and-bound nodes during
+	// the search. Shared across all OPP calls of an optimization run.
+	Progress obs.ProgressFunc
+	// Trace, when non-nil, receives structured JSONL events (solve
+	// start/end, stage transitions, per-probe outcomes, incumbents,
+	// final stats) so a whole run can be replayed and analyzed offline.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, accumulates counters and gauges across
+	// OPP calls (opp.calls, opp.feasible, opp.decided_by.*,
+	// search.nodes, …). Safe to share between concurrent solves.
+	Metrics *obs.Registry
 }
 
 func (o Options) coreOptions() core.Options {
 	c := core.Options{
 		NodeLimit:          o.NodeLimit,
+		Progress:           o.Progress,
 		DisableC4Rule:      o.DisableC4Rule,
 		DisableHoleRule:    o.DisableHoleRule,
 		DisableCliqueRule:  o.DisableCliqueRule,
@@ -88,6 +103,78 @@ func (o Options) coreOptions() core.Options {
 	return c
 }
 
+// searchOptions builds the engine options for stage 3. With a tracer
+// or metrics registry attached it chains onto the progress hook, so
+// the node-cadence snapshots (one per 256 nodes) also land in the
+// JSONL record as "progress" events and keep the live gauges of the
+// -metrics endpoint current while a search is still running.
+func (o Options) searchOptions() core.Options {
+	c := o.coreOptions()
+	if o.Trace == nil && o.Metrics == nil {
+		return c
+	}
+	prev := c.Progress
+	tr, reg := o.Trace, o.Metrics
+	c.Progress = func(s obs.Snapshot) {
+		if tr != nil {
+			tr.Emit("progress", map[string]any{
+				"phase": s.Phase, "nodes": s.Nodes, "max_depth": s.MaxDepth,
+				"nodes_per_sec": s.NodesPerSec, "conflicts": s.TotalConflicts(),
+			})
+		}
+		reg.Gauge("search.live_nodes").Set(s.Nodes)
+		reg.Gauge("search.live_depth").Set(int64(s.MaxDepth))
+		if prev != nil {
+			prev(s)
+		}
+	}
+	return c
+}
+
+// notifyPhase delivers a stage-transition snapshot to the Progress
+// hook, so live tickers can show which stage a solve is in even before
+// the first node-cadence snapshot arrives.
+func (o Options) notifyPhase(phase string) {
+	if o.Progress != nil {
+		o.Progress(obs.Snapshot{Phase: phase})
+	}
+}
+
+// StageTimings records the wall-clock time one OPP call (or, summed,
+// a whole optimization run) spent in each stage of the three-stage
+// framework of Section 3.1.
+type StageTimings struct {
+	Bounds    time.Duration `json:"bounds"`
+	Heuristic time.Duration `json:"heuristic"`
+	Search    time.Duration `json:"search"`
+}
+
+// Add accumulates o into s.
+func (s *StageTimings) Add(o StageTimings) {
+	s.Bounds += o.Bounds
+	s.Heuristic += o.Heuristic
+	s.Search += o.Search
+}
+
+func (s StageTimings) String() string {
+	return fmt.Sprintf("bounds %v · heuristic %v · search %v",
+		s.Bounds.Round(time.Microsecond),
+		s.Heuristic.Round(time.Microsecond),
+		s.Search.Round(time.Microsecond))
+}
+
+// ms converts a duration to fractional milliseconds for trace fields.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// stagesMS renders stage timings as a trace/JSON field.
+func stagesMS(s StageTimings) map[string]float64 {
+	return map[string]float64{
+		"bounds":    ms(s.Bounds),
+		"heuristic": ms(s.Heuristic),
+		"search":    ms(s.Search),
+	}
+}
+
 // OPPResult is the outcome of one orthogonal packing decision.
 type OPPResult struct {
 	Decision  Decision
@@ -96,7 +183,9 @@ type OPPResult struct {
 	// "bound: <name>", "heuristic", or "search".
 	DecidedBy string
 	Stats     core.Stats
-	Elapsed   time.Duration
+	// Stages breaks Elapsed down into per-stage wall-clock durations.
+	Stages  StageTimings
+	Elapsed time.Duration
 }
 
 // SolveOPP decides whether the instance fits into container c while
@@ -116,19 +205,36 @@ func SolveOPP(in *model.Instance, c model.Container, opt Options) (*OPPResult, e
 func solveOPP(in *model.Instance, c model.Container, order *model.Order, opt Options) (*OPPResult, error) {
 	start := time.Now()
 	res := &OPPResult{}
+	opt.Metrics.Counter("opp.calls").Inc()
+	opt.Trace.Emit("opp_start", map[string]any{
+		"instance": in.Name, "n": in.N(), "W": c.W, "H": c.H, "T": c.T,
+	})
 
 	// Stage 1: lower bounds.
 	if !opt.SkipBounds {
-		if bad, why := bounds.OPPInfeasible(in, c, order); bad {
+		opt.notifyPhase(obs.PhaseBounds)
+		s0 := time.Now()
+		bad, why := bounds.OPPInfeasible(in, c, order)
+		res.Stages.Bounds = time.Since(s0)
+		if bad {
 			res.Decision = Infeasible
 			res.DecidedBy = "bound: " + why
 			res.Elapsed = time.Since(start)
+			opt.Metrics.Counter("opp.decided_by.bounds").Inc()
+			opt.traceOPPEnd(res, map[string]any{"bound": why})
 			return res, nil
 		}
+		opt.Trace.Emit("stage", map[string]any{
+			"phase": obs.PhaseBounds, "outcome": "pass", "elapsed_ms": ms(res.Stages.Bounds),
+		})
 	}
 	// Stage 2: greedy placer.
 	if !opt.SkipHeuristic {
-		if p, ok := heur.Place(in, c, order); ok {
+		opt.notifyPhase(obs.PhaseHeuristic)
+		s0 := time.Now()
+		p, ok := heur.Place(in, c, order)
+		res.Stages.Heuristic = time.Since(s0)
+		if ok {
 			if err := p.Verify(in, c, order); err != nil {
 				return nil, fmt.Errorf("solver: heuristic produced invalid placement: %w", err)
 			}
@@ -136,14 +242,24 @@ func solveOPP(in *model.Instance, c model.Container, order *model.Order, opt Opt
 			res.Placement = p
 			res.DecidedBy = "heuristic"
 			res.Elapsed = time.Since(start)
+			opt.Metrics.Counter("opp.decided_by.heuristic").Inc()
+			opt.traceOPPEnd(res, nil)
 			return res, nil
 		}
+		opt.Trace.Emit("stage", map[string]any{
+			"phase": obs.PhaseHeuristic, "outcome": "miss", "elapsed_ms": ms(res.Stages.Heuristic),
+		})
 	}
 	// Stage 3: packing-class branch and bound.
+	opt.notifyPhase(obs.PhaseSearch)
+	opt.Trace.Emit("stage", map[string]any{"phase": obs.PhaseSearch})
+	s0 := time.Now()
 	prob := buildProblem(in, c, order, nil)
-	r := core.Solve(prob, opt.coreOptions())
+	r := core.Solve(prob, opt.searchOptions())
+	res.Stages.Search = time.Since(s0)
 	res.Stats = r.Stats
 	res.Elapsed = time.Since(start)
+	opt.Metrics.Counter("search.nodes").Add(r.Stats.Nodes)
 	switch r.Status {
 	case core.StatusFeasible:
 		p := solutionToPlacement(r.Solution)
@@ -153,14 +269,42 @@ func solveOPP(in *model.Instance, c model.Container, order *model.Order, opt Opt
 		res.Decision = Feasible
 		res.Placement = p
 		res.DecidedBy = "search"
+		opt.Metrics.Counter("opp.decided_by.search").Inc()
 	case core.StatusInfeasible:
 		res.Decision = Infeasible
 		res.DecidedBy = "search"
+		opt.Metrics.Counter("opp.decided_by.search").Inc()
 	default:
 		res.Decision = Unknown
 		res.DecidedBy = "limit"
+		opt.Metrics.Counter("opp.decided_by.limit").Inc()
 	}
+	opt.traceOPPEnd(res, nil)
 	return res, nil
+}
+
+// traceOPPEnd records the outcome of one OPP call: an opp_end trace
+// event (with full engine stats when the search ran) and the
+// per-decision metric counter.
+func (o Options) traceOPPEnd(res *OPPResult, extra map[string]any) {
+	o.Metrics.Counter("opp." + res.Decision.String()).Inc()
+	if o.Trace == nil {
+		return
+	}
+	f := map[string]any{
+		"decision":   res.Decision.String(),
+		"decided_by": res.DecidedBy,
+		"nodes":      res.Stats.Nodes,
+		"elapsed_ms": ms(res.Elapsed),
+		"stages_ms":  stagesMS(res.Stages),
+	}
+	if res.DecidedBy == "search" || res.DecidedBy == "limit" {
+		f["stats"] = res.Stats
+	}
+	for k, v := range extra {
+		f[k] = v
+	}
+	o.Trace.Emit("opp_end", f)
 }
 
 // buildProblem translates an instance+container into the engine's

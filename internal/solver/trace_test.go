@@ -1,0 +1,323 @@
+package solver
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fpga3d/internal/bench"
+	"fpga3d/internal/model"
+	"fpga3d/internal/obs"
+)
+
+// traceLines parses a JSONL buffer into one map per event, failing the
+// test on any malformed line.
+func traceLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, ln := range strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n") {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(ln), &obj); err != nil {
+			t.Fatalf("malformed trace line %q: %v", ln, err)
+		}
+		out = append(out, obj)
+	}
+	return out
+}
+
+// normalizeTrace strips the wall-clock-dependent fields so the rest of
+// the event stream can be compared exactly.
+func normalizeTrace(events []map[string]any) []map[string]any {
+	for _, e := range events {
+		for _, k := range []string{"t", "elapsed_ms", "stages_ms", "report"} {
+			delete(e, k)
+		}
+	}
+	return events
+}
+
+func marshalEvents(t *testing.T, events []map[string]any) []string {
+	t.Helper()
+	var out []string
+	for _, e := range events {
+		b, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, string(b))
+	}
+	return out
+}
+
+// TestTraceGoldenTinyOPP pins the full (timing-normalized) event
+// stream for a deterministic tiny OPP instance: two 2×2×1 modules on a
+// 2×2×2 chip must stack in time, decided by the search with both fast
+// stages disabled.
+func TestTraceGoldenTinyOPP(t *testing.T) {
+	in := &model.Instance{Name: "tiny", Tasks: []model.Task{
+		{W: 2, H: 2, Dur: 1}, {W: 2, H: 2, Dur: 1},
+	}}
+	var buf bytes.Buffer
+	opt := Options{SkipBounds: true, SkipHeuristic: true, Trace: obs.NewTracer(&buf)}
+	r, err := SolveOPP(in, model.Container{W: 2, H: 2, T: 2}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Decision != Feasible || r.DecidedBy != "search" {
+		t.Fatalf("decision %v by %s", r.Decision, r.DecidedBy)
+	}
+	got := marshalEvents(t, normalizeTrace(traceLines(t, &buf)))
+	want := []string{
+		`{"H":2,"T":2,"W":2,"ev":"opp_start","instance":"tiny","n":2}`,
+		`{"ev":"stage","phase":"search"}`,
+		`{"decided_by":"search","decision":"feasible","ev":"opp_end","nodes":` +
+			nodesJSON(r.Stats.Nodes) + `,"stats":` + canonJSON(t, r.Stats) + `}`,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events:\n%s\nwant %d", len(got), strings.Join(got, "\n"), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d:\ngot  %s\nwant %s", i, got[i], want[i])
+		}
+	}
+}
+
+func nodesJSON(n int64) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}
+
+// canonJSON marshals v the way it appears after a trace round-trip:
+// object keys sorted, numbers as float64.
+func canonJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	b, err = json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestTraceFullFramework: with all stages on, a bound-refuted call and
+// a heuristic-decided call produce the expected stage events.
+func TestTraceFullFramework(t *testing.T) {
+	in := &model.Instance{Name: "one", Tasks: []model.Task{{W: 2, H: 2, Dur: 3}}}
+
+	// Too small in time: stage 1 refutes.
+	var buf bytes.Buffer
+	opt := Options{Trace: obs.NewTracer(&buf)}
+	r, err := SolveOPP(in, model.Container{W: 2, H: 2, T: 2}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Decision != Infeasible || !strings.HasPrefix(r.DecidedBy, "bound:") {
+		t.Fatalf("decision %v by %s", r.Decision, r.DecidedBy)
+	}
+	evs := traceLines(t, &buf)
+	if len(evs) != 2 || evs[0]["ev"] != "opp_start" || evs[1]["ev"] != "opp_end" {
+		t.Fatalf("bound-refuted events: %v", evs)
+	}
+	if evs[1]["bound"] == "" || evs[1]["decided_by"] != r.DecidedBy {
+		t.Errorf("opp_end missing bound name: %v", evs[1])
+	}
+
+	// Fits exactly: stage 2 places it after a bounds pass.
+	buf.Reset()
+	opt.Trace = obs.NewTracer(&buf)
+	r, err = SolveOPP(in, model.Container{W: 2, H: 2, T: 3}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Decision != Feasible || r.DecidedBy != "heuristic" {
+		t.Fatalf("decision %v by %s", r.Decision, r.DecidedBy)
+	}
+	evs = traceLines(t, &buf)
+	var kinds []string
+	for _, e := range evs {
+		k := e["ev"].(string)
+		if k == "stage" {
+			k += ":" + e["phase"].(string) + ":" + e["outcome"].(string)
+		}
+		kinds = append(kinds, k)
+	}
+	want := "opp_start,stage:bounds:pass,opp_end"
+	if got := strings.Join(kinds, ","); got != want {
+		t.Errorf("event kinds %q, want %q", got, want)
+	}
+}
+
+// probingInstance returns a small random instance whose heuristic
+// makespan exceeds the stage-1 lower bound on a 4×4 chip, so MinTime's
+// binary search actually probes the exact engine (the DE benchmark is
+// decided at the bound and would leave the OPP loop untraced).
+func probingInstance() *model.Instance {
+	rng := rand.New(rand.NewSource(297))
+	return bench.Random(rng, 3+rng.Intn(4), 3, 3, 0.3)
+}
+
+// TestTraceMinTimeRun: an spp optimization run brackets its probes with
+// solve_start/solve_end, reports the lower bound, and logs incumbents.
+func TestTraceMinTimeRun(t *testing.T) {
+	in := probingInstance()
+	var buf bytes.Buffer
+	opt := Options{Trace: obs.NewTracer(&buf), Metrics: obs.NewRegistry()}
+	r, err := MinTime(in, 4, 4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Decision != Feasible {
+		t.Fatalf("spp undecided: %v", r.Decision)
+	}
+	evs := traceLines(t, &buf)
+	counts := map[string]int{}
+	for _, e := range evs {
+		counts[e["ev"].(string)]++
+	}
+	if counts["solve_start"] != 1 || counts["solve_end"] != 1 {
+		t.Errorf("run not bracketed: %v", counts)
+	}
+	if counts["lower_bound"] != 1 {
+		t.Errorf("missing lower_bound event: %v", counts)
+	}
+	if counts["incumbent"] < 1 || counts["probe"] < 1 || counts["opp_start"] < 1 {
+		t.Errorf("missing loop events: %v", counts)
+	}
+	if counts["opp_start"] != counts["opp_end"] {
+		t.Errorf("unbalanced opp events: %v", counts)
+	}
+	first, last := evs[0], evs[len(evs)-1]
+	if first["ev"] != "solve_start" || last["ev"] != "solve_end" {
+		t.Errorf("first/last events %v / %v", first["ev"], last["ev"])
+	}
+	if last["decision"] != "feasible" || last["value"] != float64(r.Value) {
+		t.Errorf("solve_end payload %v", last)
+	}
+	// The metrics registry saw the same run.
+	snap := opt.Metrics.Snapshot()
+	if snap["opp.calls"] != int64(r.Probes) {
+		t.Errorf("opp.calls = %d, probes = %d", snap["opp.calls"], r.Probes)
+	}
+	if snap["incumbent.spp"] != int64(r.Value) {
+		t.Errorf("incumbent.spp = %d, value = %d", snap["incumbent.spp"], r.Value)
+	}
+	if tr := opt.Trace; tr.Err() != nil {
+		t.Errorf("tracer error: %v", tr.Err())
+	}
+}
+
+// TestProgressPhases: the hook sees each stage of the framework as it
+// is entered. The first solve is decided by the heuristic (bounds and
+// heuristic phases); the second disables the fast stages so the search
+// phase is entered too.
+func TestProgressPhases(t *testing.T) {
+	in := &model.Instance{Name: "tiny", Tasks: []model.Task{
+		{W: 2, H: 2, Dur: 1}, {W: 2, H: 2, Dur: 1},
+	}}
+	var mu sync.Mutex
+	var phases []string
+	opt := Options{Progress: func(s obs.Snapshot) {
+		mu.Lock()
+		phases = append(phases, s.Phase)
+		mu.Unlock()
+	}}
+	if _, err := SolveOPP(in, model.Container{W: 2, H: 2, T: 2}, opt); err != nil {
+		t.Fatal(err)
+	}
+	skip := opt
+	skip.SkipBounds, skip.SkipHeuristic = true, true
+	if _, err := SolveOPP(in, model.Container{W: 2, H: 2, T: 2}, skip); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	joined := strings.Join(phases, ",")
+	for _, phase := range []string{obs.PhaseBounds, obs.PhaseHeuristic, obs.PhaseSearch} {
+		if !strings.Contains(joined, phase) {
+			t.Errorf("phase %q not seen in %q", phase, joined)
+		}
+	}
+}
+
+// TestStageTimingsAccumulate: per-stage durations are recorded per OPP
+// call and summed across an optimization run.
+func TestStageTimingsAccumulate(t *testing.T) {
+	in := probingInstance()
+	r, err := MinTime(in, 4, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Probes == 0 {
+		t.Fatal("instance no longer probes; pick another seed")
+	}
+	total := r.Stages.Bounds + r.Stages.Heuristic + r.Stages.Search
+	if total <= 0 {
+		t.Errorf("no stage time recorded: %+v", r.Stages)
+	}
+	if total > r.Elapsed+time.Second {
+		t.Errorf("stage total %v exceeds elapsed %v", total, r.Elapsed)
+	}
+	var s StageTimings
+	s.Add(StageTimings{Bounds: 1, Heuristic: 2, Search: 3})
+	s.Add(StageTimings{Bounds: 10, Heuristic: 20, Search: 30})
+	if s != (StageTimings{Bounds: 11, Heuristic: 22, Search: 33}) {
+		t.Errorf("StageTimings.Add = %+v", s)
+	}
+	if !strings.Contains(s.String(), "bounds") {
+		t.Errorf("StageTimings.String() = %q", s.String())
+	}
+}
+
+// TestObsSharedAcrossGoroutines runs concurrent Pareto sweeps that
+// share one metrics registry, tracer and progress hook — the shape of
+// a parallel parameter study. Run under -race in CI.
+func TestObsSharedAcrossGoroutines(t *testing.T) {
+	in := &model.Instance{Name: "par", Tasks: []model.Task{
+		{W: 2, H: 2, Dur: 2}, {W: 2, H: 1, Dur: 1}, {W: 1, H: 2, Dur: 2}, {W: 1, H: 1, Dur: 1},
+	}, Prec: []model.Arc{{From: 0, To: 3}}}
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(io.Discard)
+	opt := Options{
+		Metrics:  reg,
+		Trace:    tr,
+		Progress: obs.NewPrinter(io.Discard, time.Millisecond),
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := ParetoFront(in, opt); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if reg.Counter("opp.calls").Value() == 0 {
+		t.Error("shared registry saw no OPP calls")
+	}
+	if tr.Err() != nil {
+		t.Errorf("shared tracer error: %v", tr.Err())
+	}
+	if tr.Events() == 0 {
+		t.Error("shared tracer saw no events")
+	}
+}

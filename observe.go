@@ -1,0 +1,64 @@
+package fpga3d
+
+// Observability: progress snapshots, JSONL event traces, and a metrics
+// registry, wired into every solver entry point through Options.
+//
+//	var trace bytes.Buffer
+//	o := &fpga3d.Options{
+//		Progress: fpga3d.ProgressPrinter(os.Stderr, 0),
+//		Trace:    fpga3d.NewTracer(&trace),
+//		Metrics:  fpga3d.NewMetrics(),
+//	}
+//	r, err := fpga3d.MinimizeTime(in, 32, 32, o)
+//
+// All three hooks are optional and nil-safe; a solver run with none of
+// them set pays only a nil check on the hot path.
+
+import (
+	"io"
+	"time"
+
+	"fpga3d/internal/core"
+	"fpga3d/internal/obs"
+	"fpga3d/internal/solver"
+)
+
+// Stats counts the work done by the branch-and-bound engine: nodes,
+// leaves, and per-rule conflict/propagation/rejection tallies.
+type Stats = core.Stats
+
+// StageTimings is the wall-clock time spent in each stage of the
+// three-stage framework (bounds, heuristic, exact search), summed over
+// all engine calls of a run.
+type StageTimings = solver.StageTimings
+
+// ProgressSnapshot is a point-in-time view of a running search,
+// delivered to a ProgressFunc roughly every 256 search nodes.
+type ProgressSnapshot = obs.Snapshot
+
+// ProgressFunc receives live progress snapshots. It is called from the
+// solving goroutine; keep it fast and do not call back into the solver.
+type ProgressFunc = obs.ProgressFunc
+
+// Tracer writes one JSON object per solver event to a sink — a
+// machine-readable record of an entire run (see the README for the
+// event schema). Safe for concurrent use.
+type Tracer = obs.Tracer
+
+// Metrics is a registry of named counters and gauges updated by the
+// solver. Safe for concurrent use; it implements http.Handler, serving
+// a JSON snapshot of all values.
+type Metrics = obs.Registry
+
+// NewTracer returns a Tracer emitting JSON Lines to w.
+func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// ProgressPrinter returns a ProgressFunc that renders a live one-line
+// status display to w, refreshing at most once per interval
+// (200ms if interval <= 0).
+func ProgressPrinter(w io.Writer, interval time.Duration) ProgressFunc {
+	return obs.NewPrinter(w, interval)
+}

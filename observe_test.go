@@ -1,0 +1,81 @@
+package fpga3d_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"fpga3d"
+)
+
+// TestObservabilityAPI wires all three hooks through the public API and
+// checks that a MinimizeTime run feeds each of them.
+func TestObservabilityAPI(t *testing.T) {
+	in := fpga3d.NewInstance("obs-api")
+	a := in.AddTask("a", 2, 2, 2)
+	b := in.AddTask("b", 2, 1, 1)
+	in.AddTask("c", 1, 2, 2)
+	in.AddPrecedence(a, b)
+
+	var trace, progress bytes.Buffer
+	o := &fpga3d.Options{
+		Progress: fpga3d.ProgressPrinter(&progress, 0),
+		Trace:    fpga3d.NewTracer(&trace),
+		Metrics:  fpga3d.NewMetrics(),
+	}
+	r, err := fpga3d.MinimizeTime(in, 3, 3, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Decision != fpga3d.Feasible {
+		t.Fatalf("decision %v", r.Decision)
+	}
+	if r.Stats.Nodes != r.Nodes {
+		t.Errorf("Stats.Nodes %d != Nodes %d", r.Stats.Nodes, r.Nodes)
+	}
+
+	// Every trace line is a JSON object bracketed by solve_start/solve_end.
+	lines := strings.Split(strings.TrimSuffix(trace.String(), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("trace has %d lines", len(lines))
+	}
+	var first, last map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if first["ev"] != "solve_start" || last["ev"] != "solve_end" {
+		t.Errorf("trace brackets %v … %v", first["ev"], last["ev"])
+	}
+	if last["value"] != float64(r.Value) {
+		t.Errorf("solve_end value %v, result %d", last["value"], r.Value)
+	}
+
+	if progress.Len() == 0 {
+		t.Error("progress printer wrote nothing")
+	}
+	if snap := o.Metrics.Snapshot(); len(snap) == 0 {
+		t.Error("metrics registry is empty after a run")
+	}
+}
+
+// TestResultStages: per-stage timings surface on the public results.
+func TestResultStages(t *testing.T) {
+	in := fpga3d.NewInstance("stages")
+	in.AddTask("a", 2, 2, 1)
+	in.AddTask("b", 2, 2, 1)
+	r, err := fpga3d.Solve(in, fpga3d.Chip{W: 2, H: 2, T: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Decision != fpga3d.Feasible {
+		t.Fatalf("decision %v", r.Decision)
+	}
+	total := r.Stages.Bounds + r.Stages.Heuristic + r.Stages.Search
+	if total <= 0 {
+		t.Errorf("no stage time on Result: %+v", r.Stages)
+	}
+}
