@@ -1,6 +1,7 @@
 package fpga3d
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -173,7 +174,17 @@ func opts(o *Options) Options {
 // Solve decides whether the instance fits the chip within its time
 // budget while meeting every precedence constraint (FeasAT&FindS).
 func Solve(in *Instance, c Chip, o *Options) (*Result, error) {
-	r, err := solver.SolveOPP(in.m, c, opts(o))
+	return SolveCtx(context.Background(), in, c, o)
+}
+
+// SolveCtx is Solve under a context. The search polls ctx on its node
+// cadence (every 256 branch-and-bound nodes); once ctx is done it
+// returns promptly with Decision Unknown, DecidedBy "canceled" and the
+// partial statistics gathered so far. The error stays nil for a
+// canceled single decision — check ctx.Err to distinguish cancellation
+// from a node/time limit.
+func SolveCtx(ctx context.Context, in *Instance, c Chip, o *Options) (*Result, error) {
+	r, err := solver.SolveOPPCtx(ctx, in.m, c, opts(o))
 	if err != nil {
 		return nil, err
 	}
@@ -183,30 +194,47 @@ func Solve(in *Instance, c Chip, o *Options) (*Result, error) {
 // MinimizeTime computes the smallest execution time on a fixed W×H chip
 // (MinT&FindS).
 func MinimizeTime(in *Instance, w, h int, o *Options) (*OptimizeResult, error) {
-	r, err := solver.MinTime(in.m, w, h, opts(o))
-	if err != nil {
-		return nil, err
-	}
-	return convertOpt(r), nil
+	return MinimizeTimeCtx(context.Background(), in, w, h, o)
+}
+
+// MinimizeTimeCtx is MinimizeTime under a context. The binary search's
+// independent OPP decisions race on Options.Workers goroutines (the
+// optimum and its witness stay bit-identical to the sequential sweep);
+// cancellation aborts the run promptly and returns the partial result —
+// with the merged statistics of every probe, including canceled ones —
+// together with ctx.Err().
+func MinimizeTimeCtx(ctx context.Context, in *Instance, w, h int, o *Options) (*OptimizeResult, error) {
+	r, err := solver.MinTimeCtx(ctx, in.m, w, h, opts(o))
+	return convertOptErr(r, err)
 }
 
 // MinimizeChip computes the smallest square chip side h such that the
 // instance completes within T cycles (MinA&FindS).
 func MinimizeChip(in *Instance, t int, o *Options) (*OptimizeResult, error) {
-	r, err := solver.MinBase(in.m, t, opts(o))
-	if err != nil {
-		return nil, err
-	}
-	return convertOpt(r), nil
+	return MinimizeChipCtx(context.Background(), in, t, o)
+}
+
+// MinimizeChipCtx is MinimizeChip under a context. The h-ascent's OPP
+// decisions race on Options.Workers goroutines with first-useful-answer
+// pruning; cancellation semantics match MinimizeTimeCtx.
+func MinimizeChipCtx(ctx context.Context, in *Instance, t int, o *Options) (*OptimizeResult, error) {
+	r, err := solver.MinBaseCtx(ctx, in.m, t, opts(o))
+	return convertOptErr(r, err)
 }
 
 // FixedSchedule decides whether a spatial placement exists for
 // prescribed start times (FeasA&FixedS).
 func FixedSchedule(in *Instance, c Chip, starts []int, o *Options) (*Result, error) {
+	return FixedScheduleCtx(context.Background(), in, c, starts, o)
+}
+
+// FixedScheduleCtx is FixedSchedule under a context; cancellation
+// semantics match SolveCtx.
+func FixedScheduleCtx(ctx context.Context, in *Instance, c Chip, starts []int, o *Options) (*Result, error) {
 	if len(starts) != in.NumTasks() {
 		return nil, fmt.Errorf("fpga3d: %d start times for %d tasks", len(starts), in.NumTasks())
 	}
-	r, err := solver.FeasibleFixedSchedule(in.m, c, starts, opts(o))
+	r, err := solver.FeasibleFixedScheduleCtx(ctx, in.m, c, starts, opts(o))
 	if err != nil {
 		return nil, err
 	}
@@ -216,14 +244,18 @@ func FixedSchedule(in *Instance, c Chip, starts []int, o *Options) (*Result, err
 // MinimizeChipFixedSchedule computes the smallest square chip that
 // admits a spatial placement for prescribed start times (MinA&FixedS).
 func MinimizeChipFixedSchedule(in *Instance, starts []int, o *Options) (*OptimizeResult, error) {
+	return MinimizeChipFixedScheduleCtx(context.Background(), in, starts, o)
+}
+
+// MinimizeChipFixedScheduleCtx is MinimizeChipFixedSchedule under a
+// context; the h-ascent races like MinimizeChipCtx and cancellation
+// returns the partial result together with ctx.Err().
+func MinimizeChipFixedScheduleCtx(ctx context.Context, in *Instance, starts []int, o *Options) (*OptimizeResult, error) {
 	if len(starts) != in.NumTasks() {
 		return nil, fmt.Errorf("fpga3d: %d start times for %d tasks", len(starts), in.NumTasks())
 	}
-	r, err := solver.MinBaseFixedSchedule(in.m, starts, opts(o))
-	if err != nil {
-		return nil, err
-	}
-	return convertOpt(r), nil
+	r, err := solver.MinBaseFixedScheduleCtx(ctx, in.m, starts, opts(o))
+	return convertOptErr(r, err)
 }
 
 func convertFeas(r *solver.OPPResult) *Result {
@@ -236,6 +268,16 @@ func convertFeas(r *solver.OPPResult) *Result {
 		Stages:    r.Stages,
 		Elapsed:   r.Elapsed,
 	}
+}
+
+// convertOptErr converts an optimization result while preserving the
+// partial result the Ctx drivers return alongside a cancellation error.
+func convertOptErr(r *solver.OptResult, err error) (*OptimizeResult, error) {
+	var out *OptimizeResult
+	if r != nil {
+		out = convertOpt(r)
+	}
+	return out, err
 }
 
 func convertOpt(r *solver.OptResult) *OptimizeResult {
@@ -258,8 +300,19 @@ type ParetoPoint = solver.ParetoPoint
 // pairs for the instance, as in Figure 7 of the paper. For the
 // unconstrained curve use in.WithoutPrecedence().
 func Pareto(in *Instance, o *Options) ([]ParetoPoint, error) {
-	r, err := solver.ParetoFront(in.m, opts(o))
+	return ParetoCtx(context.Background(), in, o)
+}
+
+// ParetoCtx is Pareto under a context. The T-walk is sequential (each
+// point seeds the next), but every chip minimization inside it races
+// its probes on Options.Workers goroutines; cancellation aborts the
+// walk promptly and returns the partial front together with ctx.Err().
+func ParetoCtx(ctx context.Context, in *Instance, o *Options) ([]ParetoPoint, error) {
+	r, err := solver.ParetoFrontCtx(ctx, in.m, opts(o))
 	if err != nil {
+		if r != nil {
+			return r.Points, err
+		}
 		return nil, err
 	}
 	return r.Points, nil

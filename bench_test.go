@@ -408,3 +408,44 @@ func BenchmarkFixedSchedule_DE(b *testing.B) {
 		}
 	}
 }
+
+// --- Parallel sweeps (Options.Workers racing, BENCH_parallel.json) ----
+
+// benchParallelBMP runs the hardest Table-1 row search-only — the one
+// configuration on the shipped benchmarks where the raced probes expend
+// real branch-and-bound effort — with a given pool size. Workers > 1
+// must reproduce the sequential optimum bit for bit; wall-clock gains
+// require actual spare cores (see EXPERIMENTS.md).
+func benchParallelBMP(b *testing.B, workers int) {
+	de := bench.DE()
+	opt := solver.Options{SkipBounds: true, SkipHeuristic: true, Workers: workers}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := solver.MinBase(de, 6, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Decision != solver.Feasible || r.Value != 32 {
+			b.Fatalf("got %d (%v)", r.Value, r.Decision)
+		}
+	}
+}
+
+func BenchmarkParallel_BMP_DE_T6_Workers1(b *testing.B) { benchParallelBMP(b, 1) }
+func BenchmarkParallel_BMP_DE_T6_Workers4(b *testing.B) { benchParallelBMP(b, 4) }
+func BenchmarkParallel_BMP_DE_T6_Workers8(b *testing.B) { benchParallelBMP(b, 8) }
+
+// BenchmarkParallel_Pareto_DE races the whole Figure-7 Pareto walk.
+func BenchmarkParallel_Pareto_DE(b *testing.B) {
+	de := BenchmarkDE()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts, err := Pareto(de, &Options{Workers: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 3 {
+			b.Fatalf("front has %d points, want 3", len(pts))
+		}
+	}
+}

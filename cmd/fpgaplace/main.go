@@ -21,10 +21,22 @@
 //	fpgaplace -builtin de -mode spp -W 17 -H 17 -json              # machine-readable result
 //	fpgaplace -builtin de -mode spp -W 17 -H 17 -metrics :8123     # live metrics endpoint
 //	fpgaplace -mode tracestats -trace run.jsonl                    # summarize a recorded trace
+//
+// Parallelism and deadlines:
+//
+//	fpgaplace -builtin de -mode bmp -T 6 -workers 4     # race probes on 4 goroutines
+//	fpgaplace -builtin de -mode bmp -T 6 -timeout 30s   # whole-run deadline
+//
+// A run cut off by -timeout prints the partial result as JSON and
+// exits with status 3 (exitDeadline), so scripts can distinguish
+// "ran out of time" from a solver error (status 1) and a proven
+// answer (status 0).
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -37,6 +49,11 @@ import (
 
 	"fpga3d"
 )
+
+// exitDeadline is the exit status of a run whose -timeout expired
+// before the answer was proven (the partial result goes to stdout as
+// JSON). Distinct from 0 (answer proven) and 1 (error).
+const exitDeadline = 3
 
 func main() {
 	log.SetFlags(0)
@@ -58,6 +75,8 @@ func main() {
 		reconfig     = flag.Int("reconfig", 0, "per-task reconfiguration overhead folded into durations")
 		nodeLimit    = flag.Int64("node-limit", 0, "branch-and-bound node budget (0 = unlimited)")
 		timeLimit    = flag.Duration("time-limit", 5*time.Minute, "wall-clock budget per decision")
+		workers      = flag.Int("workers", 0, "concurrent optimization probes (0 = GOMAXPROCS, 1 = sequential)")
+		timeout      = flag.Duration("timeout", 0, "whole-run deadline; on expiry the partial result is printed as JSON and the exit status is 3 (0 = none)")
 		progress     = flag.Bool("progress", false, "print a live search status line to stderr")
 		tracePath    = flag.String("trace", "", "write a JSONL event trace to this file (input file for mode=tracestats)")
 		metricsAddr  = flag.String("metrics", "", "serve live solver metrics as JSON on this address (e.g. :8123)")
@@ -92,12 +111,28 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	opt := &fpga3d.Options{NodeLimit: *nodeLimit, TimeLimit: *timeLimit}
+	opt := &fpga3d.Options{NodeLimit: *nodeLimit, TimeLimit: *timeLimit, Workers: *workers}
 	finishObs, err := setupObs(opt, *progress, *tracePath, *metricsAddr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer finishObs()
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	// exitPartial ends a run whose deadline expired: the partial result
+	// goes to stdout as JSON (regardless of -json, so scripts always get
+	// something parseable) and the process exits with exitDeadline.
+	exitPartial := func(payload map[string]any, cause error) {
+		finishObs()
+		payload["timed_out"] = true
+		emitJSON(payload)
+		log.Printf("timeout after %v: %v", *timeout, cause)
+		os.Exit(exitDeadline)
+	}
 	// With -json the human placement table is off unless asked for.
 	if *jsonOut && !flagWasSet("placement") {
 		*showPlace = false
@@ -121,9 +156,12 @@ func main() {
 	case "opp":
 		requireFlags(*w > 0 && *h > 0 && *tBudget > 0, "-W, -H and -T")
 		chip := fpga3d.Chip{W: *w, H: *h, T: *tBudget}
-		res, err := fpga3d.Solve(in, chip, opt)
+		res, err := fpga3d.SolveCtx(ctx, in, chip, opt)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if res.DecidedBy == "canceled" && ctx.Err() != nil {
+			exitPartial(feasJSON(in, "opp", chip, res), ctx.Err())
 		}
 		finishObs()
 		if *jsonOut {
@@ -138,8 +176,11 @@ func main() {
 
 	case "spp":
 		requireFlags(*w > 0 && *h > 0, "-W and -H")
-		res, err := fpga3d.MinimizeTime(in, *w, *h, opt)
+		res, err := fpga3d.MinimizeTimeCtx(ctx, in, *w, *h, opt)
 		if err != nil {
+			if isCtxErr(err) {
+				exitPartial(optJSON(in, "spp", res), err)
+			}
 			log.Fatal(err)
 		}
 		finishObs()
@@ -156,8 +197,11 @@ func main() {
 
 	case "bmp":
 		requireFlags(*tBudget > 0, "-T")
-		res, err := fpga3d.MinimizeChip(in, *tBudget, opt)
+		res, err := fpga3d.MinimizeChipCtx(ctx, in, *tBudget, opt)
 		if err != nil {
+			if isCtxErr(err) {
+				exitPartial(optJSON(in, "bmp", res), err)
+			}
 			log.Fatal(err)
 		}
 		finishObs()
@@ -179,9 +223,12 @@ func main() {
 			log.Fatal(err)
 		}
 		chip := fpga3d.Chip{W: *w, H: *h, T: *tBudget}
-		res, err := fpga3d.FixedSchedule(in, chip, starts, opt)
+		res, err := fpga3d.FixedScheduleCtx(ctx, in, chip, starts, opt)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if res.DecidedBy == "canceled" && ctx.Err() != nil {
+			exitPartial(feasJSON(in, "fixed", chip, res), ctx.Err())
 		}
 		finishObs()
 		if *jsonOut {
@@ -194,8 +241,13 @@ func main() {
 		svgOut(res.Placement, chip)
 
 	case "pareto":
-		pts, err := fpga3d.Pareto(in, opt)
+		pts, err := fpga3d.ParetoCtx(ctx, in, opt)
 		if err != nil {
+			if isCtxErr(err) {
+				exitPartial(map[string]any{
+					"instance": in.Name(), "mode": "pareto", "points": pts,
+				}, err)
+			}
 			log.Fatal(err)
 		}
 		finishObs()
@@ -210,8 +262,14 @@ func main() {
 
 	case "minarea":
 		requireFlags(*tBudget > 0, "-T")
-		res, err := fpga3d.MinimizeChipArea(in, *tBudget, opt)
+		res, err := fpga3d.MinimizeChipAreaCtx(ctx, in, *tBudget, opt)
 		if err != nil {
+			if isCtxErr(err) {
+				exitPartial(map[string]any{
+					"instance": in.Name(), "mode": "minarea",
+					"decision": fpga3d.Unknown.String(),
+				}, err)
+			}
 			log.Fatal(err)
 		}
 		finishObs()
@@ -233,12 +291,24 @@ func main() {
 		var res *fpga3d.MultiChipResult
 		var err error
 		if *chips > 0 {
-			res, err = fpga3d.SolveMultiChip(in, *w, *h, *tBudget, *chips, opt)
+			res, err = fpga3d.SolveMultiChipCtx(ctx, in, *w, *h, *tBudget, *chips, opt)
 		} else {
-			res, err = fpga3d.MinimizeChips(in, *w, *h, *tBudget, opt)
+			res, err = fpga3d.MinimizeChipsCtx(ctx, in, *w, *h, *tBudget, opt)
 		}
 		if err != nil {
+			if isCtxErr(err) {
+				exitPartial(map[string]any{
+					"instance": in.Name(), "mode": "multichip",
+					"decision": fpga3d.Unknown.String(),
+				}, err)
+			}
 			log.Fatal(err)
+		}
+		if res.Decision == fpga3d.Unknown && ctx.Err() != nil {
+			exitPartial(map[string]any{
+				"instance": in.Name(), "mode": "multichip",
+				"decision": res.Decision.String(), "chips": res.Chips, "stats": res.Stats,
+			}, ctx.Err())
 		}
 		finishObs()
 		if *jsonOut {
@@ -268,9 +338,15 @@ func main() {
 	case "rotate":
 		requireFlags(*w > 0 && *h > 0 && *tBudget > 0, "-W, -H and -T")
 		chip := fpga3d.Chip{W: *w, H: *h, T: *tBudget}
-		res, err := fpga3d.SolveWithRotation(in, chip, opt)
+		res, err := fpga3d.SolveWithRotationCtx(ctx, in, chip, opt)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if res.DecidedBy == "canceled" && ctx.Err() != nil {
+			exitPartial(map[string]any{
+				"instance": in.Name(), "mode": "rotate",
+				"decision": res.Decision.String(), "stats": res.Stats,
+			}, ctx.Err())
 		}
 		finishObs()
 		if *jsonOut {
@@ -298,6 +374,12 @@ func main() {
 	}
 }
 
+// isCtxErr reports whether err stems from the -timeout context rather
+// than from the solver itself.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
 // setFlags returns the names of the flags explicitly set on the
 // command line.
 func setFlags() map[string]bool {
@@ -312,7 +394,7 @@ func flagWasSet(name string) bool { return setFlags()[name] }
 var commonFlags = map[string]bool{
 	"instance": true, "builtin": true, "mode": true, "no-prec": true,
 	"placement": true, "gantt": true, "svg": true, "reconfig": true,
-	"node-limit": true, "time-limit": true,
+	"node-limit": true, "time-limit": true, "workers": true, "timeout": true,
 	"progress": true, "trace": true, "metrics": true, "json": true,
 }
 

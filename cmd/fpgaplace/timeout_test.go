@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"testing"
+)
+
+// TestMain lets timeout tests re-exec the test binary as the real CLI:
+// with FPGAPLACE_RUN_MAIN set, the process runs main() on its own
+// arguments instead of the test suite, so exit statuses and the
+// partial-result JSON can be observed end to end.
+func TestMain(m *testing.M) {
+	if os.Getenv("FPGAPLACE_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI re-executes the test binary as fpgaplace with the given
+// arguments and returns stdout and the exit code.
+func runCLI(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "FPGAPLACE_RUN_MAIN=1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("running %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	t.Logf("args=%v exit=%d stderr=%s", args, code, stderr.String())
+	return stdout.String(), code
+}
+
+type partialJSON struct {
+	Mode     string `json:"mode"`
+	Decision string `json:"decision"`
+	TimedOut bool   `json:"timed_out"`
+}
+
+// TestTimeoutExitStatus checks the CLI deadline contract in every mode
+// that must run probes on the DE benchmark: an expired -timeout yields
+// exit status 3 and a partial result as JSON with timed_out set.
+func TestTimeoutExitStatus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-executes the test binary")
+	}
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"opp", []string{"-builtin", "de", "-mode", "opp", "-W", "32", "-H", "32", "-T", "6"}},
+		// The DE heuristic is makespan-optimal on its benchmark chips,
+		// so spp uses a testdata instance whose greedy bound is loose —
+		// otherwise no probe runs and the answer is proven before the
+		// deadline is ever consulted.
+		{"spp", []string{"-instance", "testdata/spp_probe.json", "-mode", "spp", "-W", "4", "-H", "4"}},
+		{"bmp", []string{"-builtin", "de", "-mode", "bmp", "-T", "6"}},
+		{"fixed", []string{"-builtin", "de", "-mode", "fixed", "-W", "33", "-H", "33", "-T", "6",
+			"-starts", "0,0,2,4,5,0,2,0,2,0,1"}},
+		{"pareto", []string{"-builtin", "de", "-mode", "pareto"}},
+		{"minarea", []string{"-builtin", "de", "-mode", "minarea", "-T", "6"}},
+		{"multichip", []string{"-builtin", "de", "-mode", "multichip", "-W", "20", "-H", "20", "-T", "8"}},
+		{"rotate", []string{"-builtin", "de", "-mode", "rotate", "-W", "32", "-H", "32", "-T", "6"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, code := runCLI(t, append(tc.args, "-timeout", "1ns", "-placement=false")...)
+			if code != exitDeadline {
+				t.Fatalf("exit code %d, want %d; stdout:\n%s", code, exitDeadline, out)
+			}
+			var p partialJSON
+			if err := json.Unmarshal([]byte(out), &p); err != nil {
+				t.Fatalf("partial result is not JSON: %v\n%s", err, out)
+			}
+			if !p.TimedOut {
+				t.Fatalf("timed_out missing in partial result: %s", out)
+			}
+			if p.Decision != "" && p.Decision != "unknown" {
+				t.Fatalf("partial result claims decision %q: %s", p.Decision, out)
+			}
+		})
+	}
+}
+
+// TestTimeoutGenerousStillProves checks that a deadline long enough for
+// the whole run leaves the answer and exit status untouched, with
+// workers racing.
+func TestTimeoutGenerousStillProves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-executes the test binary")
+	}
+	out, code := runCLI(t, "-builtin", "de", "-mode", "bmp", "-T", "13",
+		"-timeout", "5m", "-workers", "4", "-json", "-placement=false")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0; stdout:\n%s", code, out)
+	}
+	var res struct {
+		Decision string  `json:"decision"`
+		Value    float64 `json:"value"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, out)
+	}
+	if res.Decision != "feasible" || res.Value != 17 {
+		t.Fatalf("got (%s, %v), want (feasible, 17)", res.Decision, res.Value)
+	}
+}

@@ -6,6 +6,7 @@
 //	paper -table2    Table 2: the video codec
 //	paper -fig7      Figure 7: the Pareto fronts with/without precedence
 //	paper -ablation  the rule/stage ablation study of DESIGN.md §6
+//	paper -parallel  sequential vs. racing-worker-pool comparison
 //	paper -all       everything
 package main
 
@@ -13,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"time"
 
 	"fpga3d"
@@ -30,13 +32,14 @@ func main() {
 		f7         = flag.Bool("fig7", false, "regenerate Figure 7 (Pareto fronts)")
 		ablation   = flag.Bool("ablation", false, "run the ablation study")
 		extensions = flag.Bool("extensions", false, "run the beyond-the-paper experiments")
+		par        = flag.Bool("parallel", false, "compare sequential vs. racing-worker-pool sweeps")
 		all        = flag.Bool("all", false, "everything")
 	)
 	flag.Parse()
 	if *all {
-		*t1, *t2, *f7, *ablation, *extensions = true, true, true, true, true
+		*t1, *t2, *f7, *ablation, *extensions, *par = true, true, true, true, true, true
 	}
-	if !*t1 && !*t2 && !*f7 && !*ablation && !*extensions {
+	if !*t1 && !*t2 && !*f7 && !*ablation && !*extensions && !*par {
 		flag.Usage()
 		return
 	}
@@ -55,7 +58,67 @@ func main() {
 	if *extensions {
 		extensionStudy()
 	}
+	if *par {
+		parallelStudy()
+	}
 }
+
+// parallelStudy compares the sequential optimization sweeps against the
+// racing worker pool (Options.Workers) on workloads where the probes
+// expend real search effort, and checks that the optima agree. Node
+// counts grow under racing (speculative probes); wall-clock shrinks
+// only when the host actually has spare cores.
+func parallelStudy() {
+	fmt.Printf("Parallel sweeps — sequential vs. %d racing workers (GOMAXPROCS=%d)\n",
+		parallelWorkers, runtime.GOMAXPROCS(0))
+	de := bench.DE()
+	vc := bench.VideoCodec()
+	searchOnly := solver.Options{SkipBounds: true, SkipHeuristic: true}
+	rows := []struct {
+		name string
+		opt  solver.Options
+		run  func(opt solver.Options) (*solver.OptResult, error)
+	}{
+		// Search-only makes every probe a real branch-and-bound run, so
+		// the speculative-node overhead of racing becomes visible.
+		{"DE BMP T=6 (search only)", searchOnly, func(o solver.Options) (*solver.OptResult, error) {
+			return solver.MinBase(de, 6, o)
+		}},
+		{"DE BMP T=6 (full framework)", solver.Options{}, func(o solver.Options) (*solver.OptResult, error) {
+			return solver.MinBase(de, 6, o)
+		}},
+		{"DE BMP T=13 (full framework)", solver.Options{}, func(o solver.Options) (*solver.OptResult, error) {
+			return solver.MinBase(de, 13, o)
+		}},
+		{"codec BMP T=59 (full framework)", solver.Options{}, func(o solver.Options) (*solver.OptResult, error) {
+			return solver.MinBase(vc, 59, o)
+		}},
+	}
+	fmt.Printf("  %-34s %8s %6s %7s %7s %12s\n", "workload", "workers", "value", "probes", "nodes", "time")
+	for _, row := range rows {
+		var seqValue int
+		for _, workers := range []int{1, parallelWorkers} {
+			opt := row.opt
+			opt.Workers = workers
+			r, err := row.run(opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-34s %8d %6d %7d %7d %12v\n",
+				row.name, workers, r.Value, r.Probes, r.Stats.Nodes, r.Elapsed.Round(time.Microsecond))
+			if workers == 1 {
+				seqValue = r.Value
+			} else if r.Value != seqValue {
+				log.Fatalf("%s: parallel optimum %d != sequential %d", row.name, r.Value, seqValue)
+			}
+		}
+	}
+	fmt.Println()
+}
+
+// parallelWorkers is the pool size used by -parallel; fixed rather than
+// GOMAXPROCS so the reported numbers are comparable across hosts.
+const parallelWorkers = 8
 
 // extensionStudy regenerates the beyond-the-paper experiment tables of
 // EXPERIMENTS.md: rectangular chips, multi-FPGA partitioning, and the

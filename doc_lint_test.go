@@ -1,0 +1,70 @@
+package fpga3d
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// TestGodocCoverage enforces the public-surface documentation contract:
+// every exported top-level identifier (functions, methods, types,
+// constants, variables) in the public packages carries a doc comment.
+// CI runs this test, so an undocumented export fails the build.
+func TestGodocCoverage(t *testing.T) {
+	files := []string{
+		"api.go",
+		"observe.go",
+		"extensions.go",
+		"benchmarks.go",
+		"pack/pack.go",
+	}
+	fset := token.NewFileSet()
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc.Text() == "" {
+					t.Errorf("%s: exported %s %s has no doc comment",
+						path, kindOf(d), d.Name.Name)
+				}
+			case *ast.GenDecl:
+				checkGenDecl(t, path, d)
+			}
+		}
+	}
+}
+
+// kindOf names a function declaration for the error message.
+func kindOf(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// checkGenDecl requires a doc comment on every exported const, var and
+// type. The comment may sit on the grouped declaration (covering a
+// const block) or on the individual spec.
+func checkGenDecl(t *testing.T, path string, d *ast.GenDecl) {
+	t.Helper()
+	groupDoc := d.Doc.Text() != ""
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !groupDoc && s.Doc.Text() == "" {
+				t.Errorf("%s: exported type %s has no doc comment", path, s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if name.IsExported() && !groupDoc && s.Doc.Text() == "" && s.Comment.Text() == "" {
+					t.Errorf("%s: exported %s %s has no doc comment", path, d.Tok, name.Name)
+				}
+			}
+		}
+	}
+}

@@ -1,8 +1,10 @@
 package fpga3d_test
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"fpga3d"
 )
@@ -84,6 +86,24 @@ func ExampleSolveWithRotation() {
 	rotated, _ := fpga3d.SolveWithRotation(in, chip, nil)
 	fmt.Printf("fixed=%v rotated=%v\n", plain.Decision, rotated.Decision)
 	// Output: fixed=infeasible rotated=feasible
+}
+
+// ExampleMinimizeChipCtx runs the chip minimization with a pool of
+// workers racing independent feasibility probes under a deadline. The
+// answer is bit-identical to the sequential sweep; if the deadline
+// expired first, the error would be context.DeadlineExceeded and the
+// returned result would carry the partial statistics gathered so far.
+func ExampleMinimizeChipCtx() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	opt := &fpga3d.Options{Workers: 4} // 0 means GOMAXPROCS
+	res, err := fpga3d.MinimizeChipCtx(ctx, fpga3d.BenchmarkDE(), 13, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%v %dx%d\n", res.Decision, res.Value, res.Value)
+	// Output: feasible 17x17
 }
 
 // ExampleFixedSchedule checks a prescribed schedule for spatial

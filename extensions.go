@@ -1,6 +1,7 @@
 package fpga3d
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -29,7 +30,15 @@ type RotationResult struct {
 // rotated by 90° (footprint w×h becomes h×w). Exact: the instance is
 // reported feasible iff some orientation assignment admits a placement.
 func SolveWithRotation(in *Instance, c Chip, o *Options) (*RotationResult, error) {
-	r, err := solver.SolveOPPWithRotation(in.m, c, opts(o))
+	return SolveWithRotationCtx(context.Background(), in, c, o)
+}
+
+// SolveWithRotationCtx is SolveWithRotation under a context; once ctx
+// is done the orientation enumeration stops and the aggregate comes
+// back with Decision Unknown and DecidedBy "canceled" (nil error),
+// matching SolveCtx.
+func SolveWithRotationCtx(ctx context.Context, in *Instance, c Chip, o *Options) (*RotationResult, error) {
+	r, err := solver.SolveOPPWithRotationCtx(ctx, in.m, c, opts(o))
 	if err != nil {
 		return nil, err
 	}
@@ -126,23 +135,40 @@ type MultiChipResult struct {
 // packing-class machinery applies unchanged — a direct payoff of the
 // Fekete–Schepers theory being dimension-generic.
 func SolveMultiChip(in *Instance, chipW, chipH, t, k int, o *Options) (*MultiChipResult, error) {
-	r, err := solver.SolveMultiChip(in.m, chipW, chipH, t, k, opts(o))
+	return SolveMultiChipCtx(context.Background(), in, chipW, chipH, t, k, o)
+}
+
+// SolveMultiChipCtx is SolveMultiChip under a context; cancellation
+// semantics match SolveCtx.
+func SolveMultiChipCtx(ctx context.Context, in *Instance, chipW, chipH, t, k int, o *Options) (*MultiChipResult, error) {
+	r, err := solver.SolveMultiChipCtx(ctx, in.m, chipW, chipH, t, k, opts(o))
 	if err != nil {
 		return nil, err
 	}
-	return &MultiChipResult{Decision: r.Decision, Chips: r.Chips, Chip: r.Chip,
-		Placement: r.Placement, Stats: r.Stats, Stages: r.Stages}, nil
+	return convertMultiChip(r), nil
 }
 
 // MinimizeChips finds the minimal number of identical W×H chips on
 // which the instance completes within T cycles.
 func MinimizeChips(in *Instance, chipW, chipH, t int, o *Options) (*MultiChipResult, error) {
-	r, err := solver.MinChips(in.m, chipW, chipH, t, opts(o))
-	if err != nil {
-		return nil, err
+	return MinimizeChipsCtx(context.Background(), in, chipW, chipH, t, o)
+}
+
+// MinimizeChipsCtx is MinimizeChips under a context; cancellation
+// aborts the chip-count ascent promptly and returns the partial
+// aggregate together with ctx.Err().
+func MinimizeChipsCtx(ctx context.Context, in *Instance, chipW, chipH, t int, o *Options) (*MultiChipResult, error) {
+	r, err := solver.MinChipsCtx(ctx, in.m, chipW, chipH, t, opts(o))
+	var out *MultiChipResult
+	if r != nil {
+		out = convertMultiChip(r)
 	}
+	return out, err
+}
+
+func convertMultiChip(r *solver.MultiChipResult) *MultiChipResult {
 	return &MultiChipResult{Decision: r.Decision, Chips: r.Chips, Chip: r.Chip,
-		Placement: r.Placement, Stats: r.Stats, Stages: r.Stages}, nil
+		Placement: r.Placement, Stats: r.Stats, Stages: r.Stages}
 }
 
 // RectResult is the outcome of a rectangular chip minimization.
@@ -162,8 +188,15 @@ type RectResult struct {
 // benchmark at T=6 fits a 16×48 chip (768 cells) although the smallest
 // square is 32×32 (1024 cells).
 func MinimizeChipArea(in *Instance, t int, o *Options) (*RectResult, error) {
-	r, err := solver.MinArea(in.m, t, opts(o))
-	if err != nil {
+	return MinimizeChipAreaCtx(context.Background(), in, t, o)
+}
+
+// MinimizeChipAreaCtx is MinimizeChipArea under a context; cancellation
+// aborts the width sweep promptly and returns the partial result
+// together with ctx.Err().
+func MinimizeChipAreaCtx(ctx context.Context, in *Instance, t int, o *Options) (*RectResult, error) {
+	r, err := solver.MinAreaCtx(ctx, in.m, t, opts(o))
+	if r == nil {
 		return nil, err
 	}
 	return &RectResult{
@@ -174,7 +207,7 @@ func MinimizeChipArea(in *Instance, t int, o *Options) (*RectResult, error) {
 		Placement: r.Placement,
 		Stats:     r.Stats,
 		Stages:    r.Stages,
-	}, nil
+	}, err
 }
 
 // MinimizeTimeWithRotation computes the smallest execution time on a

@@ -359,9 +359,10 @@ func (e *engine) undoTo(m int) {
 	e.conflict = noConflict
 }
 
-// checkLimits updates the abort status from node/time budgets and, on
-// the same every-256-nodes cadence as the deadline poll, delivers a
-// progress snapshot to the Progress hook.
+// checkLimits updates the abort status from node/time/context budgets
+// and, on the same every-256-nodes cadence as the deadline and
+// cancellation polls, delivers a progress snapshot to the Progress
+// hook.
 func (e *engine) checkLimits() bool {
 	if e.aborted != StatusFeasible {
 		return false
@@ -373,6 +374,14 @@ func (e *engine) checkLimits() bool {
 	e.nodeTick++
 	if e.nodeTick%256 != 0 {
 		return true
+	}
+	if e.opt.Ctx != nil {
+		select {
+		case <-e.opt.Ctx.Done():
+			e.aborted = StatusCanceled
+			return false
+		default:
+		}
 	}
 	if !e.opt.Deadline.IsZero() && time.Now().After(e.opt.Deadline) {
 		e.aborted = StatusTimeLimit

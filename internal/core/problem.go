@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -162,6 +163,8 @@ const (
 	StatusNodeLimit
 	// StatusTimeLimit means the deadline passed before a decision.
 	StatusTimeLimit
+	// StatusCanceled means Options.Ctx was canceled before a decision.
+	StatusCanceled
 )
 
 func (s Status) String() string {
@@ -174,6 +177,8 @@ func (s Status) String() string {
 		return "node-limit"
 	case StatusTimeLimit:
 		return "time-limit"
+	case StatusCanceled:
+		return "canceled"
 	}
 	return fmt.Sprintf("status(%d)", int(s))
 }
@@ -194,6 +199,13 @@ type Options struct {
 	NodeLimit int64
 	// Deadline aborts the search after this instant (zero = none).
 	Deadline time.Time
+	// Ctx, when non-nil, is polled on the engine's node cadence (every
+	// 256 nodes, alongside the deadline poll); once it is done the
+	// search unwinds promptly and Solve returns StatusCanceled with the
+	// partial statistics accumulated so far. This is the cancellation
+	// path the concurrent optimization drivers use to abandon probes
+	// whose answer another probe has made redundant.
+	Ctx context.Context
 
 	// Progress, when non-nil, receives a Snapshot of search effort on
 	// the engine's node-count cadence — every 256 nodes, piggybacking

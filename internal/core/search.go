@@ -16,6 +16,16 @@ func Solve(p *Problem, opt Options) Result {
 		// is a programming-error guard, not a user-facing path.
 		panic(fmt.Sprintf("core: invalid problem: %v", err))
 	}
+	// A context that is already dead never gets to spend root
+	// propagation effort; racing drivers cancel redundant probes before
+	// they launch as often as mid-flight.
+	if opt.Ctx != nil {
+		select {
+		case <-opt.Ctx.Done():
+			return Result{Status: StatusCanceled}
+		default:
+		}
+	}
 	e := newEngine(p, opt)
 
 	// Root constraints.

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -21,6 +22,14 @@ import (
 // pruned, and the sweep stops when width × maxH alone exceeds the best
 // area found.
 func MinArea(in *model.Instance, T int, opt Options) (*OptRectResult, error) {
+	return MinAreaCtx(context.Background(), in, T, opt)
+}
+
+// MinAreaCtx is MinArea under a context. The width sweep prunes on the
+// incumbent area, so it stays sequential; cancellation aborts the
+// current probe on the engine's node cadence and returns the partial
+// result together with ctx.Err().
+func MinAreaCtx(ctx context.Context, in *model.Instance, T int, opt Options) (*OptRectResult, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -46,14 +55,14 @@ func MinArea(in *model.Instance, T int, opt Options) (*OptRectResult, error) {
 	volume := in.Volume()
 
 	feasibleAt := func(w, h int) (Decision, *model.Placement, error) {
-		r, err := solveOPP(in, model.Container{W: w, H: h, T: T}, order, opt)
+		r, err := solveOPP(ctx, in, model.Container{W: w, H: h, T: T}, order, opt)
 		if err != nil {
 			return Unknown, nil, err
 		}
 		res.Probes++
 		res.Stats.Add(r.Stats)
 		res.Stages.Add(r.Stages)
-		opt.probe("minarea", map[string]any{"W": w, "H": h, "outcome": r.Decision.String()})
+		opt.probe("minarea", map[string]any{"W": w, "H": h, "outcome": probeOutcomeLabel(r)})
 		return r.Decision, r.Placement, nil
 	}
 
@@ -86,7 +95,7 @@ func MinArea(in *model.Instance, T int, opt Options) (*OptRectResult, error) {
 			if d == Unknown {
 				res.Decision = Unknown
 				res.Elapsed = time.Since(start)
-				return res, nil
+				return res, ctx.Err()
 			}
 			if d == Feasible {
 				hiPlace = p
@@ -116,7 +125,7 @@ func MinArea(in *model.Instance, T int, opt Options) (*OptRectResult, error) {
 			if d == Unknown {
 				res.Decision = Unknown
 				res.Elapsed = time.Since(start)
-				return res, nil
+				return res, ctx.Err()
 			}
 			if d == Feasible {
 				hi, bestH, bestP = mid, mid, p

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"time"
 
 	"fpga3d/internal/model"
@@ -11,6 +12,13 @@ import (
 // for any fixed orientation assignment, hence also for the best one, so
 // binary search applies.
 func MinTimeWithRotation(in *model.Instance, W, H int, opt Options) (*OptResult, []bool, error) {
+	return MinTimeWithRotationCtx(context.Background(), in, W, H, opt)
+}
+
+// MinTimeWithRotationCtx is MinTimeWithRotation under a context;
+// cancellation aborts the binary search promptly and returns the
+// partial result together with ctx.Err().
+func MinTimeWithRotationCtx(ctx context.Context, in *model.Instance, W, H int, opt Options) (*OptResult, []bool, error) {
 	if err := in.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -43,14 +51,14 @@ func MinTimeWithRotation(in *model.Instance, W, H int, opt Options) (*OptResult,
 
 	lo, hi := lb, ub
 	probe := func(T int) (Decision, *model.Placement, []bool, error) {
-		r, err := SolveOPPWithRotation(in, model.Container{W: W, H: H, T: T}, opt)
+		r, err := SolveOPPWithRotationCtx(ctx, in, model.Container{W: W, H: H, T: T}, opt)
 		if err != nil {
 			return Unknown, nil, nil, err
 		}
 		res.Probes++
 		res.Stats.Add(r.Stats)
 		res.Stages.Add(r.Stages)
-		opt.probe("spp_rotate", map[string]any{"T": T, "outcome": r.Decision.String()})
+		opt.probe("spp_rotate", map[string]any{"T": T, "outcome": probeOutcomeLabel(&r.OPPResult)})
 		return r.Decision, r.Placement, r.Rotations, nil
 	}
 	// Establish the upper end.
@@ -61,7 +69,7 @@ func MinTimeWithRotation(in *model.Instance, W, H int, opt Options) (*OptResult,
 	if d != Feasible {
 		res.Decision = Unknown
 		res.Elapsed = time.Since(start)
-		return res, nil, nil
+		return res, nil, ctx.Err()
 	}
 	best, bestPlace, bestRot := ub, p, rots
 	for lo < hi {
@@ -78,7 +86,7 @@ func MinTimeWithRotation(in *model.Instance, W, H int, opt Options) (*OptResult,
 		default:
 			res.Decision = Unknown
 			res.Elapsed = time.Since(start)
-			return res, nil, nil
+			return res, nil, ctx.Err()
 		}
 	}
 	res.Decision = Feasible
@@ -91,6 +99,13 @@ func MinTimeWithRotation(in *model.Instance, W, H int, opt Options) (*OptResult,
 // MinTimeMultiChip computes the smallest execution time on k identical
 // W×H chips.
 func MinTimeMultiChip(in *model.Instance, chipW, chipH, k int, opt Options) (*MultiChipResult, error) {
+	return MinTimeMultiChipCtx(context.Background(), in, chipW, chipH, k, opt)
+}
+
+// MinTimeMultiChipCtx is MinTimeMultiChip under a context; cancellation
+// aborts the binary search promptly and returns the partial result
+// together with ctx.Err().
+func MinTimeMultiChipCtx(ctx context.Context, in *model.Instance, chipW, chipH, k int, opt Options) (*MultiChipResult, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -109,7 +124,7 @@ func MinTimeMultiChip(in *model.Instance, chipW, chipH, k int, opt Options) (*Mu
 	// The serialized horizon is feasible on a single chip, a fortiori
 	// on k.
 	var best *MultiChipResult
-	r, err := solveMultiChip(in, chipW, chipH, hi, k, order, opt)
+	r, err := solveMultiChip(ctx, in, chipW, chipH, hi, k, order, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -119,13 +134,13 @@ func MinTimeMultiChip(in *model.Instance, chipW, chipH, k int, opt Options) (*Mu
 	if r.Decision != Feasible {
 		res.Decision = Unknown
 		res.Elapsed = time.Since(start)
-		return res, nil
+		return res, ctx.Err()
 	}
 	best = r
 	bestT := hi
 	for lo < hi {
 		mid := (lo + hi) / 2
-		r, err := solveMultiChip(in, chipW, chipH, mid, k, order, opt)
+		r, err := solveMultiChip(ctx, in, chipW, chipH, mid, k, order, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -141,7 +156,7 @@ func MinTimeMultiChip(in *model.Instance, chipW, chipH, k int, opt Options) (*Mu
 		default:
 			res.Decision = Unknown
 			res.Elapsed = time.Since(start)
-			return res, nil
+			return res, ctx.Err()
 		}
 	}
 	best.Probes = res.Probes

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -40,6 +41,13 @@ type MultiChipResult struct {
 // SolveMultiChip decides whether the instance fits k identical W×H
 // chips within T cycles under its precedence constraints.
 func SolveMultiChip(in *model.Instance, chipW, chipH, T, k int, opt Options) (*MultiChipResult, error) {
+	return SolveMultiChipCtx(context.Background(), in, chipW, chipH, T, k, opt)
+}
+
+// SolveMultiChipCtx is SolveMultiChip under a context; cancellation
+// semantics match SolveOPPCtx (Decision Unknown, partial statistics,
+// nil error).
+func SolveMultiChipCtx(ctx context.Context, in *model.Instance, chipW, chipH, T, k int, opt Options) (*MultiChipResult, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -50,10 +58,10 @@ func SolveMultiChip(in *model.Instance, chipW, chipH, T, k int, opt Options) (*M
 	if err != nil {
 		return nil, err
 	}
-	return solveMultiChip(in, chipW, chipH, T, k, order, opt)
+	return solveMultiChip(ctx, in, chipW, chipH, T, k, order, opt)
 }
 
-func solveMultiChip(in *model.Instance, chipW, chipH, T, k int, order *model.Order, opt Options) (*MultiChipResult, error) {
+func solveMultiChip(ctx context.Context, in *model.Instance, chipW, chipH, T, k int, order *model.Order, opt Options) (*MultiChipResult, error) {
 	start := time.Now()
 	res := &MultiChipResult{Chips: k}
 	n := in.N()
@@ -98,11 +106,12 @@ func solveMultiChip(in *model.Instance, chipW, chipH, T, k int, order *model.Ord
 		"instance": in.Name, "n": n, "W": chipW, "H": chipH, "T": T, "chips": k,
 	})
 	opt.notifyPhase(obs.PhaseSearch)
-	r := core.Solve(prob, opt.searchOptions())
+	r := core.Solve(prob, opt.searchOptions(ctx))
 	res.Stats = r.Stats
 	res.Elapsed = time.Since(start)
 	res.Stages.Search = res.Elapsed
 	opt.Metrics.Counter("search.nodes").Add(r.Stats.Nodes)
+	decidedBy := "search"
 	switch r.Status {
 	case core.StatusFeasible:
 		res.Decision = Feasible
@@ -117,14 +126,18 @@ func solveMultiChip(in *model.Instance, chipW, chipH, T, k int, order *model.Ord
 		}
 	case core.StatusInfeasible:
 		res.Decision = Infeasible
+	case core.StatusCanceled:
+		res.Decision = Unknown
+		decidedBy = "canceled"
 	default:
 		res.Decision = Unknown
+		decidedBy = "limit"
 	}
 	opt.Metrics.Counter("opp." + res.Decision.String()).Inc()
 	if opt.Trace != nil {
 		opt.Trace.Emit("opp_end", map[string]any{
 			"decision":   res.Decision.String(),
-			"decided_by": "search",
+			"decided_by": decidedBy,
 			"chips":      k,
 			"nodes":      res.Stats.Nodes,
 			"elapsed_ms": ms(res.Elapsed),
@@ -139,6 +152,13 @@ func solveMultiChip(in *model.Instance, chipW, chipH, T, k int, order *model.Ord
 // instance completes within T cycles. Feasibility is monotone in k, so
 // a linear ascent from the volume bound is exact.
 func MinChips(in *model.Instance, chipW, chipH, T int, opt Options) (*MultiChipResult, error) {
+	return MinChipsCtx(context.Background(), in, chipW, chipH, T, opt)
+}
+
+// MinChipsCtx is MinChips under a context: cancellation aborts the
+// k-ascent promptly and returns the partial aggregate together with
+// ctx.Err().
+func MinChipsCtx(ctx context.Context, in *model.Instance, chipW, chipH, T int, opt Options) (*MultiChipResult, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -160,7 +180,7 @@ func MinChips(in *model.Instance, chipW, chipH, T int, opt Options) (*MultiChipR
 	var agg core.Stats
 	var aggStages StageTimings
 	for k := kLo; k <= in.N(); k++ {
-		r, err := solveMultiChip(in, chipW, chipH, T, k, order, opt)
+		r, err := solveMultiChip(ctx, in, chipW, chipH, T, k, order, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -178,7 +198,7 @@ func MinChips(in *model.Instance, chipW, chipH, T int, opt Options) (*MultiChipR
 			return r, nil
 		case Unknown:
 			return &MultiChipResult{Decision: Unknown, Probes: probes, Stats: agg,
-				Stages: aggStages, Elapsed: time.Since(start)}, nil
+				Stages: aggStages, Elapsed: time.Since(start)}, ctx.Err()
 		}
 	}
 	return nil, fmt.Errorf("solver: %q infeasible even with one chip per task (internal error)", in.Name)

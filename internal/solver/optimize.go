@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -18,9 +19,12 @@ type OptResult struct {
 	Placement *model.Placement // a witness for the optimum
 	// LowerBound is the stage-1 bound the search started from.
 	LowerBound int
-	// Probes counts the OPP decision calls made.
+	// Probes counts the OPP decision calls made (with Workers > 1 this
+	// includes probes that were canceled as redundant mid-flight).
 	Probes int
-	// Stats accumulates engine statistics over all probes.
+	// Stats accumulates engine statistics over all probes, including
+	// the partial effort of canceled ones, so the merged node count
+	// equals the sum of the per-probe shards.
 	Stats core.Stats
 	// Stages accumulates per-stage wall-clock durations over all probes.
 	Stages  StageTimings
@@ -31,6 +35,15 @@ type OptResult struct {
 // smallest execution time T such that the instance fits a W×H chip
 // while satisfying its precedence constraints.
 func MinTime(in *model.Instance, W, H int, opt Options) (*OptResult, error) {
+	return MinTimeCtx(context.Background(), in, W, H, opt)
+}
+
+// MinTimeCtx is MinTime under a context: the T-sweep's OPP decisions
+// are raced on Options.Workers goroutines, ctx cancellation aborts the
+// run promptly (on the engine's node cadence), and on cancellation the
+// partial result — merged statistics of every probe — is returned
+// together with ctx.Err().
+func MinTimeCtx(ctx context.Context, in *model.Instance, W, H int, opt Options) (*OptResult, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -38,10 +51,10 @@ func MinTime(in *model.Instance, W, H int, opt Options) (*OptResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return minTime(in, W, H, order, opt)
+	return minTime(ctx, in, W, H, order, opt)
 }
 
-func minTime(in *model.Instance, W, H int, order *model.Order, opt Options) (*OptResult, error) {
+func minTime(ctx context.Context, in *model.Instance, W, H int, order *model.Order, opt Options) (*OptResult, error) {
 	start := time.Now()
 	res := &OptResult{}
 	opt.Trace.Emit("solve_start", map[string]any{
@@ -83,18 +96,49 @@ func minTime(in *model.Instance, W, H int, order *model.Order, opt Options) (*Op
 	best, bestPlace := ub, ubPlace
 	opt.incumbent("spp", ub, "heuristic")
 
+	if workers := opt.effectiveWorkers(); workers > 1 {
+		probe := oppProbe(in, order, opt, func(T int) model.Container {
+			return model.Container{W: W, H: H, T: T}
+		})
+		onProbe := func(T int, r *OPPResult) {
+			res.mergeProbe(r)
+			opt.probe("spp", map[string]any{"T": T, "outcome": probeOutcomeLabel(r)})
+		}
+		d, value, witness, err := raceBinary(ctx, workers, lb, ub, probe, onProbe)
+		if err != nil {
+			res.Decision = Unknown
+			res.Value = best
+			res.Placement = bestPlace
+			res.Elapsed = time.Since(start)
+			opt.traceSolveEnd("spp", res)
+			return res, err
+		}
+		if d == Feasible && witness != nil {
+			best, bestPlace = value, witness.Placement
+		} else if d == Feasible {
+			best = value // == ub; the heuristic witness stands
+		}
+		res.Decision = d
+		res.Value = best
+		res.Placement = bestPlace
+		res.Elapsed = time.Since(start)
+		if d == Feasible {
+			opt.incumbent("spp", best, "search")
+		}
+		opt.traceSolveEnd("spp", res)
+		return res, nil
+	}
+
 	// Binary search on the monotone predicate "fits within T".
 	lo, hi := lb, ub // hi is known feasible
 	for lo < hi {
 		mid := (lo + hi) / 2
-		r, err := solveOPP(in, model.Container{W: W, H: H, T: mid}, order, opt)
+		r, err := solveOPP(ctx, in, model.Container{W: W, H: H, T: mid}, order, opt)
 		if err != nil {
 			return nil, err
 		}
-		res.Probes++
-		res.Stats.Add(r.Stats)
-		res.Stages.Add(r.Stages)
-		opt.probe("spp", map[string]any{"T": mid, "outcome": r.Decision.String()})
+		res.mergeProbe(r)
+		opt.probe("spp", map[string]any{"T": mid, "outcome": probeOutcomeLabel(r)})
 		switch r.Decision {
 		case Feasible:
 			hi = mid
@@ -108,7 +152,7 @@ func minTime(in *model.Instance, W, H int, order *model.Order, opt Options) (*Op
 			res.Placement = bestPlace
 			res.Elapsed = time.Since(start)
 			opt.traceSolveEnd("spp", res)
-			return res, nil
+			return res, ctx.Err()
 		}
 	}
 	res.Decision = Feasible
@@ -161,6 +205,16 @@ func (o Options) traceSolveEnd(mode string, res *OptResult) {
 // smallest square chip h×h on which the instance completes within time T
 // while satisfying its precedence constraints.
 func MinBase(in *model.Instance, T int, opt Options) (*OptResult, error) {
+	return MinBaseCtx(context.Background(), in, T, opt)
+}
+
+// MinBaseCtx is MinBase under a context: the h-sweep's OPP decisions
+// are raced on Options.Workers goroutines with first-useful-answer
+// pruning — a feasibility proof at h cancels all probes at h' > h, an
+// infeasibility proof at h cancels all probes at h' ≤ h — and ctx
+// cancellation aborts the run promptly with the partial merged
+// statistics and ctx.Err().
+func MinBaseCtx(ctx context.Context, in *model.Instance, T int, opt Options) (*OptResult, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -168,10 +222,10 @@ func MinBase(in *model.Instance, T int, opt Options) (*OptResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return minBase(in, T, order, opt)
+	return minBase(ctx, in, T, order, opt)
 }
 
-func minBase(in *model.Instance, T int, order *model.Order, opt Options) (*OptResult, error) {
+func minBase(ctx context.Context, in *model.Instance, T int, order *model.Order, opt Options) (*OptResult, error) {
 	start := time.Now()
 	res := &OptResult{}
 	opt.Trace.Emit("solve_start", map[string]any{
@@ -201,15 +255,46 @@ func minBase(in *model.Instance, T int, order *model.Order, opt Options) (*OptRe
 		}
 		hMax += m
 	}
+
+	if workers := opt.effectiveWorkers(); workers > 1 {
+		probe := oppProbe(in, order, opt, func(h int) model.Container {
+			return model.Container{W: h, H: h, T: T}
+		})
+		onProbe := func(h int, r *OPPResult) {
+			res.mergeProbe(r)
+			opt.probe("bmp", map[string]any{"h": h, "outcome": probeOutcomeLabel(r)})
+		}
+		d, value, witness, err := raceAscending(ctx, workers, lb, hMax, probe, onProbe)
+		res.Elapsed = time.Since(start)
+		if err != nil {
+			res.Decision = Unknown
+			opt.traceSolveEnd("bmp", res)
+			return res, err
+		}
+		switch d {
+		case Feasible:
+			res.Decision = Feasible
+			res.Value = value
+			res.Placement = witness.Placement
+			opt.incumbent("bmp", value, witness.DecidedBy)
+			opt.traceSolveEnd("bmp", res)
+			return res, nil
+		case Unknown:
+			res.Decision = Unknown
+			opt.traceSolveEnd("bmp", res)
+			return res, nil
+		}
+		return nil, fmt.Errorf("solver: no feasible chip up to %dx%d for instance %q (internal bound error)",
+			hMax, hMax, in.Name)
+	}
+
 	for h := lb; h <= hMax; h++ {
-		r, err := solveOPP(in, model.Container{W: h, H: h, T: T}, order, opt)
+		r, err := solveOPP(ctx, in, model.Container{W: h, H: h, T: T}, order, opt)
 		if err != nil {
 			return nil, err
 		}
-		res.Probes++
-		res.Stats.Add(r.Stats)
-		res.Stages.Add(r.Stages)
-		opt.probe("bmp", map[string]any{"h": h, "outcome": r.Decision.String()})
+		res.mergeProbe(r)
+		opt.probe("bmp", map[string]any{"h": h, "outcome": probeOutcomeLabel(r)})
 		switch r.Decision {
 		case Feasible:
 			res.Decision = Feasible
@@ -225,7 +310,7 @@ func minBase(in *model.Instance, T int, order *model.Order, opt Options) (*OptRe
 			res.Decision = Unknown
 			res.Elapsed = time.Since(start)
 			opt.traceSolveEnd("bmp", res)
-			return res, nil
+			return res, ctx.Err()
 		}
 	}
 	return nil, fmt.Errorf("solver: no feasible chip up to %dx%d for instance %q (internal bound error)",
@@ -238,6 +323,12 @@ func minBase(in *model.Instance, T int, order *model.Order, opt Options) (*OptRe
 // search degenerates to the two spatial dimensions — the simplification
 // highlighted in Section 4 of the paper.
 func FeasibleFixedSchedule(in *model.Instance, c model.Container, starts []int, opt Options) (*OPPResult, error) {
+	return FeasibleFixedScheduleCtx(context.Background(), in, c, starts, opt)
+}
+
+// FeasibleFixedScheduleCtx is FeasibleFixedSchedule under a context;
+// cancellation semantics match SolveOPPCtx.
+func FeasibleFixedScheduleCtx(ctx context.Context, in *model.Instance, c model.Container, starts []int, opt Options) (*OPPResult, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -256,7 +347,7 @@ func FeasibleFixedSchedule(in *model.Instance, c model.Container, starts []int, 
 	})
 	opt.notifyPhase(obs.PhaseSearch)
 	prob := buildProblem(in, c, order, starts)
-	r := core.Solve(prob, opt.searchOptions())
+	r := core.Solve(prob, opt.searchOptions(ctx))
 	res.Stats = r.Stats
 	res.Elapsed = time.Since(start)
 	res.Stages.Search = res.Elapsed
@@ -279,6 +370,10 @@ func FeasibleFixedSchedule(in *model.Instance, c model.Container, starts []int, 
 		res.Decision = Infeasible
 		res.DecidedBy = "search"
 		opt.Metrics.Counter("opp.decided_by.search").Inc()
+	case core.StatusCanceled:
+		res.Decision = Unknown
+		res.DecidedBy = "canceled"
+		opt.Metrics.Counter("opp.decided_by.canceled").Inc()
 	default:
 		res.Decision = Unknown
 		res.DecidedBy = "limit"
@@ -291,6 +386,12 @@ func FeasibleFixedSchedule(in *model.Instance, c model.Container, starts []int, 
 // MinBaseFixedSchedule solves MinA&FixedS: the smallest square chip that
 // admits a spatial placement for the prescribed start times.
 func MinBaseFixedSchedule(in *model.Instance, starts []int, opt Options) (*OptResult, error) {
+	return MinBaseFixedScheduleCtx(context.Background(), in, starts, opt)
+}
+
+// MinBaseFixedScheduleCtx is MinBaseFixedSchedule under a context,
+// racing the h-ascent on Options.Workers goroutines like MinBaseCtx.
+func MinBaseFixedScheduleCtx(ctx context.Context, in *model.Instance, starts []int, opt Options) (*OptResult, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -322,15 +423,45 @@ func MinBaseFixedSchedule(in *model.Instance, starts []int, opt Options) (*OptRe
 		}
 		hMax += m
 	}
+
+	if workers := opt.effectiveWorkers(); workers > 1 {
+		probe := func(pctx context.Context, h int) (*OPPResult, error) {
+			return FeasibleFixedScheduleCtx(pctx, in, model.Container{W: h, H: h, T: T}, starts, opt)
+		}
+		onProbe := func(h int, r *OPPResult) {
+			res.mergeProbe(r)
+			opt.probe("bmp_fixed", map[string]any{"h": h, "outcome": probeOutcomeLabel(r)})
+		}
+		d, value, witness, err := raceAscending(ctx, workers, lb, hMax, probe, onProbe)
+		res.Elapsed = time.Since(start)
+		if err != nil {
+			res.Decision = Unknown
+			opt.traceSolveEnd("bmp_fixed", res)
+			return res, err
+		}
+		switch d {
+		case Feasible:
+			res.Decision = Feasible
+			res.Value = value
+			res.Placement = witness.Placement
+			opt.incumbent("bmp_fixed", value, witness.DecidedBy)
+			opt.traceSolveEnd("bmp_fixed", res)
+			return res, nil
+		case Unknown:
+			res.Decision = Unknown
+			opt.traceSolveEnd("bmp_fixed", res)
+			return res, nil
+		}
+		return nil, fmt.Errorf("solver: no feasible chip for fixed schedule of %q", in.Name)
+	}
+
 	for h := lb; h <= hMax; h++ {
-		r, err := FeasibleFixedSchedule(in, model.Container{W: h, H: h, T: T}, starts, opt)
+		r, err := FeasibleFixedScheduleCtx(ctx, in, model.Container{W: h, H: h, T: T}, starts, opt)
 		if err != nil {
 			return nil, err
 		}
-		res.Probes++
-		res.Stats.Add(r.Stats)
-		res.Stages.Add(r.Stages)
-		opt.probe("bmp_fixed", map[string]any{"h": h, "outcome": r.Decision.String()})
+		res.mergeProbe(r)
+		opt.probe("bmp_fixed", map[string]any{"h": h, "outcome": probeOutcomeLabel(r)})
 		switch r.Decision {
 		case Feasible:
 			res.Decision = Feasible
@@ -345,7 +476,7 @@ func MinBaseFixedSchedule(in *model.Instance, starts []int, opt Options) (*OptRe
 			res.Decision = Unknown
 			res.Elapsed = time.Since(start)
 			opt.traceSolveEnd("bmp_fixed", res)
-			return res, nil
+			return res, ctx.Err()
 		}
 	}
 	return nil, fmt.Errorf("solver: no feasible chip for fixed schedule of %q", in.Name)

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -45,7 +46,7 @@ func oracleCase(t *testing.T, seed int64, withPrec bool, opt Options) {
 	if want.Status != geomsearch.Feasible && want.Status != geomsearch.Infeasible {
 		return // oracle hit its cap; skip this case
 	}
-	got, err := solveOPP(in, c, order, opt)
+	got, err := solveOPP(context.Background(), in, c, order, opt)
 	if err != nil {
 		t.Fatalf("seed %d: %v", seed, err)
 	}
@@ -205,7 +206,7 @@ func TestOracleStructuredDAGs(t *testing.T) {
 		if want.Status != geomsearch.Feasible && want.Status != geomsearch.Infeasible {
 			continue
 		}
-		got, err := solveOPP(in, c, order, opt)
+		got, err := solveOPP(context.Background(), in, c, order, opt)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -38,6 +39,15 @@ type ParetoResult struct {
 //
 // For the unconstrained curve of Figure 7(b), pass in.WithoutPrec().
 func ParetoFront(in *model.Instance, opt Options) (*ParetoResult, error) {
+	return ParetoFrontCtx(context.Background(), in, opt)
+}
+
+// ParetoFrontCtx is ParetoFront under a context. The T-walk is
+// inherently sequential (each point's chip bound seeds the next), but
+// each BMP ascent inside it races its h-probes on Options.Workers
+// goroutines; cancellation aborts the walk promptly and returns the
+// partial curve together with ctx.Err().
+func ParetoFrontCtx(ctx context.Context, in *model.Instance, opt Options) (*ParetoResult, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -60,13 +70,16 @@ func ParetoFront(in *model.Instance, opt Options) (*ParetoResult, error) {
 
 	prevH := -1
 	for T := tMin; T <= tCap; T++ {
-		r, err := minBase(in, T, order, opt)
-		if err != nil {
-			return nil, err
+		r, err := minBase(ctx, in, T, order, opt)
+		if r != nil {
+			res.Probes += r.Probes
+			res.Stats.Add(r.Stats)
+			res.Stages.Add(r.Stages)
 		}
-		res.Probes += r.Probes
-		res.Stats.Add(r.Stats)
-		res.Stages.Add(r.Stages)
+		if err != nil {
+			res.Elapsed = time.Since(start)
+			return res, err
+		}
 		if r.Decision != Feasible {
 			return nil, fmt.Errorf("solver: pareto probe at T=%d undecided", T)
 		}

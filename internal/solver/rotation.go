@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -33,6 +34,14 @@ type RotationResult struct {
 // SolveOPPWithRotation decides feasibility when every module may be
 // rotated by 90°.
 func SolveOPPWithRotation(in *model.Instance, c model.Container, opt Options) (*RotationResult, error) {
+	return SolveOPPWithRotationCtx(context.Background(), in, c, opt)
+}
+
+// SolveOPPWithRotationCtx is SolveOPPWithRotation under a context. Once
+// ctx is done the mask enumeration stops and the aggregate comes back
+// with Decision Unknown and DecidedBy "canceled" (nil error), matching
+// SolveOPPCtx.
+func SolveOPPWithRotationCtx(ctx context.Context, in *model.Instance, c model.Container, opt Options) (*RotationResult, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -70,7 +79,7 @@ func SolveOPPWithRotation(in *model.Instance, c model.Container, opt Options) (*
 				rot[task] = true
 			}
 		}
-		r, err := SolveOPP(cand, c, opt)
+		r, err := SolveOPPCtx(ctx, cand, c, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -87,6 +96,11 @@ func SolveOPPWithRotation(in *model.Instance, c model.Container, opt Options) (*
 			return out, nil
 		case Unknown:
 			out.Decision = Unknown // cannot prove overall infeasibility
+			if r.DecidedBy == "canceled" {
+				// Every remaining mask would be canceled too.
+				out.DecidedBy = "canceled"
+				return out, nil
+			}
 		}
 	}
 	return out, nil

@@ -13,7 +13,9 @@
 package solver
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"fpga3d/internal/bounds"
@@ -55,6 +57,19 @@ type Options struct {
 	// TimeLimit bounds the wall time per OPP call (0 = unlimited).
 	TimeLimit time.Duration
 
+	// Workers bounds the number of OPP decisions the optimization
+	// drivers (MinTime, MinBase, ParetoFront and their Ctx variants)
+	// may race concurrently. The per-container decisions of a sweep are
+	// independent certificates, so they parallelize without changing
+	// the answer: the optimum, and the witness placement at the
+	// optimum, are bit-identical to the sequential sweep (the lowest
+	// container wins ties, exactly as in the sequential ascent).
+	//
+	// 0 (the zero value) means runtime.GOMAXPROCS(0); 1 forces the
+	// sequential sweep; negative values are treated as 1. Single OPP
+	// decisions (SolveOPP, FeasibleFixedSchedule) are unaffected.
+	Workers int
+
 	// SkipBounds disables stage 1 (lower bounds).
 	SkipBounds bool
 	// SkipHeuristic disables stage 2 (the greedy placer).
@@ -86,8 +101,21 @@ type Options struct {
 	Metrics *obs.Registry
 }
 
-func (o Options) coreOptions() core.Options {
+// effectiveWorkers resolves Options.Workers to a concrete pool size.
+func (o Options) effectiveWorkers() int {
+	switch {
+	case o.Workers == 0:
+		return runtime.GOMAXPROCS(0)
+	case o.Workers < 1:
+		return 1
+	default:
+		return o.Workers
+	}
+}
+
+func (o Options) coreOptions(ctx context.Context) core.Options {
 	c := core.Options{
+		Ctx:                ctx,
 		NodeLimit:          o.NodeLimit,
 		Progress:           o.Progress,
 		DisableC4Rule:      o.DisableC4Rule,
@@ -108,8 +136,8 @@ func (o Options) coreOptions() core.Options {
 // the node-cadence snapshots (one per 256 nodes) also land in the
 // JSONL record as "progress" events and keep the live gauges of the
 // -metrics endpoint current while a search is still running.
-func (o Options) searchOptions() core.Options {
-	c := o.coreOptions()
+func (o Options) searchOptions(ctx context.Context) core.Options {
+	c := o.coreOptions(ctx)
 	if o.Trace == nil && o.Metrics == nil {
 		return c
 	}
@@ -192,6 +220,16 @@ type OPPResult struct {
 // satisfying its precedence constraints (problem FeasAT&FindS).
 // To solve the unconstrained variant, pass in.WithoutPrec().
 func SolveOPP(in *model.Instance, c model.Container, opt Options) (*OPPResult, error) {
+	return SolveOPPCtx(context.Background(), in, c, opt)
+}
+
+// SolveOPPCtx is SolveOPP under a context: the search polls ctx on its
+// node cadence and, once ctx is done, returns promptly with Decision
+// Unknown, DecidedBy "canceled" and the partial statistics gathered so
+// far. The error stays nil — a canceled probe is an answered question
+// ("no longer needed"), not a failure; callers that need the
+// distinction check ctx.Err themselves.
+func SolveOPPCtx(ctx context.Context, in *model.Instance, c model.Container, opt Options) (*OPPResult, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -199,16 +237,28 @@ func SolveOPP(in *model.Instance, c model.Container, opt Options) (*OPPResult, e
 	if err != nil {
 		return nil, err
 	}
-	return solveOPP(in, c, order, opt)
+	return solveOPP(ctx, in, c, order, opt)
 }
 
-func solveOPP(in *model.Instance, c model.Container, order *model.Order, opt Options) (*OPPResult, error) {
+func solveOPP(ctx context.Context, in *model.Instance, c model.Container, order *model.Order, opt Options) (*OPPResult, error) {
 	start := time.Now()
 	res := &OPPResult{}
 	opt.Metrics.Counter("opp.calls").Inc()
 	opt.Trace.Emit("opp_start", map[string]any{
 		"instance": in.Name, "n": in.N(), "W": c.W, "H": c.H, "T": c.T,
 	})
+
+	// A probe whose context is already dead spends no effort at all;
+	// the racing drivers rely on this to discard queued probes cheaply,
+	// and CLI deadlines rely on it to cut off between probes.
+	if ctx.Err() != nil {
+		res.Decision = Unknown
+		res.DecidedBy = "canceled"
+		res.Elapsed = time.Since(start)
+		opt.Metrics.Counter("opp.decided_by.canceled").Inc()
+		opt.traceOPPEnd(res, nil)
+		return res, nil
+	}
 
 	// Stage 1: lower bounds.
 	if !opt.SkipBounds {
@@ -255,7 +305,7 @@ func solveOPP(in *model.Instance, c model.Container, order *model.Order, opt Opt
 	opt.Trace.Emit("stage", map[string]any{"phase": obs.PhaseSearch})
 	s0 := time.Now()
 	prob := buildProblem(in, c, order, nil)
-	r := core.Solve(prob, opt.searchOptions())
+	r := core.Solve(prob, opt.searchOptions(ctx))
 	res.Stages.Search = time.Since(s0)
 	res.Stats = r.Stats
 	res.Elapsed = time.Since(start)
@@ -274,6 +324,10 @@ func solveOPP(in *model.Instance, c model.Container, order *model.Order, opt Opt
 		res.Decision = Infeasible
 		res.DecidedBy = "search"
 		opt.Metrics.Counter("opp.decided_by.search").Inc()
+	case core.StatusCanceled:
+		res.Decision = Unknown
+		res.DecidedBy = "canceled"
+		opt.Metrics.Counter("opp.decided_by.canceled").Inc()
 	default:
 		res.Decision = Unknown
 		res.DecidedBy = "limit"

@@ -1,0 +1,147 @@
+package fpga3d
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+// loadBench reads one of the benchmark instances shipped in instances/.
+func loadBench(t *testing.T, path string) *Instance {
+	t.Helper()
+	in, err := LoadInstance(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func samePlacement(a, b *Placement) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	eq := func(x, y []int) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(a.X, b.X) && eq(a.Y, b.Y) && eq(a.S, b.S)
+}
+
+// TestMinimizeChipParallelStress races Workers=8 against the sequential
+// sweep on both shipped benchmark instances and requires bit-identical
+// optima and witness placements. Run with -race to exercise the
+// concurrent probe machinery.
+func TestMinimizeChipParallelStress(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		T    int
+		opt  func(workers int) *Options
+	}{
+		// Search-only so the raced probes expend real engine nodes.
+		{"de-search-only", "instances/de.json", 6, func(w int) *Options {
+			return &Options{Workers: w, SkipBounds: true, SkipHeuristic: true}
+		}},
+		{"de-full-stack", "instances/de.json", 13, func(w int) *Options {
+			return &Options{Workers: w}
+		}},
+		// The video codec is only tractable with bounds + heuristic on.
+		{"videocodec", "instances/videocodec.json", 59, func(w int) *Options {
+			return &Options{Workers: w}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := loadBench(t, tc.path)
+			seq, err := MinimizeChip(in, tc.T, tc.opt(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := MinimizeChip(in, tc.T, tc.opt(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.Decision != par.Decision || seq.Value != par.Value {
+				t.Fatalf("sequential (%v, h=%d) vs parallel (%v, h=%d)",
+					seq.Decision, seq.Value, par.Decision, par.Value)
+			}
+			if !samePlacement(seq.Placement, par.Placement) {
+				t.Fatalf("witness placements differ at h=%d", par.Value)
+			}
+		})
+	}
+}
+
+// TestParallelMergedNodesMatchTraceShards checks the accounting
+// invariant of the worker pool: the merged node count of a parallel run
+// equals the sum of the per-probe shards reported in the trace — every
+// probe, including canceled ones, delivers its partial statistics
+// exactly once.
+func TestParallelMergedNodesMatchTraceShards(t *testing.T) {
+	in := loadBench(t, "instances/de.json")
+	var buf bytes.Buffer
+	opt := &Options{Workers: 8, SkipBounds: true, SkipHeuristic: true, Trace: NewTracer(&buf)}
+	res, err := MinimizeChip(in, 6, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes == 0 {
+		t.Fatal("search-only run reported no nodes")
+	}
+	var shardSum int64
+	probes := 0
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var ev struct {
+			Ev    string  `json:"ev"`
+			Nodes float64 `json:"nodes"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if ev.Ev == "opp_end" {
+			probes++
+			shardSum += int64(ev.Nodes)
+		}
+	}
+	if shardSum != res.Nodes {
+		t.Fatalf("merged nodes %d != sum of %d trace shards %d", res.Nodes, probes, shardSum)
+	}
+}
+
+// TestMinimizeChipCtxCancellation checks the public cancellation
+// contract: a dead context yields context.Canceled plus a partial
+// result, promptly.
+func TestMinimizeChipCtxCancellation(t *testing.T) {
+	in := loadBench(t, "instances/de.json")
+	for _, workers := range []int{1, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		start := time.Now()
+		res, err := MinimizeChipCtx(ctx, in, 6, &Options{Workers: workers})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if res == nil || res.Decision != Unknown {
+			t.Fatalf("workers=%d: partial result = %+v", workers, res)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("workers=%d: cancellation took %v", workers, elapsed)
+		}
+	}
+}
