@@ -70,6 +70,13 @@ func (in *Instance) Precedences() [][2]TaskID {
 // non-positive dimensions, dangling or cyclic precedence constraints).
 func (in *Instance) Validate() error { return in.m.Validate() }
 
+// CanonicalHash returns a hex SHA-256 digest of the instance's
+// canonical form: invariant under task and precedence insertion order
+// (and JSON round trips), sensitive to any change of a task footprint,
+// duration, name, or precedence edge. The instance Name is excluded.
+// fpgad keys its result cache on it.
+func (in *Instance) CanonicalHash() string { return in.m.CanonicalHash() }
+
 // WithoutPrecedence returns a copy of the instance with every precedence
 // constraint removed — the unconstrained baseline of Figure 7(b).
 func (in *Instance) WithoutPrecedence() *Instance {

@@ -1,0 +1,114 @@
+// Command fpgad is the FPGA placement daemon: a long-lived HTTP
+// service answering placement questions with the exact packing-class
+// solver, built for online reconfigurable-device management where
+// placement requests arrive continuously and must be answered under
+// deadlines.
+//
+// Usage:
+//
+//	fpgad -addr :8080 -max-concurrent 4 -queue-depth 64 \
+//	      -default-timeout 30s -cache-size 256
+//
+// API (JSON over HTTP; see README.md for a curl quickstart):
+//
+//	POST /v1/solve          {"instance": …, "chip": {"w":64,"h":64,"t":80}}
+//	POST /v1/minimize-time  {"instance": …, "w": 64, "h": 64}
+//	POST /v1/minimize-chip  {"instance": …, "t": 59}
+//	GET  /healthz           liveness + occupancy (503 while draining)
+//	GET  /metrics           serving + solver counters as JSON
+//
+// Every solve endpoint accepts "timeout_ms" (overriding
+// -default-timeout; expiry answers 504 with the partial result) and
+// "no_cache". At most -max-concurrent solves run at once; up to
+// -queue-depth more wait in line, and anything beyond that is
+// rejected with 429 and a Retry-After header. Identical questions
+// about canonically identical instances are answered from an LRU
+// result cache (flagged "cached": true in the response).
+//
+// On SIGTERM or SIGINT the daemon stops accepting connections, lets
+// in-flight solves finish (bounded by -drain-timeout), then exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"fpga3d/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fpgad: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run starts the daemon and blocks until a fatal serve error or until
+// ctx is done (main wires ctx to SIGTERM/SIGINT), at which point it
+// drains in-flight solves and returns. ready, when non-nil, receives
+// the bound address once the listener is up (tests use -addr :0).
+func run(ctx context.Context, args []string, ready func(addr string)) error {
+	fs := flag.NewFlagSet("fpgad", flag.ContinueOnError)
+	var (
+		addr           = fs.String("addr", ":8080", "listen address")
+		maxConcurrent  = fs.Int("max-concurrent", runtime.GOMAXPROCS(0), "solves running at once")
+		queueDepth     = fs.Int("queue-depth", 64, "admitted requests waiting for a slot; beyond this requests get 429")
+		defaultTimeout = fs.Duration("default-timeout", 30*time.Second, "per-request solve deadline unless the request sets timeout_ms")
+		cacheSize      = fs.Int("cache-size", 256, "canonical-instance result cache entries (negative disables)")
+		workers        = fs.Int("workers", 1, "solver probe goroutines per solve (0 = GOMAXPROCS); keep 1 when -max-concurrent already saturates the cores")
+		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight solves")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	s := server.New(server.Config{
+		MaxConcurrent:  *maxConcurrent,
+		QueueDepth:     *queueDepth,
+		DefaultTimeout: *defaultTimeout,
+		CacheSize:      *cacheSize,
+		Workers:        *workers,
+		Logf:           log.Printf,
+	})
+
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- s.ListenAndServe(*addr, func(bound string) {
+			log.Printf("listening on %s (max-concurrent %d, queue-depth %d, default-timeout %s, cache %d)",
+				bound, *maxConcurrent, *queueDepth, *defaultTimeout, *cacheSize)
+			if ready != nil {
+				ready(bound)
+			}
+		})
+	}()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+		log.Printf("shutdown requested; draining (timeout %s)", *drainTimeout)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := s.Shutdown(dctx); err != nil {
+			return fmt.Errorf("draining: %w", err)
+		}
+		if err := <-serveErr; err != nil {
+			return err
+		}
+		log.Printf("drained; bye")
+		return nil
+	}
+}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon on a kernel-assigned port and returns
+// its base URL plus a stop function that triggers the drain path (the
+// same code path a SIGTERM takes through main's NotifyContext).
+func startDaemon(t *testing.T, extraArgs ...string) (url string, stop func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	runErr := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	go func() {
+		runErr <- run(ctx, args, func(addr string) { addrCh <- addr })
+	}()
+	select {
+	case addr := <-addrCh:
+		url = "http://" + addr
+	case err := <-runErr:
+		t.Fatalf("daemon exited before binding: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never bound its listener")
+	}
+	var once bool
+	return url, func() error {
+		if once {
+			return nil
+		}
+		once = true
+		cancel()
+		select {
+		case err := <-runErr:
+			return err
+		case <-time.After(30 * time.Second):
+			return fmt.Errorf("daemon did not exit after shutdown")
+		}
+	}
+}
+
+func post(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestDaemonEndToEnd drives the daemon exactly like the CI smoke job:
+// solve the shipped videocodec instance over HTTP, require a cache hit
+// on the identical resubmission, check the metrics export, and drain.
+func TestDaemonEndToEnd(t *testing.T) {
+	raw, err := os.ReadFile("../../instances/videocodec.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, stop := startDaemon(t)
+	defer stop() //nolint:errcheck // asserted explicitly below
+
+	// Liveness first.
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// The paper's minimal latency on 64×64 is 59 cycles, so T=80 is
+	// comfortably feasible and the heuristic answers quickly.
+	body := fmt.Sprintf(`{"instance": %s, "chip": {"w":64,"h":64,"t":80}}`, raw)
+	code, first := post(t, url+"/v1/solve", body)
+	if code != http.StatusOK || first["decision"] != "feasible" {
+		t.Fatalf("solve: code=%d resp=%v", code, first)
+	}
+	if first["cached"] != false {
+		t.Fatalf("first response cached=%v", first["cached"])
+	}
+	if first["placement"] == nil {
+		t.Fatal("feasible response lacks a placement")
+	}
+
+	code, second := post(t, url+"/v1/solve", body)
+	if code != http.StatusOK || second["cached"] != true {
+		t.Fatalf("identical resubmission not served from cache: code=%d cached=%v", code, second["cached"])
+	}
+
+	// The serving counters are visible on /metrics.
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, k := range []string{"server.cache.hits", "server.cache.misses", "server.requests.solve"} {
+		if metrics[k] < 1 {
+			t.Errorf("metric %s = %v, want >= 1", k, metrics[k])
+		}
+	}
+	if metrics["server.inflight"] != 0 {
+		t.Errorf("inflight = %v at rest", metrics["server.inflight"])
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("daemon still serving after drain")
+	}
+}
+
+// TestDaemonDrainsInflightSolve submits a solve that outlives the
+// shutdown signal and checks the daemon holds the door open until the
+// response is delivered.
+func TestDaemonDrainsInflightSolve(t *testing.T) {
+	url, stop := startDaemon(t, "-max-concurrent", "1", "-queue-depth", "1")
+
+	// A volume-tight 14-task instance the exact search cannot settle
+	// within its 700ms deadline (same shape as the server tests).
+	var b strings.Builder
+	b.WriteString(`{"instance": {"tasks": [`)
+	for i, d := range [][3]int{
+		{2, 4, 4}, {4, 2, 3}, {2, 1, 1}, {1, 3, 4}, {3, 2, 1}, {3, 4, 2}, {2, 3, 4},
+		{3, 1, 3}, {4, 4, 4}, {1, 3, 4}, {2, 1, 4}, {4, 2, 1}, {2, 4, 2}, {3, 2, 3},
+	} {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, `{"w":%d,"h":%d,"dur":%d}`, d[0], d[1], d[2])
+	}
+	b.WriteString(`]}, "chip": {"w":6,"h":6,"t":8}, "timeout_ms": 700, "no_cache": true}`)
+
+	type answer struct {
+		code int
+		body map[string]any
+	}
+	got := make(chan answer, 1)
+	go func() {
+		code, body := post(t, url+"/v1/solve", b.String())
+		got <- answer{code, body}
+	}()
+	// Give the request time to enter the solve, then pull the plug.
+	time.Sleep(200 * time.Millisecond)
+	stopped := make(chan error, 1)
+	go func() { stopped <- stop() }()
+
+	select {
+	case a := <-got:
+		if a.code != http.StatusGatewayTimeout || a.body["decision"] != "unknown" {
+			t.Fatalf("drained solve: code=%d body=%v", a.code, a.body)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("in-flight solve never answered during drain")
+	}
+	if err := <-stopped; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

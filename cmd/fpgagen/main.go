@@ -11,6 +11,12 @@
 //	fpgagen -family random -n 12 -seed 7      > random.json
 //	fpgagen -family layered -n 4 -seed 1      > layered.json
 //	fpgagen -family dot -from de.json         # DOT graph to stdout
+//
+// Generation is reproducible: the random families (random, layered,
+// sp) draw every sample from a math/rand source seeded with -seed, so
+// the same flags always emit byte-identical JSON — cite the seed and
+// anyone can regenerate the exact instance. Vary -seed to sample new
+// instances from the same family.
 package main
 
 import (
@@ -31,7 +37,7 @@ func main() {
 		family  = flag.String("family", "", "de | videocodec | fir | biquad | fft | random | layered | sp | dot")
 		size    = flag.Int("size", 8, "family size parameter (FIR taps, biquad sections, FFT points)")
 		n       = flag.Int("n", 8, "task count (random, sp) or layer count (layered)")
-		seed    = flag.Int64("seed", 1, "random seed (random, layered, sp)")
+		seed    = flag.Int64("seed", 1, "random seed (random, layered, sp); the same seed reproduces the same instance")
 		maxSize = flag.Int("max-size", 8, "maximum spatial extent (random families)")
 		maxDur  = flag.Int("max-dur", 4, "maximum duration (random families)")
 		pArc    = flag.Float64("p-arc", 0.3, "precedence arc probability (random, layered)")
@@ -39,25 +45,7 @@ func main() {
 	)
 	flag.Parse()
 
-	var in *model.Instance
-	switch *family {
-	case "de":
-		in = bench.DE()
-	case "videocodec":
-		in = bench.VideoCodec()
-	case "fir":
-		in = bench.FIR(*size)
-	case "biquad":
-		in = bench.Biquad(*size)
-	case "fft":
-		in = bench.FFT(*size)
-	case "random":
-		in = bench.Random(rand.New(rand.NewSource(*seed)), *n, *maxSize, *maxDur, *pArc)
-	case "layered":
-		in = bench.RandomLayered(rand.New(rand.NewSource(*seed)), *n, 4, *maxSize, *maxDur, *pArc)
-	case "sp":
-		in = bench.RandomSeriesParallel(rand.New(rand.NewSource(*seed)), *n, *maxSize, *maxDur)
-	case "dot":
+	if *family == "dot" {
 		if *from == "" {
 			log.Fatal("-family dot needs -from instance.json")
 		}
@@ -69,11 +57,14 @@ func main() {
 			log.Fatal(err)
 		}
 		return
-	case "":
+	}
+	if *family == "" {
 		flag.Usage()
 		os.Exit(2)
-	default:
-		log.Fatalf("unknown family %q", *family)
+	}
+	in, err := buildInstance(*family, *size, *n, *seed, *maxSize, *maxDur, *pArc)
+	if err != nil {
+		log.Fatal(err)
 	}
 	if err := in.Validate(); err != nil {
 		log.Fatalf("generated instance invalid: %v", err)
@@ -82,4 +73,30 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "fpgagen: %s — %d tasks, %d arcs\n", in.Name, in.N(), len(in.Prec))
+}
+
+// buildInstance constructs the requested family. The random families
+// draw every sample from a fresh source seeded with seed, so the same
+// parameters deterministically rebuild the same instance.
+func buildInstance(family string, size, n int, seed int64, maxSize, maxDur int, pArc float64) (*model.Instance, error) {
+	switch family {
+	case "de":
+		return bench.DE(), nil
+	case "videocodec":
+		return bench.VideoCodec(), nil
+	case "fir":
+		return bench.FIR(size), nil
+	case "biquad":
+		return bench.Biquad(size), nil
+	case "fft":
+		return bench.FFT(size), nil
+	case "random":
+		return bench.Random(rand.New(rand.NewSource(seed)), n, maxSize, maxDur, pArc), nil
+	case "layered":
+		return bench.RandomLayered(rand.New(rand.NewSource(seed)), n, 4, maxSize, maxDur, pArc), nil
+	case "sp":
+		return bench.RandomSeriesParallel(rand.New(rand.NewSource(seed)), n, maxSize, maxDur), nil
+	default:
+		return nil, fmt.Errorf("unknown family %q", family)
+	}
 }

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"fpga3d/internal/model"
+)
+
+// TestSeedReproducibility: the same -seed must regenerate the exact
+// same instance (byte-identical JSON), and a different seed must not.
+func TestSeedReproducibility(t *testing.T) {
+	for _, family := range []string{"random", "layered", "sp"} {
+		t.Run(family, func(t *testing.T) {
+			a, err := buildInstance(family, 8, 10, 7, 8, 4, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := buildInstance(family, 8, 10, 7, 8, 4, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ja, jb := asJSON(t, a), asJSON(t, b); ja != jb {
+				t.Fatalf("seed 7 generated two different instances:\n%s\nvs\n%s", ja, jb)
+			}
+			if a.CanonicalHash() != b.CanonicalHash() {
+				t.Fatal("same seed, different canonical hash")
+			}
+
+			c, err := buildInstance(family, 8, 10, 8, 8, 4, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.CanonicalHash() == c.CanonicalHash() {
+				t.Fatalf("seeds 7 and 8 generated the same %s instance", family)
+			}
+		})
+	}
+}
+
+// TestDeterministicFamiliesIgnoreSeed: the named benchmarks are fixed
+// regardless of seed.
+func TestDeterministicFamiliesIgnoreSeed(t *testing.T) {
+	a, err := buildInstance("de", 8, 10, 1, 8, 4, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildInstance("de", 8, 10, 99, 8, 4, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asJSON(t, a) != asJSON(t, b) {
+		t.Fatal("de family varies with seed")
+	}
+}
+
+func TestUnknownFamilyErrors(t *testing.T) {
+	if _, err := buildInstance("nope", 8, 10, 1, 8, 4, 0.3); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+// TestGeneratedInstancesValidate: every generated family passes the
+// model validator across a few seeds.
+func TestGeneratedInstancesValidate(t *testing.T) {
+	for _, family := range []string{"de", "videocodec", "fir", "biquad", "fft", "random", "layered", "sp"} {
+		for seed := int64(1); seed <= 3; seed++ {
+			in, err := buildInstance(family, 4, 8, seed, 6, 4, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := in.Validate(); err != nil {
+				t.Errorf("%s seed %d: %v", family, seed, err)
+			}
+		}
+	}
+}
+
+func asJSON(t *testing.T, in *model.Instance) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := model.WriteInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}

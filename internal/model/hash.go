@@ -1,0 +1,154 @@
+package model
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+)
+
+// CanonicalHash returns a hex-encoded SHA-256 digest of a canonical
+// encoding of the instance: the same module set with the same
+// precedence structure hashes identically no matter in which order
+// tasks or arcs were inserted (or serialized), while any change to a
+// task dimension, duration, name, or precedence edge yields a
+// different digest. The instance Name is deliberately excluded — it
+// labels the problem but does not change it.
+//
+// The canonical form is built by Weisfeiler–Leman color refinement on
+// the precedence digraph: each task starts from a color derived from
+// its (name, w, h, dur) label and is iteratively re-colored with the
+// sorted color multisets of its predecessors and successors until the
+// partition stabilizes. The digest then covers the sorted multiset of
+// final task colors and the sorted multiset of arc color pairs, both
+// of which are independent of task numbering. Instances that are
+// WL-equivalent but not isomorphic can in principle collide; such
+// pairs are vanishingly rare in practice, and callers that cache
+// placements by hash can (and should) verify a cached placement
+// against the requesting instance before serving it.
+func (in *Instance) CanonicalHash() string {
+	colors := in.canonicalColors()
+	h := sha256.New()
+	h.Write([]byte("fpga3d-instance-v1\n"))
+
+	// Task section: the multiset of (label, final color) pairs.
+	taskLines := make([]string, len(in.Tasks))
+	for i, t := range in.Tasks {
+		taskLines[i] = fmt.Sprintf("task|%s|%x\n", taskLabel(t), colors[i])
+	}
+	sort.Strings(taskLines)
+	h.Write([]byte("tasks\n"))
+	for _, l := range taskLines {
+		h.Write([]byte(l))
+	}
+
+	// Arc section: the multiset of (from-color, to-color) pairs.
+	arcLines := make([]string, len(in.Prec))
+	for i, a := range in.Prec {
+		arcLines[i] = fmt.Sprintf("arc|%x|%x\n", colors[a.From], colors[a.To])
+	}
+	sort.Strings(arcLines)
+	h.Write([]byte("prec\n"))
+	for _, l := range arcLines {
+		h.Write([]byte(l))
+	}
+
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// taskLabel is the order-free identity of a task: everything that
+// defines it except its position in the task list.
+func taskLabel(t Task) string {
+	return fmt.Sprintf("%q|%d|%d|%d", t.Name, t.W, t.H, t.Dur)
+}
+
+// canonicalColors runs WL color refinement on the precedence digraph.
+// Colors are full SHA-256 digests, so distinct refinement histories
+// cannot merge short of a SHA-256 collision. Refinement stops when the
+// number of color classes stops growing (at most n rounds).
+func (in *Instance) canonicalColors() [][32]byte {
+	n := len(in.Tasks)
+	colors := make([][32]byte, n)
+	for i, t := range in.Tasks {
+		colors[i] = sha256.Sum256([]byte("label|" + taskLabel(t)))
+	}
+	if n == 0 || len(in.Prec) == 0 {
+		return colors
+	}
+
+	preds := make([][]int, n)
+	succs := make([][]int, n)
+	for _, a := range in.Prec {
+		if a.From < 0 || a.From >= n || a.To < 0 || a.To >= n {
+			// Out-of-range arcs cannot be attributed to a task; fold
+			// them into every color so the hash still changes. Validate
+			// rejects such instances before they reach a solver.
+			bad := sha256.Sum256([]byte(fmt.Sprintf("badarc|%d|%d", a.From, a.To)))
+			for i := range colors {
+				colors[i] = combine(colors[i], bad[:])
+			}
+			continue
+		}
+		succs[a.From] = append(succs[a.From], a.To)
+		preds[a.To] = append(preds[a.To], a.From)
+	}
+
+	next := make([][32]byte, n)
+	classes := countClasses(colors)
+	for round := 0; round < n; round++ {
+		for i := range colors {
+			h := sha256.New()
+			h.Write(colors[i][:])
+			h.Write([]byte("|preds|"))
+			writeSortedColors(h, colors, preds[i])
+			h.Write([]byte("|succs|"))
+			writeSortedColors(h, colors, succs[i])
+			copy(next[i][:], h.Sum(nil))
+		}
+		colors, next = next, colors
+		if c := countClasses(colors); c == classes || c == n {
+			break
+		} else {
+			classes = c
+		}
+	}
+	return colors
+}
+
+// writeSortedColors hashes the color multiset of the given neighbor
+// set in a deterministic order.
+func writeSortedColors(h interface{ Write([]byte) (int, error) }, colors [][32]byte, nbrs []int) {
+	sorted := make([][32]byte, len(nbrs))
+	for i, j := range nbrs {
+		sorted[i] = colors[j]
+	}
+	sort.Slice(sorted, func(a, b int) bool {
+		return string(sorted[a][:]) < string(sorted[b][:])
+	})
+	var count [8]byte
+	binary.BigEndian.PutUint64(count[:], uint64(len(sorted)))
+	h.Write(count[:])
+	for _, c := range sorted {
+		h.Write(c[:])
+	}
+}
+
+// combine folds extra bytes into a color.
+func combine(c [32]byte, extra []byte) [32]byte {
+	h := sha256.New()
+	h.Write(c[:])
+	h.Write(extra)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// countClasses returns the number of distinct colors.
+func countClasses(colors [][32]byte) int {
+	seen := make(map[[32]byte]struct{}, len(colors))
+	for _, c := range colors {
+		seen[c] = struct{}{}
+	}
+	return len(seen)
+}

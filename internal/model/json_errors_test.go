@@ -1,0 +1,71 @@
+package model
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestReadInstanceErrorMessages pins the error-path contract of the
+// JSON decoder: every malformed input is rejected before it can reach
+// a solver, with a message naming what is wrong.
+func TestReadInstanceErrorMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error message
+	}{
+		{"malformed json", `{"tasks": [`, "decoding instance"},
+		{"not json at all", `hello world`, "decoding instance"},
+		{"wrong type", `{"tasks": 7}`, "decoding instance"},
+		{"empty object", `{}`, "no tasks"},
+		{"empty task list", `{"name":"x","tasks":[]}`, "no tasks"},
+		{"negative width", `{"tasks":[{"name":"m","w":-2,"h":1,"dur":1}]}`, "non-positive dimensions"},
+		{"negative height", `{"tasks":[{"w":1,"h":-1,"dur":1}]}`, "non-positive dimensions"},
+		{"negative duration", `{"tasks":[{"w":1,"h":1,"dur":-3}]}`, "non-positive dimensions"},
+		{"zero width", `{"tasks":[{"w":0,"h":1,"dur":1}]}`, "non-positive dimensions"},
+		{"dangling prec to", `{"tasks":[{"w":1,"h":1,"dur":1}],"prec":[{"from":0,"to":3}]}`, "out of range"},
+		{"dangling prec from", `{"tasks":[{"w":1,"h":1,"dur":1}],"prec":[{"from":-1,"to":0}]}`, "out of range"},
+		{"self precedence", `{"tasks":[{"w":1,"h":1,"dur":1}],"prec":[{"from":0,"to":0}]}`, "self-precedence"},
+		{"precedence cycle", `{"tasks":[{"w":1,"h":1,"dur":1},{"w":1,"h":1,"dur":1}],"prec":[{"from":0,"to":1},{"from":1,"to":0}]}`, "cycle"},
+		{"unknown field", `{"tasks":[{"w":1,"h":1,"dur":1}],"typo":1}`, "decoding instance"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in, err := ReadInstance(strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatalf("accepted %q as %+v", tc.src, in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLoadInstanceErrors(t *testing.T) {
+	if _, err := LoadInstance(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("LoadInstance accepted a missing file")
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"tasks":[{"w":1,"h":1,"dur":0}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadInstance(bad); err == nil || !strings.Contains(err.Error(), "non-positive dimensions") {
+		t.Fatalf("LoadInstance on invalid file: err=%v", err)
+	}
+
+	good := filepath.Join(t.TempDir(), "good.json")
+	if err := os.WriteFile(good, []byte(`{"tasks":[{"name":"m","w":2,"h":3,"dur":4}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in, err := LoadInstance(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 1 || in.Tasks[0].W != 2 {
+		t.Fatalf("loaded %+v", in)
+	}
+}

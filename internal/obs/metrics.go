@@ -46,6 +46,11 @@ type Gauge struct{ v atomic.Int64 }
 // Set replaces the value.
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
+// Add adjusts the value by d (negative d decrements) and returns the
+// new value — the up/down counterpart of Counter.Add for tracking
+// occupancy-style quantities (in-flight requests, queue depth).
+func (g *Gauge) Add(d int64) int64 { return g.v.Add(d) }
+
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 

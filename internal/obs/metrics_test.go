@@ -26,6 +26,20 @@ func TestRegistryCountersAndGauges(t *testing.T) {
 	}
 }
 
+func TestGaugeAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge(MetricInflight)
+	if got := g.Add(2); got != 2 {
+		t.Errorf("Add(2) = %d, want 2", got)
+	}
+	if got := g.Add(-1); got != 1 {
+		t.Errorf("Add(-1) = %d, want 1", got)
+	}
+	if g.Value() != 1 {
+		t.Errorf("Value = %d, want 1", g.Value())
+	}
+}
+
 func TestRegistryNilSafe(t *testing.T) {
 	var r *Registry
 	r.Counter("x").Inc() // must not panic

@@ -1,0 +1,39 @@
+package obs
+
+// Metric names published by the fpgad serving layer (internal/server)
+// into its Registry, alongside the solver's own opp.* and search.*
+// series. Naming convention: dot-separated, lower-case, counters are
+// cumulative since process start, gauges are instantaneous.
+const (
+	// MetricRequests counts HTTP requests accepted by the API,
+	// suffixed per endpoint as server.requests.<endpoint>
+	// (e.g. server.requests.solve).
+	MetricRequests = "server.requests"
+	// MetricRejectedQueueFull counts requests rejected with 429
+	// because the admission queue was at -queue-depth.
+	MetricRejectedQueueFull = "server.rejected.queue_full"
+	// MetricDeadlineExpired counts solves cut off by their request
+	// deadline and answered 504 with a partial result.
+	MetricDeadlineExpired = "server.deadline_expired"
+	// MetricSolveErrors counts requests that failed with a solver or
+	// decode error (4xx/5xx other than 429/504).
+	MetricSolveErrors = "server.errors"
+
+	// MetricInflight gauges the number of solves currently running.
+	MetricInflight = "server.inflight"
+	// MetricQueueDepth gauges the number of admitted requests waiting
+	// for a solve slot.
+	MetricQueueDepth = "server.queue.depth"
+
+	// MetricCacheHits counts canonical-instance cache hits (responses
+	// served without invoking the solver).
+	MetricCacheHits = "server.cache.hits"
+	// MetricCacheMisses counts cache lookups that fell through to the
+	// solver.
+	MetricCacheMisses = "server.cache.misses"
+	// MetricCacheEvictions counts LRU evictions from the result cache.
+	MetricCacheEvictions = "server.cache.evictions"
+	// MetricCacheSize gauges the number of entries resident in the
+	// result cache.
+	MetricCacheSize = "server.cache.size"
+)

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"fpga3d/internal/obs"
+)
+
+// Cache is the canonical-instance result cache: a thread-safe LRU from
+// canonical cache keys (Instance.CanonicalHash plus the question asked
+// of the solver — see cacheKey in handlers.go) to finished responses.
+// Repeated placements of the same module set are served from memory
+// without touching the solver.
+//
+// Only definitive answers are stored: handlers never cache Unknown
+// results (deadline/limit cutoffs), and cached placements are
+// re-verified against the requesting instance before being served
+// (the canonical hash identifies instances up to task renumbering, so
+// a permuted resubmission must not inherit coordinates by index — see
+// Server.lookupCache).
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List               // front = most recently used
+	entries map[string]*list.Element // key -> element whose Value is *cacheEntry
+
+	evictions *obs.Counter
+	size      *obs.Gauge
+}
+
+// cacheEntry is one stored response.
+type cacheEntry struct {
+	key   string
+	value *solveResponse
+}
+
+// NewCache returns an LRU result cache holding up to capacity entries;
+// capacity < 1 disables caching (every Get misses, Put is a no-op).
+// Hit/miss/eviction counters and the size gauge are registered on reg.
+func NewCache(capacity int, reg *obs.Registry) *Cache {
+	return &Cache{
+		cap:       capacity,
+		order:     list.New(),
+		entries:   make(map[string]*list.Element),
+		evictions: reg.Counter(obs.MetricCacheEvictions),
+		size:      reg.Gauge(obs.MetricCacheSize),
+	}
+}
+
+// Get returns the cached response for key and marks it most recently
+// used. The hit/miss counters are owned by the handler layer, which
+// knows whether a looked-up entry was actually servable.
+func (c *Cache) Get(key string) (*solveResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).value, true
+}
+
+// Put stores the response under key, replacing any previous entry and
+// evicting the least recently used entry when over capacity.
+func (c *Cache) Put(key string, v *solveResponse) {
+	if c.cap < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).value = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, value: v})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions.Inc()
+	}
+	c.size.Set(int64(c.order.Len()))
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,310 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"fpga3d"
+	"fpga3d/internal/obs"
+)
+
+// maxRequestBytes bounds a request body; a placement instance is a few
+// KB, so 8 MiB leaves room for very large generated workloads while
+// keeping a misbehaving client from ballooning the heap.
+const maxRequestBytes = 8 << 20
+
+// solveMode describes one /v1/* endpoint: how to validate its
+// parameters, the cache key it owns, how to invoke the solver, and
+// which chip a cached witness placement must be re-verified against.
+type solveMode struct {
+	name     string // metric suffix and cache-key prefix
+	validate func(*solveRequest) error
+	key      func(*solveRequest, string) string
+	invoke   func(context.Context, *fpga3d.Instance, *solveRequest, *fpga3d.Options) (*solveResponse, error)
+	// verifyChip returns the container a cached placement for this
+	// request must verify against, or ok=false when the cached entry
+	// carries no usable value.
+	verifyChip func(*solveRequest, *solveResponse) (fpga3d.Chip, bool)
+}
+
+// modeSolve answers the paper's OPP decision (FeasAT&FindS).
+var modeSolve = &solveMode{
+	name: "solve",
+	validate: func(req *solveRequest) error {
+		if req.Chip == nil {
+			return errors.New(`solve needs "chip": {"w":…,"h":…,"t":…}`)
+		}
+		if req.Chip.W < 1 || req.Chip.H < 1 || req.Chip.T < 1 {
+			return fmt.Errorf("chip %v has non-positive dimensions", *req.Chip)
+		}
+		return nil
+	},
+	key: func(req *solveRequest, hash string) string {
+		return cacheKey("solve", hash, req.Chip.W, req.Chip.H, req.Chip.T)
+	},
+	invoke: func(ctx context.Context, in *fpga3d.Instance, req *solveRequest, o *fpga3d.Options) (*solveResponse, error) {
+		r, err := fpga3d.SolveCtx(ctx, in, *req.Chip, o)
+		if err != nil {
+			return nil, err
+		}
+		resp := &solveResponse{
+			Decision:  r.Decision.String(),
+			DecidedBy: r.DecidedBy,
+			Nodes:     r.Nodes,
+			ElapsedMS: r.Elapsed.Milliseconds(),
+			Placement: r.Placement,
+		}
+		resp.fillMakespan(in)
+		return resp, nil
+	},
+	verifyChip: func(req *solveRequest, _ *solveResponse) (fpga3d.Chip, bool) {
+		return *req.Chip, true
+	},
+}
+
+// modeMinTime answers the paper's SPP optimization (MinT&FindS).
+var modeMinTime = &solveMode{
+	name: "minimize_time",
+	validate: func(req *solveRequest) error {
+		if req.W < 1 || req.H < 1 {
+			return errors.New(`minimize-time needs positive "w" and "h" chip dimensions`)
+		}
+		return nil
+	},
+	key: func(req *solveRequest, hash string) string {
+		return cacheKey("minimize_time", hash, req.W, req.H, 0)
+	},
+	invoke: func(ctx context.Context, in *fpga3d.Instance, req *solveRequest, o *fpga3d.Options) (*solveResponse, error) {
+		r, err := fpga3d.MinimizeTimeCtx(ctx, in, req.W, req.H, o)
+		return optimizeResponse(in, r), err
+	},
+	verifyChip: func(req *solveRequest, resp *solveResponse) (fpga3d.Chip, bool) {
+		if resp.Value == nil {
+			return fpga3d.Chip{}, false
+		}
+		return fpga3d.Chip{W: req.W, H: req.H, T: *resp.Value}, true
+	},
+}
+
+// modeMinChip answers the paper's BMP optimization (MinA&FindS).
+var modeMinChip = &solveMode{
+	name: "minimize_chip",
+	validate: func(req *solveRequest) error {
+		if req.T < 1 {
+			return errors.New(`minimize-chip needs a positive "t" time budget`)
+		}
+		return nil
+	},
+	key: func(req *solveRequest, hash string) string {
+		return cacheKey("minimize_chip", hash, req.T, 0, 0)
+	},
+	invoke: func(ctx context.Context, in *fpga3d.Instance, req *solveRequest, o *fpga3d.Options) (*solveResponse, error) {
+		r, err := fpga3d.MinimizeChipCtx(ctx, in, req.T, o)
+		return optimizeResponse(in, r), err
+	},
+	verifyChip: func(req *solveRequest, resp *solveResponse) (fpga3d.Chip, bool) {
+		if resp.Value == nil {
+			return fpga3d.Chip{}, false
+		}
+		return fpga3d.Chip{W: *resp.Value, H: *resp.Value, T: req.T}, true
+	},
+}
+
+// optimizeResponse converts an OptimizeResult (possibly the partial
+// result of a canceled run, possibly nil) into the wire shape.
+func optimizeResponse(in *fpga3d.Instance, r *fpga3d.OptimizeResult) *solveResponse {
+	if r == nil {
+		return nil
+	}
+	value, lb := r.Value, r.LowerBound
+	resp := &solveResponse{
+		Decision:   r.Decision.String(),
+		Value:      &value,
+		LowerBound: &lb,
+		Nodes:      r.Nodes,
+		ElapsedMS:  r.Elapsed.Milliseconds(),
+		Placement:  r.Placement,
+	}
+	resp.fillMakespan(in)
+	return resp
+}
+
+// fillMakespan annotates a witness placement with its makespan.
+func (resp *solveResponse) fillMakespan(in *fpga3d.Instance) {
+	if resp.Placement == nil || len(resp.Placement.S) != in.NumTasks() {
+		return
+	}
+	m := resp.Placement.Makespan(in.Model())
+	resp.Makespan = &m
+}
+
+// serveSolve is the shared request lifecycle of the three solve
+// endpoints: decode → validate → cache lookup → admission → deadline →
+// solve → cache fill → respond. See ARCHITECTURE.md, "Serving".
+func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request, m *solveMode) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	s.reg.Counter(obs.MetricRequests + "." + m.name).Inc()
+
+	var req solveRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	if len(req.Instance) == 0 {
+		s.writeError(w, http.StatusBadRequest, `request needs an "instance"`)
+		return
+	}
+	in, err := fpga3d.ReadInstance(bytes.NewReader(req.Instance))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := m.validate(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+
+	key := m.key(&req, in.CanonicalHash())
+	if !req.NoCache {
+		if cached, ok := s.cache.Get(key); ok && s.servable(in, &req, m, cached) {
+			s.reg.Counter(obs.MetricCacheHits).Inc()
+			out := *cached
+			out.Cached = true
+			s.writeJSON(w, http.StatusOK, &out)
+			return
+		}
+		s.reg.Counter(obs.MetricCacheMisses).Inc()
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	release, err := s.pool.Acquire(ctx)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.reg.Counter(obs.MetricRejectedQueueFull).Inc()
+			w.Header().Set("Retry-After", retryAfter(timeout))
+			s.writeError(w, http.StatusTooManyRequests, "server at capacity: admission queue full")
+		case errors.Is(err, context.DeadlineExceeded):
+			s.reg.Counter(obs.MetricDeadlineExpired).Inc()
+			s.writeJSON(w, http.StatusGatewayTimeout, &solveResponse{
+				Decision: fpga3d.Unknown.String(),
+				Error:    "deadline expired while queued for a solve slot",
+			})
+		}
+		// Otherwise the client went away while queued; nothing to write.
+		return
+	}
+	defer release()
+
+	o := &fpga3d.Options{Workers: s.cfg.Workers, Metrics: s.reg}
+	resp, err := m.invoke(ctx, in, &req, o)
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+		s.reg.Counter(obs.MetricSolveErrors).Inc()
+		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	if resp == nil {
+		resp = &solveResponse{Decision: fpga3d.Unknown.String(), DecidedBy: "canceled"}
+	}
+	if resp.Decision == fpga3d.Unknown.String() {
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			// The deadline cut the solve short: 504 with whatever
+			// partial result the solver produced. Never cached.
+			s.reg.Counter(obs.MetricDeadlineExpired).Inc()
+			resp.Error = "deadline expired; partial result"
+			s.writeJSON(w, http.StatusGatewayTimeout, resp)
+			return
+		}
+		if ctx.Err() != nil {
+			return // client canceled; the connection is gone
+		}
+	}
+	if !req.NoCache && resp.Decision != fpga3d.Unknown.String() {
+		stored := *resp
+		stored.Cached = false
+		s.cache.Put(key, &stored)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// servable decides whether a cached entry may answer this request. A
+// value-only entry (infeasible, or an optimum with no witness) is
+// always servable — the canonical hash identifies the problem. An
+// entry with a witness placement is only servable if that placement
+// verifies against the requesting instance's own task numbering: the
+// hash is invariant under task reordering, but placement coordinates
+// are positional, so a renumbered resubmission of the same module set
+// must re-solve rather than inherit coordinates by index.
+func (s *Server) servable(in *fpga3d.Instance, req *solveRequest, m *solveMode, cached *solveResponse) bool {
+	if cached.Placement == nil {
+		return true
+	}
+	if len(cached.Placement.X) != in.NumTasks() {
+		return false
+	}
+	chip, ok := m.verifyChip(req, cached)
+	if !ok {
+		return false
+	}
+	return in.VerifyPlacement(cached.Placement, chip) == nil
+}
+
+// handleHealthz reports liveness and occupancy; during a drain it
+// flips to 503 so load balancers stop routing new work here.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := healthResponse{
+		Status:       "ok",
+		Inflight:     s.pool.Inflight(),
+		Queued:       s.pool.Queued(),
+		CacheEntries: s.cache.Len(),
+	}
+	code := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, h)
+}
+
+// retryAfter suggests when a rejected client should try again: the
+// request's own deadline is the natural horizon for a slot to free up.
+func retryAfter(timeout time.Duration) string {
+	secs := int(timeout.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// writeJSON writes v as the response body with the given status.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logf("writing response: %v", err)
+	}
+}
+
+// writeError writes a JSON error body with the given status.
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	s.writeJSON(w, code, errorResponse{Error: msg})
+}

@@ -1,0 +1,25 @@
+package server
+
+import (
+	"net/http"
+	"runtime/debug"
+
+	"fpga3d/internal/obs"
+)
+
+// recoverPanics is the outermost middleware: a panicking handler must
+// cost one request, not the daemon. The panic is logged with its stack
+// and counted under server.errors, and the client gets a 500 if no
+// body was started.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.reg.Counter(obs.MetricSolveErrors).Inc()
+				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				s.writeError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"fpga3d/internal/obs"
+)
+
+// ErrQueueFull is returned by Pool.Acquire when the admission queue is
+// at capacity; the API layer maps it to 429 Too Many Requests.
+var ErrQueueFull = errors.New("server: admission queue full")
+
+// Pool is the solve admission controller: at most maxConcurrent solves
+// run at once, and at most queueDepth admitted requests may wait for a
+// slot. Anything beyond that is rejected immediately, keeping the
+// daemon's memory and tail latency bounded no matter the offered load.
+//
+// Occupancy is exported through the registry's server.inflight and
+// server.queue.depth gauges.
+type Pool struct {
+	slots      chan struct{}
+	queueDepth int64
+	waiting    atomic.Int64
+
+	inflight *obs.Gauge
+	queued   *obs.Gauge
+}
+
+// NewPool returns a pool admitting maxConcurrent concurrent solves and
+// queueDepth waiters. Non-positive maxConcurrent means 1; negative
+// queueDepth means 0 (reject as soon as every slot is busy).
+func NewPool(maxConcurrent, queueDepth int, reg *obs.Registry) *Pool {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &Pool{
+		slots:      make(chan struct{}, maxConcurrent),
+		queueDepth: int64(queueDepth),
+		inflight:   reg.Gauge(obs.MetricInflight),
+		queued:     reg.Gauge(obs.MetricQueueDepth),
+	}
+}
+
+// Acquire admits the request and blocks until a solve slot is free or
+// ctx is done. It returns a release function that must be called
+// exactly once when the solve finishes. If every slot is busy and the
+// queue already holds queueDepth waiters, it fails fast with
+// ErrQueueFull; if ctx expires while queued, it returns ctx.Err().
+func (p *Pool) Acquire(ctx context.Context) (release func(), err error) {
+	// Fast path: a slot is free right now.
+	select {
+	case p.slots <- struct{}{}:
+		p.inflight.Add(1)
+		return p.release, nil
+	default:
+	}
+
+	// Queue path: claim a waiter ticket, bounded by queueDepth.
+	if p.waiting.Add(1) > p.queueDepth {
+		p.waiting.Add(-1)
+		return nil, ErrQueueFull
+	}
+	p.queued.Add(1)
+	defer func() {
+		p.waiting.Add(-1)
+		p.queued.Add(-1)
+	}()
+
+	select {
+	case p.slots <- struct{}{}:
+		p.inflight.Add(1)
+		return p.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// release frees a slot taken by Acquire.
+func (p *Pool) release() {
+	p.inflight.Add(-1)
+	<-p.slots
+}
+
+// Inflight returns the number of solves currently holding a slot.
+func (p *Pool) Inflight() int64 { return p.inflight.Value() }
+
+// Queued returns the number of admitted requests waiting for a slot.
+func (p *Pool) Queued() int64 { return p.waiting.Load() }

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fpga3d/internal/obs"
+)
+
+func TestPoolCapsConcurrency(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(3, 100, reg)
+
+	var inflight, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := p.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("Acquire: %v", err)
+				return
+			}
+			n := inflight.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inflight.Add(-1)
+			release()
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > 3 {
+		t.Fatalf("peak concurrency %d exceeds cap 3", got)
+	}
+	if got := p.Inflight(); got != 0 {
+		t.Fatalf("inflight gauge %d after drain", got)
+	}
+	if got := p.Queued(); got != 0 {
+		t.Fatalf("queued gauge %d after drain", got)
+	}
+}
+
+func TestPoolRejectsBeyondQueueDepth(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(1, 1, reg)
+
+	holdSlot, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer holdSlot()
+
+	// One waiter fits in the queue…
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	waiterErr := make(chan error, 1)
+	go func() {
+		release, err := p.Acquire(ctx)
+		if err == nil {
+			release()
+		}
+		waiterErr <- err
+	}()
+	waitFor(t, func() bool { return p.Queued() == 1 })
+
+	// …the next request must be rejected immediately.
+	if _, err := p.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Acquire beyond queue depth: err=%v, want ErrQueueFull", err)
+	}
+
+	// A queued waiter whose context dies gets the context error.
+	cancel()
+	if err := <-waiterErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued waiter err=%v, want context.Canceled", err)
+	}
+	if got := p.Queued(); got != 0 {
+		t.Fatalf("queued gauge %d after waiter gave up", got)
+	}
+}
+
+func TestPoolQueuedWaiterGetsSlot(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(1, 4, reg)
+
+	release, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan func(), 1)
+	go func() {
+		r2, err := p.Acquire(context.Background())
+		if err != nil {
+			t.Errorf("queued Acquire: %v", err)
+			close(got)
+			return
+		}
+		got <- r2
+	}()
+	waitFor(t, func() bool { return p.Queued() == 1 })
+	release()
+	select {
+	case r2 := <-got:
+		if r2 == nil {
+			t.Fatal("queued waiter failed")
+		}
+		r2()
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued waiter never got the freed slot")
+	}
+	if reg.Gauge(obs.MetricInflight).Value() != 0 {
+		t.Fatal("inflight gauge not back to zero")
+	}
+}
+
+// waitFor polls cond for up to 5s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,147 @@
+// Package server is the fpgad serving subsystem: an HTTP JSON API over
+// the root fpga3d solver with bounded-concurrency admission control, a
+// canonical-instance result cache, per-request deadlines, and graceful
+// drain — the long-lived counterpart of the one-shot fpgaplace CLI for
+// online reconfigurable-device management.
+//
+// Request lifecycle (see ARCHITECTURE.md, "Serving"):
+//
+//	decode → validate → cache lookup → admission (429 beyond the
+//	queue) → deadline (504 with the partial result) → SolveCtx /
+//	MinimizeTimeCtx / MinimizeChipCtx → cache fill → response
+//
+// All serving counters and gauges live in the same obs.Registry as the
+// solver's own metrics and are exported verbatim on GET /metrics.
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"fpga3d/internal/obs"
+)
+
+// Config tunes the daemon; the zero value is usable (one solve at a
+// time, no queue, 30s default deadline, 256-entry cache).
+type Config struct {
+	// MaxConcurrent bounds simultaneously running solves (<1 means 1).
+	MaxConcurrent int
+	// QueueDepth bounds admitted requests waiting for a slot; beyond
+	// it requests are rejected with 429 (+Retry-After).
+	QueueDepth int
+	// DefaultTimeout is the per-request solve deadline when the
+	// request does not set timeout_ms (<=0 means 30s).
+	DefaultTimeout time.Duration
+	// CacheSize is the canonical-instance result cache capacity in
+	// entries (0 means 256; negative disables caching).
+	CacheSize int
+	// Workers is forwarded to Options.Workers for every solve
+	// (0 = GOMAXPROCS).
+	Workers int
+	// Registry receives serving and solver metrics; nil means a fresh
+	// private registry.
+	Registry *obs.Registry
+	// Logf, when non-nil, receives one line per notable server event.
+	Logf func(format string, args ...any)
+}
+
+// Server wires the admission pool, the result cache and the HTTP
+// handlers together. Create it with New; it is ready to serve via
+// Handler, Serve or ListenAndServe, and drains with Shutdown.
+type Server struct {
+	cfg      Config
+	reg      *obs.Registry
+	pool     *Pool
+	cache    *Cache
+	handler  http.Handler
+	httpSrv  *http.Server
+	draining atomic.Bool
+}
+
+// New builds a Server from cfg, normalizing zero values.
+func New(cfg Config) *Server {
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	switch {
+	case cfg.CacheSize == 0:
+		cfg.CacheSize = 256
+	case cfg.CacheSize < 0:
+		cfg.CacheSize = 0 // NewCache treats <1 as disabled
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{
+		cfg:   cfg,
+		reg:   reg,
+		pool:  NewPool(cfg.MaxConcurrent, cfg.QueueDepth, reg),
+		cache: NewCache(cfg.CacheSize, reg),
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/solve", func(w http.ResponseWriter, r *http.Request) { s.serveSolve(w, r, modeSolve) })
+	mux.HandleFunc("/v1/minimize-time", func(w http.ResponseWriter, r *http.Request) { s.serveSolve(w, r, modeMinTime) })
+	mux.HandleFunc("/v1/minimize-chip", func(w http.ResponseWriter, r *http.Request) { s.serveSolve(w, r, modeMinChip) })
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", reg)
+	s.handler = s.recoverPanics(mux)
+
+	s.httpSrv = &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the daemon's HTTP API, for mounting under a custom
+// http.Server or httptest.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Registry returns the metrics registry backing /metrics.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Serve accepts connections on l until Shutdown; a Shutdown-initiated
+// stop returns nil.
+func (s *Server) Serve(l net.Listener) error {
+	err := s.httpSrv.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe listens on addr and serves until Shutdown. ready,
+// when non-nil, is called once with the bound address (useful with
+// ":0" ports).
+func (s *Server) ListenAndServe(addr string, ready func(addr string)) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready(l.Addr().String())
+	}
+	return s.Serve(l)
+}
+
+// Shutdown drains the daemon: new connections are refused, /healthz
+// flips to 503, and in-flight solves run to completion (or until ctx
+// expires, at which point their connections are closed).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.logf("draining: %d in flight, %d queued", s.pool.Inflight(), s.pool.Queued())
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// logf forwards to Config.Logf when set.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"fpga3d"
+)
+
+// solveRequest is the JSON body of every /v1/* solve endpoint. The
+// instance payload uses the same schema as the instances/*.json files
+// (model.Instance); which of the remaining fields are required depends
+// on the endpoint:
+//
+//	POST /v1/solve          — chip {w,h,t}: is the instance feasible on it?
+//	POST /v1/minimize-time  — w, h: minimal T on a fixed w×h chip
+//	POST /v1/minimize-chip  — t: minimal square chip side within T cycles
+//
+// timeout_ms overrides the daemon's -default-timeout for this request;
+// no_cache bypasses the result cache (neither read nor written).
+type solveRequest struct {
+	Instance  json.RawMessage `json:"instance"`
+	Chip      *fpga3d.Chip    `json:"chip,omitempty"`
+	W         int             `json:"w,omitempty"`
+	H         int             `json:"h,omitempty"`
+	T         int             `json:"t,omitempty"`
+	TimeoutMS int64           `json:"timeout_ms,omitempty"`
+	NoCache   bool            `json:"no_cache,omitempty"`
+}
+
+// solveResponse is the JSON answer of every /v1/* solve endpoint.
+// Decision is "feasible", "infeasible" or "unknown" (the latter only
+// on a 504, carrying the partial result produced before the deadline).
+// Value and LowerBound are set by the minimize endpoints; Makespan
+// accompanies any witness placement. Cached reports whether the
+// response was served from the canonical-instance cache without
+// invoking the solver.
+type solveResponse struct {
+	Decision   string            `json:"decision"`
+	DecidedBy  string            `json:"decided_by,omitempty"`
+	Value      *int              `json:"value,omitempty"`
+	LowerBound *int              `json:"lower_bound,omitempty"`
+	Nodes      int64             `json:"nodes"`
+	ElapsedMS  int64             `json:"elapsed_ms"`
+	Makespan   *int              `json:"makespan,omitempty"`
+	Placement  *fpga3d.Placement `json:"placement,omitempty"`
+	Cached     bool              `json:"cached"`
+	Error      string            `json:"error,omitempty"`
+}
+
+// healthResponse is the body of GET /healthz.
+type healthResponse struct {
+	Status       string `json:"status"` // "ok" or "draining"
+	Inflight     int64  `json:"inflight"`
+	Queued       int64  `json:"queued"`
+	CacheEntries int    `json:"cache_entries"`
+}
+
+// errorResponse is the body of every non-2xx answer that is not a
+// partial solve result.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// cacheKey builds the result-cache key: the question (endpoint), the
+// canonical instance identity, and the numeric parameters that
+// complete it. Options that cannot change the answer (worker count,
+// per-request deadline) are deliberately excluded — the solver's
+// optimum is deterministic.
+func cacheKey(mode, hash string, a, b, c int) string {
+	return fmt.Sprintf("%s|%s|%d|%d|%d", mode, hash, a, b, c)
+}

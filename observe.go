@@ -50,6 +50,36 @@ type Tracer = obs.Tracer
 // a JSON snapshot of all values.
 type Metrics = obs.Registry
 
+// Metric names published by the fpgad placement daemon (cmd/fpgad)
+// into its /metrics registry, alongside the solver's own opp.* and
+// search.* series. Counters are cumulative since process start;
+// gauges are instantaneous. MetricRequests is a prefix: each endpoint
+// appends its name (server.requests.solve, server.requests.minimize_time,
+// server.requests.minimize_chip).
+const (
+	// MetricRequests counts accepted API requests, per endpoint suffix.
+	MetricRequests = obs.MetricRequests
+	// MetricRejectedQueueFull counts 429 admission rejections.
+	MetricRejectedQueueFull = obs.MetricRejectedQueueFull
+	// MetricDeadlineExpired counts solves answered 504 after their
+	// request deadline expired.
+	MetricDeadlineExpired = obs.MetricDeadlineExpired
+	// MetricSolveErrors counts decode and solver failures.
+	MetricSolveErrors = obs.MetricSolveErrors
+	// MetricInflight gauges currently running solves.
+	MetricInflight = obs.MetricInflight
+	// MetricQueueDepth gauges admitted requests waiting for a slot.
+	MetricQueueDepth = obs.MetricQueueDepth
+	// MetricCacheHits counts canonical-instance cache hits.
+	MetricCacheHits = obs.MetricCacheHits
+	// MetricCacheMisses counts cache lookups that ran the solver.
+	MetricCacheMisses = obs.MetricCacheMisses
+	// MetricCacheEvictions counts LRU evictions from the result cache.
+	MetricCacheEvictions = obs.MetricCacheEvictions
+	// MetricCacheSize gauges resident result-cache entries.
+	MetricCacheSize = obs.MetricCacheSize
+)
+
 // NewTracer returns a Tracer emitting JSON Lines to w.
 func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
 
