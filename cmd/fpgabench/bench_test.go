@@ -1,0 +1,236 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Schema:    ReportSchema,
+		Generated: "2026-08-06T00:00:00Z",
+		Env:       envStamp(),
+		Runs:      3,
+		Entries: []Entry{
+			{Name: "de/opp/32x32x6", Kind: "opp", Status: "feasible", Nodes: 85, Propagations: 253, WallNS: 1_000_000},
+			{Name: "hls/biquad3/17x17", Kind: "mintime", Status: "feasible", Value: 31, Nodes: 1595, Propagations: 13270, WallNS: 60_000_000},
+		},
+	}
+}
+
+// TestReportRoundTrip: a report written to disk reloads identically and
+// diffs clean against itself.
+func TestReportRoundTrip(t *testing.T) {
+	r := sampleReport()
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := writeReport(r, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("round trip changed the report:\nwrote %+v\nread  %+v", r, got)
+	}
+	if msgs := diffReports(r, got, 0, 0); len(msgs) != 0 {
+		t.Fatalf("self-diff not clean: %v", msgs)
+	}
+}
+
+func TestReadReportRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	r := sampleReport()
+	r.Schema = "fpgabench/v0"
+	if err := writeReport(r, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readReport(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+// TestDiffReportsRegressions exercises every regression class the gate
+// can raise: wall-time slowdowns past tolerance and floor, node- and
+// propagation-count drift, changed answers, and vanished cases.
+func TestDiffReportsRegressions(t *testing.T) {
+	base := sampleReport()
+
+	t.Run("injected slowdown", func(t *testing.T) {
+		cur := sampleReport()
+		cur.Entries[1].WallNS *= 3
+		msgs := diffReports(base, cur, 0.5, 25*time.Millisecond)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "wall time regressed") {
+			t.Fatalf("msgs = %v", msgs)
+		}
+	})
+	t.Run("slowdown under floor ignored", func(t *testing.T) {
+		cur := sampleReport()
+		cur.Entries[0].WallNS *= 3 // 1ms → 3ms, below the 25ms floor
+		if msgs := diffReports(base, cur, 0.5, 25*time.Millisecond); len(msgs) != 0 {
+			t.Fatalf("micro-case slowdown flagged: %v", msgs)
+		}
+	})
+	t.Run("node drift", func(t *testing.T) {
+		cur := sampleReport()
+		cur.Entries[0].Nodes++
+		msgs := diffReports(base, cur, 0.5, 25*time.Millisecond)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "node count changed") {
+			t.Fatalf("msgs = %v", msgs)
+		}
+	})
+	t.Run("propagation drift", func(t *testing.T) {
+		cur := sampleReport()
+		cur.Entries[0].Propagations--
+		msgs := diffReports(base, cur, 0.5, 25*time.Millisecond)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "propagation count changed") {
+			t.Fatalf("msgs = %v", msgs)
+		}
+	})
+	t.Run("changed answer", func(t *testing.T) {
+		cur := sampleReport()
+		cur.Entries[0].Status = "infeasible"
+		msgs := diffReports(base, cur, 0.5, 25*time.Millisecond)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "answer changed") {
+			t.Fatalf("msgs = %v", msgs)
+		}
+	})
+	t.Run("missing case in full run", func(t *testing.T) {
+		cur := sampleReport()
+		cur.Entries = cur.Entries[:1]
+		msgs := diffReports(base, cur, 0.5, 25*time.Millisecond)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "not in this run") {
+			t.Fatalf("msgs = %v", msgs)
+		}
+	})
+	t.Run("missing case tolerated in quick run", func(t *testing.T) {
+		cur := sampleReport()
+		cur.Entries = cur.Entries[:1]
+		cur.Quick = true
+		if msgs := diffReports(base, cur, 0.5, 25*time.Millisecond); len(msgs) != 0 {
+			t.Fatalf("quick run flagged for subsetting: %v", msgs)
+		}
+	})
+}
+
+// TestRunQuickEndToEnd drives the real binary entry point over the
+// quick subset: the report must be written and well-formed, a self
+// baseline must pass, and a baseline with tampered wall times must trip
+// exit code 2.
+func TestRunQuickEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick benchmark subset")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "report.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-quick", "-runs", "1", "-out", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	rep, err := readReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) == 0 || !rep.Quick {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	for _, e := range rep.Entries {
+		if e.WallNS <= 0 {
+			t.Fatalf("%s: no wall time recorded", e.Name)
+		}
+	}
+
+	// Self-comparison passes.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-quick", "-runs", "1", "-baseline", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("self baseline: exit %d, stderr: %s", code, stderr.String())
+	}
+
+	// A baseline claiming near-zero wall times makes every case an
+	// injected slowdown once the floor is removed: exit code 2.
+	tampered := filepath.Join(dir, "tampered.json")
+	bad := *rep
+	bad.Entries = append([]Entry(nil), rep.Entries...)
+	for i := range bad.Entries {
+		bad.Entries[i].WallNS = 1
+	}
+	if err := writeReport(&bad, tampered); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-quick", "-runs", "1", "-baseline", tampered, "-floor", "0s"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("tampered baseline: exit %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "wall time regressed") {
+		t.Fatalf("stderr missing regression message: %s", stderr.String())
+	}
+}
+
+// TestSuiteNamesUniqueAndListed guards the case table: names must be
+// unique (they key the baseline diff) and -list must print each one.
+func TestSuiteNamesUniqueAndListed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range suite() {
+		if seen[c.name] {
+			t.Fatalf("duplicate case name %q", c.name)
+		}
+		seen[c.name] = true
+		if c.kind != "opp" && c.kind != "mintime" && c.kind != "minbase" {
+			t.Fatalf("%s: unknown kind %q", c.name, c.kind)
+		}
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit %d", code)
+	}
+	for name := range seen {
+		if !strings.Contains(stdout.String(), name) {
+			t.Fatalf("-list missing %q", name)
+		}
+	}
+}
+
+// TestCommittedBaselineParses keeps the committed BENCH_core.json
+// loadable and schema-current, with every suite case present — the
+// contract the CI bench gate depends on.
+func TestCommittedBaselineParses(t *testing.T) {
+	rep, err := readReport("../../BENCH_core.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Entry{}
+	for _, e := range rep.Entries {
+		byName[e.Name] = e
+	}
+	var wall, refWall int64
+	for _, c := range suite() {
+		e, ok := byName[c.name]
+		if !ok {
+			t.Errorf("baseline missing case %q — refresh BENCH_core.json (see BENCHMARKS.md)", c.name)
+			continue
+		}
+		if e.RefWallNS > 0 {
+			wall += e.WallNS
+			refWall += e.RefWallNS
+		}
+	}
+	// The committed baseline must document the optimization win: at
+	// least a 20% aggregate wall-time reduction over the reference rule
+	// paths, at identical node counts (identity is enforced at record
+	// time by -compare-ref).
+	if refWall > 0 && float64(wall) > 0.8*float64(refWall) {
+		t.Errorf("committed baseline shows only %.1f%% aggregate reduction over reference rules (want ≥ 20%%)",
+			100*(1-float64(wall)/float64(refWall)))
+	}
+	var marshaled bytes.Buffer
+	if err := json.NewEncoder(&marshaled).Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -67,6 +67,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		cacheSize      = fs.Int("cache-size", 256, "canonical-instance result cache entries (negative disables)")
 		workers        = fs.Int("workers", 1, "solver probe goroutines per solve (0 = GOMAXPROCS); keep 1 when -max-concurrent already saturates the cores")
 		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight solves")
+		enablePprof    = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (exposes internals; keep off untrusted networks)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,6 +83,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		CacheSize:      *cacheSize,
 		Workers:        *workers,
 		Logf:           log.Printf,
+		EnablePprof:    *enablePprof,
 	})
 
 	serveErr := make(chan error, 1)

@@ -42,6 +42,8 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -81,6 +83,8 @@ func main() {
 		tracePath    = flag.String("trace", "", "write a JSONL event trace to this file (input file for mode=tracestats)")
 		metricsAddr  = flag.String("metrics", "", "serve live solver metrics as JSON on this address (e.g. :8123)")
 		jsonOut      = flag.Bool("json", false, "print the result as JSON instead of text")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memProfile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -112,7 +116,7 @@ func main() {
 		}
 	}
 	opt := &fpga3d.Options{NodeLimit: *nodeLimit, TimeLimit: *timeLimit, Workers: *workers}
-	finishObs, err := setupObs(opt, *progress, *tracePath, *metricsAddr)
+	finishObs, err := setupObs(opt, *progress, *tracePath, *metricsAddr, *cpuProfile, *memProfile)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -396,6 +400,7 @@ var commonFlags = map[string]bool{
 	"placement": true, "gantt": true, "svg": true, "reconfig": true,
 	"node-limit": true, "time-limit": true, "workers": true, "timeout": true,
 	"progress": true, "trace": true, "metrics": true, "json": true,
+	"cpuprofile": true, "memprofile": true,
 }
 
 // modeFlags lists the mode-specific flags each mode accepts.
@@ -438,12 +443,42 @@ func validateFlags(mode string, set map[string]bool) error {
 		strings.Join(bad, ", "), mode)
 }
 
-// setupObs wires the -progress, -trace and -metrics flags into the
-// solver options. The returned function flushes and closes the sinks;
-// it is idempotent so it can run both before result printing (to get
-// the progress line off the screen) and on the deferred path.
-func setupObs(opt *fpga3d.Options, progress bool, tracePath, metricsAddr string) (func(), error) {
+// setupObs wires the -progress, -trace, -metrics, -cpuprofile and
+// -memprofile flags into the solver options. The returned function
+// flushes and closes the sinks; it is idempotent so it can run both
+// before result printing (to get the progress line off the screen) and
+// on the deferred path — and because exitPartial leaves via os.Exit,
+// which skips defers, the profile writers hang off this hook rather
+// than their own defer statements.
+func setupObs(opt *fpga3d.Options, progress bool, tracePath, metricsAddr, cpuProfile, memProfile string) (func(), error) {
 	var done []func()
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		done = append(done, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if memProfile != "" {
+		f, err := os.Create(memProfile)
+		if err != nil {
+			return nil, err
+		}
+		done = append(done, func() {
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+			f.Close()
+		})
+	}
 	if progress {
 		opt.Progress = fpga3d.ProgressPrinter(os.Stderr, 0)
 		done = append(done, func() { fmt.Fprintln(os.Stderr) })

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomProblem draws a 3-dimensional instance with an ordered time
+// axis, a sprinkling of precedence seeds on a DAG order, and a few
+// pre-fixed spatial edges. Sizes skew large relative to the capacities
+// so the size rule and clique machinery fire often.
+func randomProblem(rng *rand.Rand) *Problem {
+	n := 4 + rng.Intn(5) // 4..8 boxes
+	caps := [3]int{8 + rng.Intn(9), 8 + rng.Intn(9), 6 + rng.Intn(10)}
+	p := &Problem{N: n}
+	for d := 0; d < 3; d++ {
+		dim := Dim{Cap: caps[d], Sizes: make([]int, n), Ordered: d == 2}
+		for b := 0; b < n; b++ {
+			dim.Sizes[b] = 1 + rng.Intn(caps[d]*3/4)
+		}
+		p.Dims = append(p.Dims, dim)
+	}
+	// Precedence arcs respecting box index order (always acyclic).
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < 0.15 {
+				p.Seeds = append(p.Seeds, SeedArc{Dim: 2, From: u, To: v})
+			}
+		}
+	}
+	// A couple of pre-fixed spatial edges, as the FixedS variants do.
+	for k := 0; k < 2; k++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		st := Overlap
+		if rng.Intn(2) == 0 {
+			st = Disjoint
+		}
+		p.Fixed = append(p.Fixed, FixedEdge{Dim: rng.Intn(2), U: u, V: v, State: st})
+	}
+	return p
+}
+
+// checkSolution verifies a claimed placement geometrically: in-bounds
+// intervals, no two boxes overlapping in every dimension at once, and
+// every precedence seed realized on the time axis.
+func checkSolution(t *testing.T, p *Problem, sol *Solution) {
+	t.Helper()
+	if len(sol.Coords) != len(p.Dims) {
+		t.Fatalf("solution has %d dims, want %d", len(sol.Coords), len(p.Dims))
+	}
+	for d, dim := range p.Dims {
+		for b := 0; b < p.N; b++ {
+			x := sol.Coords[d][b]
+			if x < 0 || x+dim.Sizes[b] > dim.Cap {
+				t.Fatalf("box %d out of bounds in dim %d: [%d,%d) cap %d", b, d, x, x+dim.Sizes[b], dim.Cap)
+			}
+		}
+	}
+	for u := 0; u < p.N; u++ {
+		for v := u + 1; v < p.N; v++ {
+			overlapAll := true
+			for d, dim := range p.Dims {
+				xu, xv := sol.Coords[d][u], sol.Coords[d][v]
+				if xu+dim.Sizes[u] <= xv || xv+dim.Sizes[v] <= xu {
+					overlapAll = false
+					break
+				}
+			}
+			if overlapAll {
+				t.Fatalf("boxes %d and %d overlap in all dimensions", u, v)
+			}
+		}
+	}
+	for _, a := range p.Seeds {
+		if sol.Coords[a.Dim][a.From]+p.Dims[a.Dim].Sizes[a.From] > sol.Coords[a.Dim][a.To] {
+			t.Fatalf("precedence %d→%d violated on dim %d", a.From, a.To, a.Dim)
+		}
+	}
+}
+
+// TestDifferentialRulePaths is the exact-equivalence gate for the
+// hot-path optimizations: on random instances, the optimized rule
+// implementations and the reference ones (Options.ReferenceRules) must
+// produce the same status, the same full statistics — Nodes and
+// Propagations included — and the same witness placement, which must be
+// geometrically valid.
+func TestDifferentialRulePaths(t *testing.T) {
+	const trials = 120
+	rng := rand.New(rand.NewSource(20260806))
+	feasible, infeasible := 0, 0
+	for i := 0; i < trials; i++ {
+		p := randomProblem(rng)
+		opt := Options{NodeLimit: 200_000, TimeOverlapFirst: rng.Intn(2) == 0}
+		fast := Solve(p, opt)
+		optRef := opt
+		optRef.ReferenceRules = true
+		ref := Solve(p, optRef)
+
+		if fast.Status != ref.Status {
+			t.Fatalf("trial %d: status fast=%v ref=%v", i, fast.Status, ref.Status)
+		}
+		if !reflect.DeepEqual(fast.Stats, ref.Stats) {
+			t.Fatalf("trial %d: stats diverge\nfast: %+v\nref:  %+v", i, fast.Stats, ref.Stats)
+		}
+		switch fast.Status {
+		case StatusFeasible:
+			feasible++
+			checkSolution(t, p, fast.Solution)
+			if !reflect.DeepEqual(fast.Solution, ref.Solution) {
+				t.Fatalf("trial %d: witness placements diverge", i)
+			}
+		case StatusInfeasible:
+			infeasible++
+		}
+	}
+	// The generator must exercise both outcomes for the comparison to
+	// mean anything.
+	if feasible == 0 || infeasible == 0 {
+		t.Fatalf("degenerate instance mix: %d feasible, %d infeasible", feasible, infeasible)
+	}
+}
+
+// TestDifferentialRulePathsAblations repeats the differential check
+// with individual rules disabled, so the equivalence of each optimized
+// rule is probed in isolation too (a bug masked by another rule firing
+// first would otherwise hide).
+func TestDifferentialRulePathsAblations(t *testing.T) {
+	ablations := []struct {
+		name string
+		mut  func(*Options)
+	}{
+		{"no-clique-force", func(o *Options) { o.DisableCliqueForce = true }},
+		{"no-c4", func(o *Options) { o.DisableC4Rule = true }},
+		{"no-hole", func(o *Options) { o.DisableHoleRule = true }},
+		{"no-clique", func(o *Options) { o.DisableCliqueRule = true }},
+	}
+	for _, ab := range ablations {
+		ab := ab
+		t.Run(ab.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(777))
+			for i := 0; i < 40; i++ {
+				p := randomProblem(rng)
+				opt := Options{NodeLimit: 200_000}
+				ab.mut(&opt)
+				fast := Solve(p, opt)
+				optRef := opt
+				optRef.ReferenceRules = true
+				ref := Solve(p, optRef)
+				if fast.Status != ref.Status || !reflect.DeepEqual(fast.Stats, ref.Stats) {
+					t.Fatalf("trial %d: diverge\nfast: %v %+v\nref:  %v %+v",
+						i, fast.Status, fast.Stats, ref.Status, ref.Stats)
+				}
+			}
+		})
+	}
+}

@@ -70,6 +70,29 @@ type engine struct {
 	disAdj  [][]graph.Set // Disjoint adjacency
 	unknown []int         // count of Unknown states per dimension
 
+	// pairUndecided[p] counts the dimensions in which pair p is still
+	// Unknown — the quantity pickBranch otherwise recomputes with an
+	// inner dimension loop at every node. Maintained by setState/undoTo.
+	pairUndecided []int32
+
+	// Versioned dirtiness tracking for the clique-force memo. verDis[d]
+	// (verOv[d]) counts every edge insertion or removal in the disjoint
+	// (overlap) adjacency of dimension d; rowVerDis[d][v] (rowVerOv) is
+	// the version at which vertex v's row last changed. A clique bound
+	// computed for pair p at version s stays valid while no row it read
+	// has moved past s, so cliqueForcePass recomputes only pairs whose
+	// candidate sets were actually dirtied. Versions only grow (undo
+	// bumps them too), so stale memo entries can never false-match.
+	verDis    []int64
+	verOv     []int64
+	rowVerDis [][]int64
+	rowVerOv  [][]int64
+	// cfDisSeen[d][p] (cfAreaSeen) is the verDis[d] (verOv[d]) value at
+	// which the disjoint-clique (area-clique) force check for pair p
+	// last computed "no forcing", or -1 if never computed.
+	cfDisSeen  [][]int64
+	cfAreaSeen [][]int64
+
 	trail    []change
 	queue    []event
 	conflict conflictRule
@@ -97,6 +120,21 @@ type engine struct {
 
 	// scratch buffers
 	scratchSet graph.Set
+	// cliqueStack holds one scratch set per recursion depth of the
+	// weighted-clique bound, so the branch-and-bound inside
+	// cliqueExceedsFast allocates nothing. Grown on demand.
+	cliqueStack []graph.Set
+	// Hole-detection scratch (findHoleInFast / shortestAvoidingFast):
+	// reused across the per-node chordality sweeps.
+	holeWeight  []int
+	holeVisited []bool
+	holeMCS     []int
+	holePos     []int
+	holePrev    []int
+	holeQueue   []int
+	holeLater   graph.Set
+	holeBad     graph.Set
+	holeBanned  graph.Set
 }
 
 func newEngine(p *Problem, opt Options) *engine {
@@ -137,6 +175,36 @@ func newEngine(p *Problem, opt Options) *engine {
 		e.unknown[d] = idx
 	}
 	e.scratchSet = graph.NewSet(n)
+
+	e.pairUndecided = make([]int32, idx)
+	for pr := range e.pairUndecided {
+		e.pairUndecided[pr] = int32(nd)
+	}
+	e.verDis = make([]int64, nd)
+	e.verOv = make([]int64, nd)
+	e.rowVerDis = make([][]int64, nd)
+	e.rowVerOv = make([][]int64, nd)
+	e.cfDisSeen = make([][]int64, nd)
+	e.cfAreaSeen = make([][]int64, nd)
+	for d := 0; d < nd; d++ {
+		e.rowVerDis[d] = make([]int64, n)
+		e.rowVerOv[d] = make([]int64, n)
+		e.cfDisSeen[d] = make([]int64, idx)
+		e.cfAreaSeen[d] = make([]int64, idx)
+		for pr := 0; pr < idx; pr++ {
+			e.cfDisSeen[d][pr] = -1
+			e.cfAreaSeen[d][pr] = -1
+		}
+	}
+	e.holeWeight = make([]int, n)
+	e.holeVisited = make([]bool, n)
+	e.holeMCS = make([]int, 0, n)
+	e.holePos = make([]int, n)
+	e.holePrev = make([]int, n)
+	e.holeQueue = make([]int, 0, n)
+	e.holeLater = graph.NewSet(n)
+	e.holeBad = graph.NewSet(n)
+	e.holeBanned = graph.NewSet(n)
 
 	e.vol = make([]int, n)
 	for b := 0; b < n; b++ {
@@ -280,11 +348,14 @@ func (e *engine) setState(d int, p int, s EdgeState, r conflictRule) {
 	if s == Overlap {
 		e.ovAdj[d][u].Add(v)
 		e.ovAdj[d][v].Add(u)
+		e.touchOv(d, u, v)
 	} else {
 		e.disAdj[d][u].Add(v)
 		e.disAdj[d][v].Add(u)
+		e.touchDis(d, u, v)
 	}
 	e.unknown[d]--
+	e.pairUndecided[p]--
 	e.queue = append(e.queue, event{kind: evState, dim: int16(d), pair: int32(p)})
 }
 
@@ -328,6 +399,33 @@ func (e *engine) setBefore(d, u, v int, r conflictRule) {
 	e.queue = append(e.queue, event{kind: evOrient, dim: int16(d), pair: int32(p)})
 }
 
+// touchDis records a change (insertion or removal) of the disjoint
+// edge {u,v} in dimension d for the clique-force memo: the dimension
+// version advances and both endpoint rows move to it.
+func (e *engine) touchDis(d, u, v int) {
+	e.verDis[d]++
+	ver := e.verDis[d]
+	e.rowVerDis[d][u] = ver
+	e.rowVerDis[d][v] = ver
+}
+
+// touchOv is touchDis for the overlap adjacency.
+func (e *engine) touchOv(d, u, v int) {
+	e.verOv[d]++
+	ver := e.verOv[d]
+	e.rowVerOv[d][u] = ver
+	e.rowVerOv[d][v] = ver
+}
+
+// cliqueScratch returns the per-depth scratch set for the weighted
+// clique bound, growing the stack on first use of a depth.
+func (e *engine) cliqueScratch(depth int) graph.Set {
+	for len(e.cliqueStack) <= depth {
+		e.cliqueStack = append(e.cliqueStack, graph.NewSet(e.n))
+	}
+	return e.cliqueStack[depth]
+}
+
 // mark returns the current trail position for later undo.
 func (e *engine) mark() int { return len(e.trail) }
 
@@ -344,12 +442,15 @@ func (e *engine) undoTo(m int) {
 			if s == Overlap {
 				e.ovAdj[d][u].Remove(v)
 				e.ovAdj[d][v].Remove(u)
+				e.touchOv(d, u, v)
 			} else if s == Disjoint {
 				e.disAdj[d][u].Remove(v)
 				e.disAdj[d][v].Remove(u)
+				e.touchDis(d, u, v)
 			}
 			e.state[d][p] = EdgeState(c.old)
 			e.unknown[d]++
+			e.pairUndecided[p]++
 		case chOrient:
 			e.orient[d][p] = OrientVal(c.old)
 		}

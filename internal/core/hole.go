@@ -93,14 +93,23 @@ func (e *engine) holeCheckDim(d int, adj []graph.Set, breaking EdgeState, oddOnl
 
 // findHoleIn returns the vertices of an induced cycle of length ≥ 4 in
 // the graph given by the adjacency rows, or nil if it is chordal (or no
-// certificate could be extracted).
+// certificate could be extracted). The production path reuses the
+// engine's hole scratch buffers (this runs once per dimension per
+// search node); findHoleInRef is the allocating reference twin.
 func (e *engine) findHoleIn(adj []graph.Set) []int {
+	if e.opt.ReferenceRules {
+		return e.findHoleInRef(adj)
+	}
 	n := e.n
 
 	// Maximum cardinality search.
-	weight := make([]int, n)
-	visited := make([]bool, n)
-	mcs := make([]int, 0, n)
+	weight := e.holeWeight
+	visited := e.holeVisited
+	for v := 0; v < n; v++ {
+		weight[v] = 0
+		visited[v] = false
+	}
+	mcs := e.holeMCS[:0]
 	for len(mcs) < n {
 		best, bestW := -1, -1
 		for v := 0; v < n; v++ {
@@ -116,12 +125,12 @@ func (e *engine) findHoleIn(adj []graph.Set) []int {
 			}
 		})
 	}
-	pos := make([]int, n) // position in elimination order = reverse MCS
+	pos := e.holePos // position in elimination order = reverse MCS
 	for i, v := range mcs {
 		pos[v] = n - 1 - i
 	}
 
-	later := graph.NewSet(n)
+	later := e.holeLater
 	for v := 0; v < n; v++ {
 		later.Clear()
 		p, pPos := -1, n
@@ -137,7 +146,8 @@ func (e *engine) findHoleIn(adj []graph.Set) []int {
 			continue
 		}
 		later.Remove(p)
-		bad := later.Clone()
+		bad := e.holeBad
+		bad.CopyFrom(later)
 		bad.SubtractWith(adj[p])
 		if bad.Empty() {
 			continue
@@ -145,12 +155,12 @@ func (e *engine) findHoleIn(adj []graph.Set) []int {
 		// v has later non-adjacent neighbors p and w: close a hole
 		// through v.
 		var hole []int
-		bad.ForEach(func(w int) {
-			if hole == nil {
-				if path := shortestAvoiding(adj, p, w, v); path != nil {
-					hole = append([]int{v}, path...)
-				}
+		bad.Some(func(w int) bool {
+			if path := e.shortestAvoidingFast(adj, p, w, v); path != nil {
+				hole = append([]int{v}, path...)
+				return true
 			}
+			return false
 		})
 		if hole != nil {
 			return hole
@@ -159,25 +169,24 @@ func (e *engine) findHoleIn(adj []graph.Set) []int {
 	return nil
 }
 
-// shortestAvoiding returns a shortest p–w path in the given graph
-// restricted to vertices outside N[v] (p and w excepted), or nil if
-// none exists.
-func shortestAvoiding(adj []graph.Set, p, w, v int) []int {
-	n := len(adj)
-	banned := adj[v].Clone()
+// shortestAvoidingFast is shortestAvoiding on the engine's scratch
+// buffers: a BFS whose banned set, parent array and queue are reused
+// across calls. Only the returned path is allocated.
+func (e *engine) shortestAvoidingFast(adj []graph.Set, p, w, v int) []int {
+	banned := e.holeBanned
+	banned.CopyFrom(adj[v])
 	banned.Add(v)
 	banned.Remove(p)
 	banned.Remove(w)
 
-	prev := make([]int, n)
-	for i := range prev {
+	prev := e.holePrev
+	for i := 0; i < e.n; i++ {
 		prev[i] = -1
 	}
 	prev[p] = p
-	queue := []int{p}
-	for len(queue) > 0 {
-		x := queue[0]
-		queue = queue[1:]
+	queue := append(e.holeQueue[:0], p)
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
 		if x == w {
 			// Reconstruct path p..w.
 			var rev []int
@@ -197,5 +206,6 @@ func shortestAvoiding(adj []graph.Set, p, w, v int) []int {
 			}
 		})
 	}
+	e.holeQueue = queue[:0]
 	return nil
 }

@@ -45,6 +45,7 @@ const (
 	Disjoint
 )
 
+// String renders the state for traces and error messages.
 func (s EdgeState) String() string {
 	switch s {
 	case Overlap:
@@ -167,6 +168,7 @@ const (
 	StatusCanceled
 )
 
+// String renders the status for logs and CLI output.
 func (s Status) String() string {
 	switch s {
 	case StatusFeasible:
@@ -237,6 +239,16 @@ type Options struct {
 	// when true (default behaviour is set by the solver), Overlap is
 	// tried before Disjoint on the time axis.
 	TimeOverlapFirst bool
+
+	// ReferenceRules selects the pre-optimization straight-line rule
+	// implementations (per-call allocation, no clique-force memo, no C4
+	// viability filter, recomputed branch scores) in place of the
+	// incremental fast paths. Both paths are bit-identical by contract:
+	// same Status, same witness placement, and the same Stats — node
+	// counts included. The knob exists for the differential tests and
+	// for cmd/fpgabench's -compare-ref speedup measurement; production
+	// callers leave it false.
+	ReferenceRules bool
 }
 
 // Result bundles the outcome of a Solve call.

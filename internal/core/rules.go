@@ -10,6 +10,7 @@ func (e *engine) propagate() {
 	for e.conflict == noConflict && len(e.queue) > 0 {
 		ev := e.queue[len(e.queue)-1]
 		e.queue = e.queue[:len(e.queue)-1]
+		e.stats.Propagations++
 		switch ev.kind {
 		case evState:
 			e.onState(int(ev.dim), int(ev.pair))
@@ -215,9 +216,14 @@ func (e *engine) heavyCliqueThrough(d, u, v int) bool {
 	if budget < 0 {
 		return true
 	}
-	cand := e.disAdj[d][u].Clone()
-	cand.IntersectWith(e.disAdj[d][v])
-	return cliqueExceeds(e.disAdj[d], w, cand, budget)
+	if e.opt.ReferenceRules {
+		cand := e.disAdj[d][u].Clone()
+		cand.IntersectWith(e.disAdj[d][v])
+		return cliqueExceeds(e.disAdj[d], w, cand, budget)
+	}
+	cand := e.cliqueScratch(0)
+	cand.IntersectOf(e.disAdj[d][u], e.disAdj[d][v])
+	return e.cliqueExceedsFast(e.disAdj[d], w, cand, budget, 1)
 }
 
 // heavyAreaCliqueThrough reports whether dimension d contains a set of
@@ -232,14 +238,22 @@ func (e *engine) heavyAreaCliqueThrough(d, u, v int) bool {
 	if budget < 0 {
 		return true
 	}
-	cand := e.ovAdj[d][u].Clone()
-	cand.IntersectWith(e.ovAdj[d][v])
-	return cliqueExceeds(e.ovAdj[d], e.coArea[d], cand, budget)
+	if e.opt.ReferenceRules {
+		cand := e.ovAdj[d][u].Clone()
+		cand.IntersectWith(e.ovAdj[d][v])
+		return cliqueExceeds(e.ovAdj[d], e.coArea[d], cand, budget)
+	}
+	cand := e.cliqueScratch(0)
+	cand.IntersectOf(e.ovAdj[d][u], e.ovAdj[d][v])
+	return e.cliqueExceedsFast(e.ovAdj[d], e.coArea[d], cand, budget, 1)
 }
 
 // cliqueExceeds reports whether the graph given by the adjacency rows
 // restricted to cand contains a clique with total weight strictly
-// greater than budget.
+// greater than budget. This is the reference implementation
+// (Options.ReferenceRules): it clones the candidate set at every
+// branch. cliqueExceedsFast is the allocation-free production twin;
+// the two must stay decision-identical (TestDifferentialRulePaths).
 func cliqueExceeds(adj []graph.Set, w []int, cand graph.Set, budget int) bool {
 	if budget < 0 {
 		return true
@@ -265,11 +279,40 @@ func cliqueExceeds(adj []graph.Set, w []int, cand graph.Set, budget int) bool {
 	return cliqueExceeds(adj, w, without, budget)
 }
 
+// cliqueExceedsFast is cliqueExceeds on the engine's per-depth scratch
+// sets: the same branch order (heaviest candidate first, ties to the
+// smallest vertex) and the same pruning, but zero allocations. cand
+// must live in cliqueScratch(depth-1) or caller-owned storage; the
+// callee only writes scratch slots >= depth.
+func (e *engine) cliqueExceedsFast(adj []graph.Set, w []int, cand graph.Set, budget, depth int) bool {
+	if budget < 0 {
+		return true
+	}
+	sum, pick, pickW := cand.SumAndMax(w)
+	if sum <= budget {
+		return false
+	}
+	s := e.cliqueScratch(depth)
+	s.IntersectOf(cand, adj[pick])
+	if e.cliqueExceedsFast(adj, w, s, budget-pickW, depth+1) {
+		return true
+	}
+	s.CopyFrom(cand)
+	s.Remove(pick)
+	return e.cliqueExceedsFast(adj, w, s, budget, depth+1)
+}
+
 // cliqueForcePass fixes every still-unknown pair whose Disjoint decision
 // would complete an overweight clique of disjoint edges (so it must be
 // Overlap), and every pair whose Overlap decision would complete an
 // overweight area clique of overlap edges (so it must be Disjoint).
 // Runs to a fixpoint together with propagation.
+//
+// The production path memoizes "no forcing" answers against the
+// per-dimension adjacency versions (see disCliqueForces), so the
+// repeated fixpoint passes — and the per-node re-runs along a search
+// branch — recompute the exponential clique bound only for pairs whose
+// candidate neighborhoods were actually dirtied since the last check.
 func (e *engine) cliqueForcePass() {
 	for e.conflict == noConflict {
 		changed := false
@@ -284,19 +327,13 @@ func (e *engine) cliqueForcePass() {
 					continue
 				}
 				u, v := int(e.pairU[p]), int(e.pairV[p])
-				budget := cap - w[u] - w[v]
-				cand := e.disAdj[d][u].Clone()
-				cand.IntersectWith(e.disAdj[d][v])
-				if cliqueExceeds(e.disAdj[d], w, cand, budget) {
+				if e.disCliqueForces(d, p, u, v, w, cap) {
 					e.stats.ForcedClique++
 					e.setState(d, p, Overlap, confClique)
 					changed = true
 					continue
 				}
-				areaBudget := e.coCap[d] - e.coArea[d][u] - e.coArea[d][v]
-				ocand := e.ovAdj[d][u].Clone()
-				ocand.IntersectWith(e.ovAdj[d][v])
-				if cliqueExceeds(e.ovAdj[d], e.coArea[d], ocand, areaBudget) {
+				if e.areaCliqueForces(d, p, u, v) {
 					e.stats.ForcedArea++
 					e.setState(d, p, Disjoint, confArea)
 					changed = true
@@ -310,27 +347,156 @@ func (e *engine) cliqueForcePass() {
 	}
 }
 
+// disCliqueForces reports whether deciding pair p Disjoint in dimension
+// d would complete an overweight clique of disjoint edges. A negative
+// answer computed at disjoint-adjacency version s stays valid while the
+// rows of u, v and of every candidate vertex are still at version <= s
+// (the bound only reads those rows, and unchanged u/v rows pin the
+// candidate set itself), so it is memoized and skipped until dirtied.
+func (e *engine) disCliqueForces(d, p, u, v int, w []int, cap int) bool {
+	budget := cap - w[u] - w[v]
+	if budget < 0 {
+		return true
+	}
+	if e.opt.ReferenceRules {
+		cand := e.disAdj[d][u].Clone()
+		cand.IntersectWith(e.disAdj[d][v])
+		return cliqueExceeds(e.disAdj[d], w, cand, budget)
+	}
+	cand := e.cliqueScratch(0)
+	cand.IntersectOf(e.disAdj[d][u], e.disAdj[d][v])
+	rowVer := e.rowVerDis[d]
+	if snap := e.cfDisSeen[d][p]; snap >= 0 && rowVer[u] <= snap && rowVer[v] <= snap &&
+		!cand.Some(func(x int) bool { return rowVer[x] > snap }) {
+		return false
+	}
+	if e.cliqueExceedsFast(e.disAdj[d], w, cand, budget, 1) {
+		return true
+	}
+	e.cfDisSeen[d][p] = e.verDis[d]
+	return false
+}
+
+// areaCliqueForces is disCliqueForces for the Helly area rule: would
+// deciding pair p Overlap in dimension d complete an overlap clique
+// whose cross-sections exceed the perpendicular capacity?
+func (e *engine) areaCliqueForces(d, p, u, v int) bool {
+	budget := e.coCap[d] - e.coArea[d][u] - e.coArea[d][v]
+	if budget < 0 {
+		return true
+	}
+	if e.opt.ReferenceRules {
+		cand := e.ovAdj[d][u].Clone()
+		cand.IntersectWith(e.ovAdj[d][v])
+		return cliqueExceeds(e.ovAdj[d], e.coArea[d], cand, budget)
+	}
+	cand := e.cliqueScratch(0)
+	cand.IntersectOf(e.ovAdj[d][u], e.ovAdj[d][v])
+	rowVer := e.rowVerOv[d]
+	if snap := e.cfAreaSeen[d][p]; snap >= 0 && rowVer[u] <= snap && rowVer[v] <= snap &&
+		!cand.Some(func(x int) bool { return rowVer[x] > snap }) {
+		return false
+	}
+	if e.cliqueExceedsFast(e.ovAdj[d], e.coArea[d], cand, budget, 1) {
+		return true
+	}
+	e.cfAreaSeen[d][p] = e.verOv[d]
+	return false
+}
+
 // c4Scan enforces C1's forbidden configuration: an induced chordless
 // 4-cycle in a component graph (4 overlap edges around the cycle, both
 // diagonals disjoint) cannot appear in an interval graph. A fully
 // decided pattern is a conflict; a pattern with exactly one undecided
 // pair forces that pair to the breaking value. Only quadruples containing
 // the changed pair {u,v} are scanned.
+//
+// The production path prunes each configuration on the three slots
+// that do not involve b: a configuration with a decided-wrong slot, or
+// with two open slots, among {uv, ua, va} can neither fire nor
+// conflict for any b, so its inner loop is skipped. Forcings during
+// the scan refresh the cached slot states (c4Viability), keeping the
+// visit sequence identical to the reference's fresh-read-per-check.
 func (e *engine) c4Scan(d, u, v int) {
+	if e.opt.ReferenceRules {
+		e.c4ScanRef(d, u, v)
+		return
+	}
+	row := e.state[d]
+	pu, pv := e.pidx[u], e.pidx[v]
+	puv := pu[v]
 	for a := 0; a < e.n && e.conflict == noConflict; a++ {
 		if a == u || a == v {
 			continue
 		}
+		pa := e.pidx[a]
+		pua, pva := pu[a], pv[a]
+		v1, v2, v3 := e.c4Viability(row[puv], row[pua], row[pva])
+		if !v1 && !v2 && !v3 {
+			continue
+		}
+		depth := len(e.trail)
 		for b := a + 1; b < e.n && e.conflict == noConflict; b++ {
 			if b == u || b == v {
 				continue
 			}
 			// Three configurations, named by their diagonal matching.
-			e.c4Check(d, e.pidx[u][v], e.pidx[a][b], e.pidx[u][a], e.pidx[a][v], e.pidx[v][b], e.pidx[b][u])
-			e.c4Check(d, e.pidx[u][a], e.pidx[v][b], e.pidx[u][v], e.pidx[v][a], e.pidx[a][b], e.pidx[b][u])
-			e.c4Check(d, e.pidx[u][b], e.pidx[v][a], e.pidx[u][v], e.pidx[v][b], e.pidx[b][a], e.pidx[a][u])
+			if v1 {
+				e.c4Check(d, puv, pa[b], pua, pva, pv[b], pu[b])
+			}
+			if len(e.trail) != depth {
+				depth = len(e.trail)
+				v1, v2, v3 = e.c4Viability(row[puv], row[pua], row[pva])
+			}
+			if v2 {
+				e.c4Check(d, pua, pv[b], puv, pva, pa[b], pu[b])
+			}
+			if len(e.trail) != depth {
+				depth = len(e.trail)
+				v1, v2, v3 = e.c4Viability(row[puv], row[pua], row[pva])
+			}
+			if v3 {
+				e.c4Check(d, pu[b], pva, puv, pv[b], pa[b], pua)
+			}
+			if len(e.trail) != depth {
+				depth = len(e.trail)
+				v1, v2, v3 = e.c4Viability(row[puv], row[pua], row[pva])
+			}
+			if !v1 && !v2 && !v3 {
+				break
+			}
 		}
 	}
+}
+
+// c4Viability classifies the three C4 configurations of c4Scan by
+// their b-independent slots. Configuration k is viable when none of
+// its three (uv, ua, va) slots is decided against the pattern and at
+// most one of them is Unknown — otherwise c4Check would return early
+// for every b, because the full pattern allows at most one open slot.
+func (e *engine) c4Viability(suv, sua, sva EdgeState) (v1, v2, v3 bool) {
+	// sDis is the slot that must end up Disjoint, sOv1/sOv2 the slots
+	// that must end up Overlap.
+	viable := func(sDis, sOv1, sOv2 EdgeState) bool {
+		if sDis == Overlap || sOv1 == Disjoint || sOv2 == Disjoint {
+			return false
+		}
+		unknowns := 0
+		if sDis == Unknown {
+			unknowns++
+		}
+		if sOv1 == Unknown {
+			unknowns++
+		}
+		if sOv2 == Unknown {
+			unknowns++
+		}
+		return unknowns <= 1
+	}
+	// Config 1: diagonal uv (Disjoint), cycle edges ua, va (Overlap).
+	// Config 2: diagonal ua (Disjoint), cycle edges uv, va (Overlap).
+	// Config 3: diagonal va (Disjoint), cycle edges uv, ua (Overlap).
+	return viable(suv, sua, sva), viable(sua, suv, sva), viable(sva, suv, sua)
 }
 
 // c4Check tests one C4 configuration: diagonals d1, d2 must be Disjoint

@@ -128,18 +128,19 @@ func (e *engine) dfs(depth int) Status {
 // the dimension where the pair is tightest relative to capacity is
 // branched.
 func (e *engine) pickBranch() (int, int) {
+	if e.opt.ReferenceRules {
+		return e.pickBranchRef()
+	}
 	bestP, bestScore := -1, -1
 	for p := 0; p < e.npairs; p++ {
-		undecided := 0
-		for d := 0; d < e.nd; d++ {
-			if e.state[d][p] == Unknown {
-				undecided++
-			}
-		}
+		undecided := int(e.pairUndecided[p])
 		if undecided == 0 {
 			continue
 		}
-		score := e.minVol[p]*4 + (e.nd-undecided)*e.minVol[p]
+		// Same value as minVol[p]*4 + (nd-undecided)*minVol[p], with the
+		// undecided count read from the trail-maintained array instead of
+		// an inner dimension scan.
+		score := e.minVol[p] * (4 + e.nd - undecided)
 		if score > bestScore {
 			bestP, bestScore = p, score
 		}
@@ -147,10 +148,18 @@ func (e *engine) pickBranch() (int, int) {
 	if bestP < 0 {
 		return -1, -1
 	}
+	return e.pickBranchDim(bestP), bestP
+}
+
+// pickBranchDim chooses, among the dimensions where pair p is still
+// Unknown, the one where the pair is tightest relative to capacity.
+// Shared by the optimized and reference branch pickers so their
+// tie-breaking is identical by construction.
+func (e *engine) pickBranchDim(p int) int {
 	bestD, bestTight := -1, -1
-	u, v := int(e.pairU[bestP]), int(e.pairV[bestP])
+	u, v := int(e.pairU[p]), int(e.pairV[p])
 	for d := 0; d < e.nd; d++ {
-		if e.state[d][bestP] != Unknown {
+		if e.state[d][p] != Unknown {
 			continue
 		}
 		w := e.p.Dims[d].Sizes
@@ -159,7 +168,7 @@ func (e *engine) pickBranch() (int, int) {
 			bestD, bestTight = d, tight
 		}
 	}
-	return bestD, bestP
+	return bestD
 }
 
 // extract verifies the fully decided state as a packing class (exact C1

@@ -10,10 +10,21 @@ import (
 // Conflict* counts conflicts detected by a rule, Forced* counts edge
 // states fixed by a rule, Reject* counts leaf rejection reasons.
 type Stats struct {
-	Nodes       int64
-	MaxDepth    int
-	Leaves      int64
+	// Nodes counts search-tree nodes entered. It is deterministic for a
+	// given problem and options: the optimized and reference rule paths
+	// (Options.ReferenceRules) must report the same value, which is the
+	// invariant cmd/fpgabench and the differential tests gate on.
+	Nodes int64
+	// MaxDepth is the deepest search-tree level reached.
+	MaxDepth int
+	// Leaves counts fully decided states reaching leaf verification.
+	Leaves int64
+	// LeafRejects counts leaves that failed exact verification.
 	LeafRejects int64
+	// Propagations counts events popped from the propagation queue —
+	// the engine's unit of constraint-propagation work. Deterministic
+	// like Nodes.
+	Propagations int64
 
 	ConflictC3     int64
 	ConflictSize   int64
@@ -46,6 +57,7 @@ func (s *Stats) Add(o Stats) {
 	}
 	s.Leaves += o.Leaves
 	s.LeafRejects += o.LeafRejects
+	s.Propagations += o.Propagations
 	s.ConflictC3 += o.ConflictC3
 	s.ConflictSize += o.ConflictSize
 	s.ConflictClique += o.ConflictClique

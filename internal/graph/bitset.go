@@ -96,6 +96,54 @@ func (s Set) SubtractWith(o Set) {
 	}
 }
 
+// IntersectOf overwrites s with a ∩ b in one pass, without allocating.
+// All three sets must share the same capacity. The receiver may alias
+// either operand.
+func (s Set) IntersectOf(a, b Set) {
+	for i := range s.words {
+		s.words[i] = a.words[i] & b.words[i]
+	}
+}
+
+// SumAndMax returns the total weight of the set's members under w,
+// together with the heaviest member and its weight. Ties go to the
+// smallest vertex. An empty set yields (0, -1, -1). It exists for the
+// engine's weighted-clique bound, which needs both quantities in a
+// single pass over the candidate set without the per-member closure
+// calls ForEach would cost.
+func (s Set) SumAndMax(w []int) (sum, argmax, max int) {
+	argmax, max = -1, -1
+	for i, word := range s.words {
+		base := i << 6
+		for word != 0 {
+			v := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			wv := w[v]
+			sum += wv
+			if wv > max {
+				argmax, max = v, wv
+			}
+		}
+	}
+	return sum, argmax, max
+}
+
+// Some calls f for the set's vertices in increasing order until f
+// returns true, and reports whether any call did. It is the
+// early-exit counterpart of ForEach.
+func (s Set) Some(f func(v int) bool) bool {
+	for i, word := range s.words {
+		base := i << 6
+		for word != 0 {
+			if f(base + bits.TrailingZeros64(word)) {
+				return true
+			}
+			word &= word - 1
+		}
+	}
+	return false
+}
+
 // Equal reports whether s and o contain the same vertices.
 func (s Set) Equal(o Set) bool {
 	if s.n != o.n {

@@ -193,3 +193,63 @@ func TestSetQuickAgainstMap(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSetIntersectOf(t *testing.T) {
+	a, b, dst := NewSet(130), NewSet(130), NewSet(130)
+	for _, v := range []int{1, 63, 64, 100, 129} {
+		a.Add(v)
+	}
+	for _, v := range []int{63, 64, 99, 129} {
+		b.Add(v)
+	}
+	dst.Add(7) // stale content must be overwritten
+	dst.IntersectOf(a, b)
+	want := NewSet(130)
+	for _, v := range []int{63, 64, 129} {
+		want.Add(v)
+	}
+	if !dst.Equal(want) {
+		t.Fatalf("IntersectOf = %v, want %v", dst, want)
+	}
+	// Receiver aliasing an operand.
+	a.IntersectOf(a, b)
+	if !a.Equal(want) {
+		t.Fatalf("aliased IntersectOf = %v, want %v", a, want)
+	}
+}
+
+func TestSetSumAndMax(t *testing.T) {
+	s := NewSet(70)
+	w := make([]int, 70)
+	if sum, arg, max := s.SumAndMax(w); sum != 0 || arg != -1 || max != -1 {
+		t.Fatalf("empty SumAndMax = (%d,%d,%d)", sum, arg, max)
+	}
+	w[3], w[64], w[69] = 5, 9, 9
+	for _, v := range []int{3, 64, 69} {
+		s.Add(v)
+	}
+	sum, arg, max := s.SumAndMax(w)
+	if sum != 23 || max != 9 {
+		t.Fatalf("SumAndMax = (%d,%d,%d), want sum 23 max 9", sum, arg, max)
+	}
+	if arg != 64 { // ties break to the smallest vertex
+		t.Fatalf("SumAndMax argmax = %d, want 64", arg)
+	}
+}
+
+func TestSetSome(t *testing.T) {
+	s := NewSet(130)
+	for _, v := range []int{2, 64, 128} {
+		s.Add(v)
+	}
+	var seen []int
+	if s.Some(func(v int) bool { seen = append(seen, v); return v >= 64 }) != true {
+		t.Fatal("Some returned false despite a match")
+	}
+	if len(seen) != 2 || seen[0] != 2 || seen[1] != 64 {
+		t.Fatalf("Some visited %v, want [2 64]", seen)
+	}
+	if s.Some(func(v int) bool { return v > 1000 }) {
+		t.Fatal("Some returned true without a match")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync/atomic"
 	"time"
 
@@ -47,6 +48,12 @@ type Config struct {
 	Registry *obs.Registry
 	// Logf, when non-nil, receives one line per notable server event.
 	Logf func(format string, args ...any)
+	// EnablePprof mounts the net/http/pprof handlers under
+	// /debug/pprof/ for live profiling of a running daemon. Off by
+	// default: the profile endpoints expose goroutine stacks and heap
+	// contents, so they are opt-in (fpgad -pprof) and should stay
+	// unreachable from untrusted networks.
+	EnablePprof bool
 }
 
 // Server wires the admission pool, the result cache and the HTTP
@@ -90,6 +97,13 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("/v1/minimize-chip", func(w http.ResponseWriter, r *http.Request) { s.serveSolve(w, r, modeMinChip) })
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", reg)
+	if cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.handler = s.recoverPanics(mux)
 
 	s.httpSrv = &http.Server{

@@ -366,3 +366,25 @@ func TestGracefulDrain(t *testing.T) {
 		t.Fatal("server still accepting connections after Shutdown")
 	}
 }
+
+func TestPprofEndpointGated(t *testing.T) {
+	_, off := newTestServer(t, Config{MaxConcurrent: 1, QueueDepth: 1})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof reachable without EnablePprof: %d", resp.StatusCode)
+	}
+
+	_, on := newTestServer(t, Config{MaxConcurrent: 1, QueueDepth: 1, EnablePprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index with EnablePprof: %d, want 200", resp.StatusCode)
+	}
+}

@@ -110,7 +110,8 @@ func solveMultiChip(ctx context.Context, in *model.Instance, chipW, chipH, T, k 
 	res.Stats = r.Stats
 	res.Elapsed = time.Since(start)
 	res.Stages.Search = res.Elapsed
-	opt.Metrics.Counter("search.nodes").Add(r.Stats.Nodes)
+	opt.Metrics.Counter(obs.MetricSearchNodes).Add(r.Stats.Nodes)
+	opt.Metrics.Counter(obs.MetricSearchPropagations).Add(r.Stats.Propagations)
 	decidedBy := "search"
 	switch r.Status {
 	case core.StatusFeasible:

@@ -351,7 +351,8 @@ func FeasibleFixedScheduleCtx(ctx context.Context, in *model.Instance, c model.C
 	res.Stats = r.Stats
 	res.Elapsed = time.Since(start)
 	res.Stages.Search = res.Elapsed
-	opt.Metrics.Counter("search.nodes").Add(r.Stats.Nodes)
+	opt.Metrics.Counter(obs.MetricSearchNodes).Add(r.Stats.Nodes)
+	opt.Metrics.Counter(obs.MetricSearchPropagations).Add(r.Stats.Propagations)
 	switch r.Status {
 	case core.StatusFeasible:
 		// The engine realizes some schedule with the same component

@@ -86,6 +86,12 @@ type Options struct {
 	// TimeDisjointFirst flips the engine's value ordering on the time
 	// axis to try Disjoint before Overlap.
 	TimeDisjointFirst bool
+	// ReferenceRules runs the engine on its pre-optimization reference
+	// rule implementations (see core.Options.ReferenceRules). Results
+	// are bit-identical to the default fast paths, only slower; the
+	// knob exists for differential testing and for cmd/fpgabench's
+	// -compare-ref speedup measurement.
+	ReferenceRules bool
 
 	// Progress, when non-nil, receives live snapshots: one at every
 	// stage transition and one per 256 branch-and-bound nodes during
@@ -124,6 +130,7 @@ func (o Options) coreOptions(ctx context.Context) core.Options {
 		DisableCliqueForce: o.DisableCliqueForce,
 		DisableOrientRules: o.DisableOrientRules,
 		TimeOverlapFirst:   !o.TimeDisjointFirst,
+		ReferenceRules:     o.ReferenceRules,
 	}
 	if o.TimeLimit > 0 {
 		c.Deadline = time.Now().Add(o.TimeLimit)
@@ -150,8 +157,8 @@ func (o Options) searchOptions(ctx context.Context) core.Options {
 				"nodes_per_sec": s.NodesPerSec, "conflicts": s.TotalConflicts(),
 			})
 		}
-		reg.Gauge("search.live_nodes").Set(s.Nodes)
-		reg.Gauge("search.live_depth").Set(int64(s.MaxDepth))
+		reg.Gauge(obs.MetricSearchLiveNodes).Set(s.Nodes)
+		reg.Gauge(obs.MetricSearchLiveDepth).Set(int64(s.MaxDepth))
 		if prev != nil {
 			prev(s)
 		}
@@ -309,7 +316,8 @@ func solveOPP(ctx context.Context, in *model.Instance, c model.Container, order 
 	res.Stages.Search = time.Since(s0)
 	res.Stats = r.Stats
 	res.Elapsed = time.Since(start)
-	opt.Metrics.Counter("search.nodes").Add(r.Stats.Nodes)
+	opt.Metrics.Counter(obs.MetricSearchNodes).Add(r.Stats.Nodes)
+	opt.Metrics.Counter(obs.MetricSearchPropagations).Add(r.Stats.Propagations)
 	switch r.Status {
 	case core.StatusFeasible:
 		p := solutionToPlacement(r.Solution)
