@@ -148,6 +148,24 @@ const (
 // limits). See the solver package for the ablation switches.
 type Options = solver.Options
 
+// Strategy names accepted by Options.Strategy; the empty string selects
+// the default staged pipeline. Both strategies return the same answers
+// — they differ in how the work is scheduled and therefore in effort
+// statistics and witness provenance.
+const (
+	// StrategyStaged runs the paper's three stages — bounds, greedy
+	// heuristic, exact search — sequentially with short-circuiting.
+	// This is the default and is bit-identical to the historical
+	// pipeline.
+	StrategyStaged = "staged"
+	// StrategyPortfolio shares incumbents across the probes of an
+	// optimization sweep (a stored witness answers dominated probes
+	// outright, and feasible witnesses tighten upper bounds) and, with
+	// Workers > 1, races the cheap prover against the exact search
+	// inside each probe.
+	StrategyPortfolio = "portfolio"
+)
+
 // Result is the outcome of a feasibility question.
 type Result struct {
 	Decision  Decision

@@ -12,7 +12,7 @@
 //
 //	fpgabench [-quick] [-runs N] [-out report.json]
 //	          [-baseline BENCH_core.json] [-tolerance 0.5] [-floor 25ms]
-//	          [-compare-ref] [-workers N] [-list]
+//	          [-compare-ref] [-compare-strategy] [-workers N] [-list]
 //
 // Exit codes: 0 success, 1 usage or solver error, 2 regression against
 // the baseline (or determinism violation).
@@ -23,10 +23,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"fpga3d/internal/core"
 	"fpga3d/internal/solver"
+	"fpga3d/internal/strategy"
 )
 
 func main() {
@@ -37,15 +39,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fpgabench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		list       = fs.Bool("list", false, "list benchmark cases and exit")
-		quick      = fs.Bool("quick", false, "run only the quick subset (CI gate)")
-		runs       = fs.Int("runs", 3, "repetitions per case; the minimum wall time is reported")
-		out        = fs.String("out", "", "write the JSON report to this path ('-' for stdout)")
-		baseline   = fs.String("baseline", "", "diff against this committed report; exit 2 on regression")
-		tolerance  = fs.Float64("tolerance", 0.5, "relative wall-time slack before a case counts as regressed")
-		floor      = fs.Duration("floor", 25*time.Millisecond, "absolute wall-time slack; micro-cases under this never regress")
-		compareRef = fs.Bool("compare-ref", false, "also time the reference rule paths and record the speedup")
-		workers    = fs.Int("workers", 0, "additionally time optimization sweeps with this worker pool")
+		list            = fs.Bool("list", false, "list benchmark cases and exit")
+		quick           = fs.Bool("quick", false, "run only the quick subset (CI gate)")
+		runs            = fs.Int("runs", 3, "repetitions per case; the minimum wall time is reported")
+		out             = fs.String("out", "", "write the JSON report to this path ('-' for stdout)")
+		baseline        = fs.String("baseline", "", "diff against this committed report; exit 2 on regression")
+		tolerance       = fs.Float64("tolerance", 0.5, "relative wall-time slack before a case counts as regressed")
+		floor           = fs.Duration("floor", 25*time.Millisecond, "absolute wall-time slack; micro-cases under this never regress")
+		compareRef      = fs.Bool("compare-ref", false, "also time the reference rule paths and record the speedup")
+		workers         = fs.Int("workers", 0, "additionally time optimization sweeps with this worker pool")
+		compareStrategy = fs.Bool("compare-strategy", false, "also run every case under the portfolio strategy; exit 2 if it changes an answer, or increases a node count on a paper instance")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -101,6 +104,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 				exit = 2
 			}
 			e.RefWallNS = ref.WallNS
+		}
+		if *compareStrategy {
+			pOpt := opt
+			pOpt.Strategy = strategy.NamePortfolio
+			p, err := measureCase(c, pOpt, *runs)
+			if err != nil {
+				fmt.Fprintf(stderr, "fpgabench: %s (portfolio): %v\n", c.name, err)
+				return 1
+			}
+			if p.Status != e.Status || p.Value != e.Value {
+				fmt.Fprintf(stderr, "fpgabench: %s: portfolio changed the answer: %s/%d, staged %s/%d\n",
+					c.name, p.Status, p.Value, e.Status, e.Value)
+				exit = 2
+			}
+			// Node counts are gated only on the paper's instances: there
+			// the portfolio's incumbent sharing is pure pruning (see
+			// TestPortfolioNeverIncreasesNodesOnPaperInstances). On other
+			// optimization sweeps the portfolio re-sequences probes
+			// (frontier-first, witness tightening), which can trade a
+			// cheap probe for a costlier one, so those counts are
+			// recorded but not enforced.
+			if paperInstance(c.name) && p.Nodes > e.Nodes {
+				fmt.Fprintf(stderr, "fpgabench: %s: portfolio expanded %d nodes, staged %d — incumbent sharing may only prune on paper instances\n",
+					c.name, p.Nodes, e.Nodes)
+				exit = 2
+			}
+			e.PortfolioNodes = &p.Nodes
+			e.PortfolioWallNS = p.WallNS
 		}
 		if *workers > 1 && c.kind != "opp" {
 			// Racing probes cancel each other, so stats are not
@@ -185,6 +216,13 @@ func measureCase(c benchCase, opt solver.Options, runs int) (Entry, error) {
 	return e, nil
 }
 
+// paperInstance reports whether a case name denotes one of the paper's
+// evaluation designs (the Spartan DE reconfiguration or the H.261 video
+// codec) as opposed to the HLS and seeded random additions.
+func paperInstance(name string) bool {
+	return strings.HasPrefix(name, "de/") || strings.HasPrefix(name, "codec/")
+}
+
 // printEntry renders one human-readable result line.
 func printEntry(w io.Writer, e Entry) {
 	line := fmt.Sprintf("%-24s %-10s nodes %8d  props %9d  %10v",
@@ -192,6 +230,9 @@ func printEntry(w io.Writer, e Entry) {
 	if e.RefWallNS > 0 && e.WallNS > 0 {
 		line += fmt.Sprintf("  ref %10v  speedup %.2fx",
 			time.Duration(e.RefWallNS).Round(time.Microsecond), float64(e.RefWallNS)/float64(e.WallNS))
+	}
+	if e.PortfolioNodes != nil {
+		line += fmt.Sprintf("  portfolio %8d", *e.PortfolioNodes)
 	}
 	if e.WorkersWallNS > 0 {
 		line += fmt.Sprintf("  workers %10v", time.Duration(e.WorkersWallNS).Round(time.Microsecond))

@@ -52,6 +52,14 @@ type Entry struct {
 	// with a -workers pool (present only for optimization cases when
 	// -workers > 1 was given).
 	WorkersWallNS int64 `json:"workers_wall_ns,omitempty"`
+	// PortfolioNodes is the node count of the same case under the
+	// portfolio strategy (present only in -compare-strategy reports; a
+	// pointer so a pruned-to-zero count still serializes). The harness
+	// enforces PortfolioNodes ≤ Nodes: incumbent sharing may only prune.
+	PortfolioNodes *int64 `json:"portfolio_nodes,omitempty"`
+	// PortfolioWallNS is the best wall time under the portfolio
+	// strategy (present only in -compare-strategy reports).
+	PortfolioWallNS int64 `json:"portfolio_wall_ns,omitempty"`
 }
 
 // Report is the machine-readable output of a fpgabench run.

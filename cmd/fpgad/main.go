@@ -37,10 +37,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"fpga3d/internal/server"
+	"fpga3d/internal/strategy"
 )
 
 func main() {
@@ -66,6 +68,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		defaultTimeout = fs.Duration("default-timeout", 30*time.Second, "per-request solve deadline unless the request sets timeout_ms")
 		cacheSize      = fs.Int("cache-size", 256, "canonical-instance result cache entries (negative disables)")
 		workers        = fs.Int("workers", 1, "solver probe goroutines per solve (0 = GOMAXPROCS); keep 1 when -max-concurrent already saturates the cores")
+		strategyName   = fs.String("strategy", "", "default solve strategy: staged | portfolio (requests may override per call)")
 		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight solves")
 		enablePprof    = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (exposes internals; keep off untrusted networks)")
 	)
@@ -75,6 +78,9 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	if !strategy.Valid(*strategyName) {
+		return fmt.Errorf("unknown -strategy %q (valid: %s)", *strategyName, strings.Join(strategy.Names(), ", "))
+	}
 
 	s := server.New(server.Config{
 		MaxConcurrent:  *maxConcurrent,
@@ -82,6 +88,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		DefaultTimeout: *defaultTimeout,
 		CacheSize:      *cacheSize,
 		Workers:        *workers,
+		Strategy:       *strategyName,
 		Logf:           log.Printf,
 		EnablePprof:    *enablePprof,
 	})

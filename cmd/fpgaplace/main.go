@@ -78,6 +78,7 @@ func main() {
 		nodeLimit    = flag.Int64("node-limit", 0, "branch-and-bound node budget (0 = unlimited)")
 		timeLimit    = flag.Duration("time-limit", 5*time.Minute, "wall-clock budget per decision")
 		workers      = flag.Int("workers", 0, "concurrent optimization probes (0 = GOMAXPROCS, 1 = sequential)")
+		strategyName = flag.String("strategy", "", "solve strategy: staged (default; bounds, heuristic, search in order) | portfolio (incumbent sharing, prover-vs-search racing)")
 		timeout      = flag.Duration("timeout", 0, "whole-run deadline; on expiry the partial result is printed as JSON and the exit status is 3 (0 = none)")
 		progress     = flag.Bool("progress", false, "print a live search status line to stderr")
 		tracePath    = flag.String("trace", "", "write a JSONL event trace to this file (input file for mode=tracestats)")
@@ -115,7 +116,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	opt := &fpga3d.Options{NodeLimit: *nodeLimit, TimeLimit: *timeLimit, Workers: *workers}
+	opt := &fpga3d.Options{NodeLimit: *nodeLimit, TimeLimit: *timeLimit, Workers: *workers, Strategy: *strategyName}
 	finishObs, err := setupObs(opt, *progress, *tracePath, *metricsAddr, *cpuProfile, *memProfile)
 	if err != nil {
 		log.Fatal(err)
@@ -398,7 +399,7 @@ func flagWasSet(name string) bool { return setFlags()[name] }
 var commonFlags = map[string]bool{
 	"instance": true, "builtin": true, "mode": true, "no-prec": true,
 	"placement": true, "gantt": true, "svg": true, "reconfig": true,
-	"node-limit": true, "time-limit": true, "workers": true, "timeout": true,
+	"node-limit": true, "time-limit": true, "workers": true, "timeout": true, "strategy": true,
 	"progress": true, "trace": true, "metrics": true, "json": true,
 	"cpuprofile": true, "memprofile": true,
 }

@@ -36,4 +36,7 @@ const (
 	// MetricCacheSize gauges the number of entries resident in the
 	// result cache.
 	MetricCacheSize = "server.cache.size"
+	// MetricStrategyRequests is the prefix of the per-strategy request
+	// counters: "server.strategy.staged", "server.strategy.portfolio".
+	MetricStrategyRequests = "server.strategy"
 )

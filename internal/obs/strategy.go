@@ -1,0 +1,19 @@
+package obs
+
+// Metric names published by the strategy layer (internal/strategy)
+// into the run's Registry, alongside the solver's opp.* and search.*
+// series. The stage-2 memo counters make heuristic reuse observable:
+// in a sweep, computes stays at one per chip footprint while hits
+// grows with the probes — the historical pipeline recomputed the
+// greedy placement on every probe instead.
+const (
+	// MetricStrategyHeurComputes counts stage-2 minimum-makespan
+	// computations actually performed (incumbent-store memo misses).
+	MetricStrategyHeurComputes = "strategy.heur.computes"
+	// MetricStrategyHeurHits counts stage-2 lookups answered from the
+	// incumbent store's memo without recomputing the heuristic.
+	MetricStrategyHeurHits = "strategy.heur.hits"
+	// MetricStrategyIncumbentHits counts probes answered outright by a
+	// dominating stored witness (Portfolio mode; zero search nodes).
+	MetricStrategyIncumbentHits = "strategy.incumbent.hits"
+)

@@ -9,10 +9,12 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"fpga3d"
 	"fpga3d/internal/obs"
+	"fpga3d/internal/strategy"
 )
 
 // maxRequestBytes bounds a request body; a placement instance is a few
@@ -26,7 +28,7 @@ const maxRequestBytes = 8 << 20
 type solveMode struct {
 	name     string // metric suffix and cache-key prefix
 	validate func(*solveRequest) error
-	key      func(*solveRequest, string) string
+	key      func(*solveRequest, string, string) string
 	invoke   func(context.Context, *fpga3d.Instance, *solveRequest, *fpga3d.Options) (*solveResponse, error)
 	// verifyChip returns the container a cached placement for this
 	// request must verify against, or ok=false when the cached entry
@@ -46,8 +48,8 @@ var modeSolve = &solveMode{
 		}
 		return nil
 	},
-	key: func(req *solveRequest, hash string) string {
-		return cacheKey("solve", hash, req.Chip.W, req.Chip.H, req.Chip.T)
+	key: func(req *solveRequest, hash, strat string) string {
+		return cacheKey("solve", hash, strat, req.Chip.W, req.Chip.H, req.Chip.T)
 	},
 	invoke: func(ctx context.Context, in *fpga3d.Instance, req *solveRequest, o *fpga3d.Options) (*solveResponse, error) {
 		r, err := fpga3d.SolveCtx(ctx, in, *req.Chip, o)
@@ -78,8 +80,8 @@ var modeMinTime = &solveMode{
 		}
 		return nil
 	},
-	key: func(req *solveRequest, hash string) string {
-		return cacheKey("minimize_time", hash, req.W, req.H, 0)
+	key: func(req *solveRequest, hash, strat string) string {
+		return cacheKey("minimize_time", hash, strat, req.W, req.H, 0)
 	},
 	invoke: func(ctx context.Context, in *fpga3d.Instance, req *solveRequest, o *fpga3d.Options) (*solveResponse, error) {
 		r, err := fpga3d.MinimizeTimeCtx(ctx, in, req.W, req.H, o)
@@ -102,8 +104,8 @@ var modeMinChip = &solveMode{
 		}
 		return nil
 	},
-	key: func(req *solveRequest, hash string) string {
-		return cacheKey("minimize_chip", hash, req.T, 0, 0)
+	key: func(req *solveRequest, hash, strat string) string {
+		return cacheKey("minimize_chip", hash, strat, req.T, 0, 0)
 	},
 	invoke: func(ctx context.Context, in *fpga3d.Instance, req *solveRequest, o *fpga3d.Options) (*solveResponse, error) {
 		r, err := fpga3d.MinimizeChipCtx(ctx, in, req.T, o)
@@ -175,13 +177,26 @@ func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request, m *solveMode
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	strat := req.Strategy
+	if strat == "" {
+		strat = s.cfg.Strategy
+	}
+	if !strategy.Valid(strat) {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown strategy %q (valid: %s)", strat, strings.Join(strategy.Names(), ", ")))
+		return
+	}
+	if strat == "" {
+		strat = strategy.NameStaged
+	}
+	s.reg.Counter(obs.MetricStrategyRequests + "." + strat).Inc()
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
 
-	key := m.key(&req, in.CanonicalHash())
+	key := m.key(&req, in.CanonicalHash(), strat)
 	if !req.NoCache {
 		if cached, ok := s.cache.Get(key); ok && s.servable(in, &req, m, cached) {
 			s.reg.Counter(obs.MetricCacheHits).Inc()
@@ -215,7 +230,7 @@ func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request, m *solveMode
 	}
 	defer release()
 
-	o := &fpga3d.Options{Workers: s.cfg.Workers, Metrics: s.reg}
+	o := &fpga3d.Options{Workers: s.cfg.Workers, Metrics: s.reg, Strategy: strat}
 	resp, err := m.invoke(ctx, in, &req, o)
 	if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
 		s.reg.Counter(obs.MetricSolveErrors).Inc()
@@ -225,6 +240,7 @@ func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request, m *solveMode
 	if resp == nil {
 		resp = &solveResponse{Decision: fpga3d.Unknown.String(), DecidedBy: "canceled"}
 	}
+	resp.Strategy = strat
 	if resp.Decision == fpga3d.Unknown.String() {
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			// The deadline cut the solve short: 504 with whatever

@@ -43,6 +43,11 @@ type Config struct {
 	// Workers is forwarded to Options.Workers for every solve
 	// (0 = GOMAXPROCS).
 	Workers int
+	// Strategy is the default solve strategy ("staged" or "portfolio",
+	// "" = staged) applied when a request does not carry its own
+	// "strategy" field. An unknown name is rejected per request with a
+	// 400, so callers should validate it up front (fpgad does).
+	Strategy string
 	// Registry receives serving and solver metrics; nil means a fresh
 	// private registry.
 	Registry *obs.Registry

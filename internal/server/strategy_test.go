@@ -1,0 +1,82 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"fpga3d/internal/obs"
+)
+
+// TestSolveStrategyField exercises the request-level strategy
+// selection: the default is staged, a valid "strategy" field is
+// honored and echoed (and counted in the server.strategy.* metrics),
+// an unknown name is a 400 with a message naming the valid choices,
+// and cached entries are keyed per strategy so a portfolio answer
+// never masquerades as a staged one.
+func TestSolveStrategyField(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, Config{Registry: reg})
+	in := easyInstance()
+
+	// Default: no field means staged.
+	code, resp, _ := postSolve(t, ts.Client(), ts.URL+"/v1/solve", solveBody(t, in, `{"w":4,"h":4,"t":8}`, ""))
+	if code != 200 {
+		t.Fatalf("default solve: status %d (%s)", code, resp.Error)
+	}
+	if resp.Strategy != "staged" {
+		t.Fatalf("default strategy echoed as %q, want staged", resp.Strategy)
+	}
+	if got := reg.Counter(obs.MetricStrategyRequests + ".staged").Value(); got != 1 {
+		t.Fatalf("server.strategy.staged = %d, want 1", got)
+	}
+
+	// Explicit portfolio: honored, echoed, counted — and a fresh cache
+	// entry (the staged answer above must not be served for it).
+	code, resp, _ = postSolve(t, ts.Client(), ts.URL+"/v1/solve", solveBody(t, in, `{"w":4,"h":4,"t":8}`, `"strategy": "portfolio"`))
+	if code != 200 {
+		t.Fatalf("portfolio solve: status %d (%s)", code, resp.Error)
+	}
+	if resp.Strategy != "portfolio" {
+		t.Fatalf("portfolio strategy echoed as %q", resp.Strategy)
+	}
+	if resp.Cached {
+		t.Fatal("portfolio request served from the staged cache entry")
+	}
+	if got := reg.Counter(obs.MetricStrategyRequests + ".portfolio").Value(); got != 1 {
+		t.Fatalf("server.strategy.portfolio = %d, want 1", got)
+	}
+
+	// Repeats hit their own per-strategy cache entries.
+	for _, strat := range []string{"", `"strategy": "portfolio"`} {
+		_, resp, _ = postSolve(t, ts.Client(), ts.URL+"/v1/solve", solveBody(t, in, `{"w":4,"h":4,"t":8}`, strat))
+		if !resp.Cached {
+			t.Fatalf("repeat request (%s) missed the cache", strat)
+		}
+	}
+
+	// Unknown name: 400 naming the valid strategies, before any solve.
+	code, resp, _ = postSolve(t, ts.Client(), ts.URL+"/v1/solve", solveBody(t, in, `{"w":4,"h":4,"t":8}`, `"strategy": "greedy"`))
+	if code != 400 {
+		t.Fatalf("unknown strategy: status %d, want 400", code)
+	}
+	if !strings.Contains(resp.Error, "greedy") || !strings.Contains(resp.Error, "staged") || !strings.Contains(resp.Error, "portfolio") {
+		t.Fatalf("unknown-strategy error %q does not name the offender and the valid choices", resp.Error)
+	}
+}
+
+// TestServerDefaultStrategy checks that Config.Strategy sets the
+// daemon-wide default and that requests still override it per call.
+func TestServerDefaultStrategy(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, Config{Registry: reg, Strategy: "portfolio"})
+	in := easyInstance()
+
+	_, resp, _ := postSolve(t, ts.Client(), ts.URL+"/v1/minimize-time", solveBody(t, in, `null`, `"w": 4, "h": 4`))
+	if resp.Strategy != "portfolio" {
+		t.Fatalf("daemon default not applied: strategy %q", resp.Strategy)
+	}
+	_, resp, _ = postSolve(t, ts.Client(), ts.URL+"/v1/minimize-time", solveBody(t, in, `null`, `"w": 4, "h": 4, "strategy": "staged"`))
+	if resp.Strategy != "staged" {
+		t.Fatalf("request override not applied: strategy %q", resp.Strategy)
+	}
+}

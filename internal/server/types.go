@@ -17,7 +17,9 @@ import (
 //	POST /v1/minimize-chip  — t: minimal square chip side within T cycles
 //
 // timeout_ms overrides the daemon's -default-timeout for this request;
-// no_cache bypasses the result cache (neither read nor written).
+// no_cache bypasses the result cache (neither read nor written);
+// strategy ("staged" or "portfolio") overrides the daemon's -strategy
+// default for this request — an unknown name is a 400.
 type solveRequest struct {
 	Instance  json.RawMessage `json:"instance"`
 	Chip      *fpga3d.Chip    `json:"chip,omitempty"`
@@ -26,18 +28,21 @@ type solveRequest struct {
 	T         int             `json:"t,omitempty"`
 	TimeoutMS int64           `json:"timeout_ms,omitempty"`
 	NoCache   bool            `json:"no_cache,omitempty"`
+	Strategy  string          `json:"strategy,omitempty"`
 }
 
 // solveResponse is the JSON answer of every /v1/* solve endpoint.
 // Decision is "feasible", "infeasible" or "unknown" (the latter only
 // on a 504, carrying the partial result produced before the deadline).
 // Value and LowerBound are set by the minimize endpoints; Makespan
-// accompanies any witness placement. Cached reports whether the
+// accompanies any witness placement. Strategy echoes the solve
+// strategy that produced the answer. Cached reports whether the
 // response was served from the canonical-instance cache without
 // invoking the solver.
 type solveResponse struct {
 	Decision   string            `json:"decision"`
 	DecidedBy  string            `json:"decided_by,omitempty"`
+	Strategy   string            `json:"strategy,omitempty"`
 	Value      *int              `json:"value,omitempty"`
 	LowerBound *int              `json:"lower_bound,omitempty"`
 	Nodes      int64             `json:"nodes"`
@@ -63,10 +68,12 @@ type errorResponse struct {
 }
 
 // cacheKey builds the result-cache key: the question (endpoint), the
-// canonical instance identity, and the numeric parameters that
-// complete it. Options that cannot change the answer (worker count,
-// per-request deadline) are deliberately excluded — the solver's
-// optimum is deterministic.
-func cacheKey(mode, hash string, a, b, c int) string {
-	return fmt.Sprintf("%s|%s|%d|%d|%d", mode, hash, a, b, c)
+// canonical instance identity, the numeric parameters that complete
+// it, and the solve strategy. Options that cannot change the response
+// (worker count, per-request deadline) are deliberately excluded — the
+// solver's optimum is deterministic — but the strategy is part of the
+// key because it changes the reported provenance (decided_by, node
+// counts) even though the answers agree.
+func cacheKey(mode, hash, strat string, a, b, c int) string {
+	return fmt.Sprintf("%s|%s|%s|%d|%d|%d", mode, hash, strat, a, b, c)
 }

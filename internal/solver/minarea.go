@@ -37,6 +37,10 @@ func MinAreaCtx(ctx context.Context, in *model.Instance, T int, opt Options) (*O
 	if err != nil {
 		return nil, err
 	}
+	opt, err = opt.withRun()
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	res := &OptRectResult{}
 	if order.CriticalPath() > T {

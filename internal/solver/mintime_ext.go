@@ -26,6 +26,9 @@ func MinTimeWithRotationCtx(ctx context.Context, in *model.Instance, W, H int, o
 	if err != nil {
 		return nil, nil, err
 	}
+	if err := opt.validateStrategy(); err != nil {
+		return nil, nil, err
+	}
 	start := time.Now()
 	res := &OptResult{}
 	// A module fits (in some orientation) iff its smaller side fits the
@@ -113,6 +116,9 @@ func MinTimeMultiChipCtx(ctx context.Context, in *model.Instance, chipW, chipH, 
 	if err != nil {
 		return nil, err
 	}
+	if err := opt.validateStrategy(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	res := &MultiChipResult{Chips: k}
 	if in.MaxW() > chipW || in.MaxH() > chipH || k < 1 {
@@ -138,6 +144,18 @@ func MinTimeMultiChipCtx(ctx context.Context, in *model.Instance, chipW, chipH, 
 	}
 	best = r
 	bestT := hi
+	// Multi-chip probes have no bounds or heuristic stage: every probe is
+	// pure exact search, so the sweep-level incumbent mechanisms carry the
+	// whole pruning burden. Under the portfolio strategy a feasible
+	// witness tightens the upper end to its own makespan — the engine's
+	// first solution within a budget of T cycles typically finishes well
+	// before T, so each feasible probe skips the budgets in between.
+	if opt.portfolio() {
+		if mk := r.Placement.Makespan(in); mk < hi {
+			hi, bestT = mk, mk
+			opt.incumbent("spp_multichip", mk, "witness")
+		}
+	}
 	for lo < hi {
 		mid := (lo + hi) / 2
 		r, err := solveMultiChip(ctx, in, chipW, chipH, mid, k, order, opt)
@@ -151,6 +169,12 @@ func MinTimeMultiChipCtx(ctx context.Context, in *model.Instance, chipW, chipH, 
 		switch r.Decision {
 		case Feasible:
 			hi, best, bestT = mid, r, mid
+			if opt.portfolio() {
+				if mk := r.Placement.Makespan(in); mk < hi {
+					hi, bestT = mk, mk
+					opt.incumbent("spp_multichip", mk, "witness")
+				}
+			}
 		case Infeasible:
 			lo = mid + 1
 		default:

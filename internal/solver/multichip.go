@@ -58,6 +58,9 @@ func SolveMultiChipCtx(ctx context.Context, in *model.Instance, chipW, chipH, T,
 	if err != nil {
 		return nil, err
 	}
+	if err := opt.validateStrategy(); err != nil {
+		return nil, err
+	}
 	return solveMultiChip(ctx, in, chipW, chipH, T, k, order, opt)
 }
 
@@ -165,6 +168,9 @@ func MinChipsCtx(ctx context.Context, in *model.Instance, chipW, chipH, T int, o
 	}
 	order, err := in.Order()
 	if err != nil {
+		return nil, err
+	}
+	if err := opt.validateStrategy(); err != nil {
 		return nil, err
 	}
 	start := time.Now()

@@ -10,6 +10,7 @@ import (
 	"fpga3d/internal/heur"
 	"fpga3d/internal/model"
 	"fpga3d/internal/obs"
+	"fpga3d/internal/strategy"
 )
 
 // OptResult is the outcome of an optimization run (MinTime / MinBase).
@@ -51,7 +52,31 @@ func MinTimeCtx(ctx context.Context, in *model.Instance, W, H int, opt Options) 
 	if err != nil {
 		return nil, err
 	}
+	opt, err = opt.withRun()
+	if err != nil {
+		return nil, err
+	}
 	return minTime(ctx, in, W, H, order, opt)
+}
+
+// heurMinMakespan computes the greedy minimum-makespan placement for a
+// W×H chip through the run's incumbent store, so every later probe on
+// the same chip shares the single stage-2 computation instead of
+// redoing it (the returned placement is a private copy).
+func (o Options) heurMinMakespan(in *model.Instance, W, H int, order *model.Order) (*model.Placement, int, bool) {
+	if o.inc == nil {
+		return heur.MinMakespan(in, W, H, order)
+	}
+	p, mk, ok, hit := o.inc.MinMakespan(in, W, H, order)
+	if hit {
+		o.Metrics.Counter(obs.MetricStrategyHeurHits).Inc()
+	} else {
+		o.Metrics.Counter(obs.MetricStrategyHeurComputes).Inc()
+	}
+	if p != nil {
+		p = p.Clone()
+	}
+	return p, mk, ok
 }
 
 func minTime(ctx context.Context, in *model.Instance, W, H int, order *model.Order, opt Options) (*OptResult, error) {
@@ -85,7 +110,7 @@ func minTime(ctx context.Context, in *model.Instance, W, H int, order *model.Ord
 	// exists, so this cannot fail given the spatial fit check above.
 	opt.notifyPhase(obs.PhaseHeuristic)
 	tHeur := time.Now()
-	ubPlace, ub, ok := heur.MinMakespan(in, W, H, order)
+	ubPlace, ub, ok := opt.heurMinMakespan(in, W, H, order)
 	res.Stages.Heuristic += time.Since(tHeur)
 	if !ok {
 		return nil, fmt.Errorf("solver: heuristic failed to serialize instance %q", in.Name)
@@ -95,6 +120,9 @@ func minTime(ctx context.Context, in *model.Instance, W, H int, order *model.Ord
 	}
 	best, bestPlace := ub, ubPlace
 	opt.incumbent("spp", ub, "heuristic")
+	if opt.portfolio() {
+		opt.inc.RecordWitness(in, ubPlace, "heuristic")
+	}
 
 	if workers := opt.effectiveWorkers(); workers > 1 {
 		probe := oppProbe(in, order, opt, func(T int) model.Container {
@@ -131,8 +159,17 @@ func minTime(ctx context.Context, in *model.Instance, W, H int, order *model.Ord
 
 	// Binary search on the monotone predicate "fits within T".
 	lo, hi := lb, ub // hi is known feasible
+	firstProbe := true
 	for lo < hi {
 		mid := (lo + hi) / 2
+		if opt.portfolio() && firstProbe && mid < hi-1 {
+			// Incumbent-optimality probe: attack the point directly
+			// below the heuristic incumbent first. If it is infeasible,
+			// monotonicity of "fits within T" closes the whole interval
+			// in one probe; otherwise the witness tightens hi below.
+			mid = hi - 1
+		}
+		firstProbe = false
 		r, err := solveOPP(ctx, in, model.Container{W: W, H: H, T: mid}, order, opt)
 		if err != nil {
 			return nil, err
@@ -144,6 +181,16 @@ func minTime(ctx context.Context, in *model.Instance, W, H int, order *model.Ord
 			hi = mid
 			best, bestPlace = mid, r.Placement
 			opt.incumbent("spp", mid, r.DecidedBy)
+			if opt.portfolio() {
+				// The witness may finish earlier than the probed budget;
+				// its makespan is a certified feasible point, so the
+				// sweep jumps straight down to it.
+				if mk := r.Placement.Makespan(in); mk < hi {
+					hi = mk
+					best, bestPlace = mk, r.Placement
+					opt.incumbent("spp", mk, r.DecidedBy)
+				}
+			}
 		case Infeasible:
 			lo = mid + 1
 		default:
@@ -219,6 +266,10 @@ func MinBaseCtx(ctx context.Context, in *model.Instance, T int, opt Options) (*O
 		return nil, err
 	}
 	order, err := in.Order()
+	if err != nil {
+		return nil, err
+	}
+	opt, err = opt.withRun()
 	if err != nil {
 		return nil, err
 	}
@@ -339,49 +390,11 @@ func FeasibleFixedScheduleCtx(ctx context.Context, in *model.Instance, c model.C
 	if err := model.VerifySchedule(in, starts, c.T, order); err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	res := &OPPResult{}
-	opt.Metrics.Counter("opp.calls").Inc()
-	opt.Trace.Emit("opp_start", map[string]any{
-		"instance": in.Name, "n": in.N(), "W": c.W, "H": c.H, "T": c.T, "fixed_schedule": true,
-	})
-	opt.notifyPhase(obs.PhaseSearch)
-	prob := buildProblem(in, c, order, starts)
-	r := core.Solve(prob, opt.searchOptions(ctx))
-	res.Stats = r.Stats
-	res.Elapsed = time.Since(start)
-	res.Stages.Search = res.Elapsed
-	opt.Metrics.Counter(obs.MetricSearchNodes).Add(r.Stats.Nodes)
-	opt.Metrics.Counter(obs.MetricSearchPropagations).Add(r.Stats.Propagations)
-	switch r.Status {
-	case core.StatusFeasible:
-		// The engine realizes some schedule with the same component
-		// graph and orientation; the prescribed start times are another
-		// realization of it, so the spatial coordinates carry over.
-		p := solutionToPlacement(r.Solution)
-		p.S = append([]int(nil), starts...)
-		if err := p.Verify(in, c, order); err != nil {
-			return nil, fmt.Errorf("solver: fixed-schedule placement invalid: %w", err)
-		}
-		res.Decision = Feasible
-		res.Placement = p
-		res.DecidedBy = "search"
-		opt.Metrics.Counter("opp.decided_by.search").Inc()
-	case core.StatusInfeasible:
-		res.Decision = Infeasible
-		res.DecidedBy = "search"
-		opt.Metrics.Counter("opp.decided_by.search").Inc()
-	case core.StatusCanceled:
-		res.Decision = Unknown
-		res.DecidedBy = "canceled"
-		opt.Metrics.Counter("opp.decided_by.canceled").Inc()
-	default:
-		res.Decision = Unknown
-		res.DecidedBy = "limit"
-		opt.Metrics.Counter("opp.decided_by.limit").Inc()
+	opt, err = opt.withRun()
+	if err != nil {
+		return nil, err
 	}
-	opt.traceOPPEnd(res, nil)
-	return res, nil
+	return opt.pipeline().Solve(ctx, &strategy.Problem{In: in, C: c, Order: order, FixedStarts: starts})
 }
 
 // MinBaseFixedSchedule solves MinA&FixedS: the smallest square chip that
@@ -407,6 +420,10 @@ func MinBaseFixedScheduleCtx(ctx context.Context, in *model.Instance, starts []i
 		}
 	}
 	if err := model.VerifySchedule(in, starts, T, order); err != nil {
+		return nil, err
+	}
+	opt, err = opt.withRun()
+	if err != nil {
 		return nil, err
 	}
 	start := time.Now()

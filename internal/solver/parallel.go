@@ -285,8 +285,12 @@ func (res *OptResult) mergeProbe(r *OPPResult) {
 }
 
 // oppProbe builds the probeFunc for a plain FeasAT&FindS sweep where
-// the sweep value selects the container.
+// the sweep value selects the container. The sweep already saturates
+// the worker pool, so each probe's strategy runs sequentially — a
+// portfolio probe keeps its incumbent dominance but does not also race
+// internally.
 func oppProbe(in *model.Instance, order *model.Order, opt Options, container func(v int) model.Container) probeFunc {
+	opt.Workers = 1
 	return func(ctx context.Context, v int) (*OPPResult, error) {
 		return solveOPP(ctx, in, container(v), order, opt)
 	}

@@ -55,6 +55,10 @@ func ParetoFrontCtx(ctx context.Context, in *model.Instance, opt Options) (*Pare
 	if err != nil {
 		return nil, err
 	}
+	opt, err = opt.withRun()
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	res := &ParetoResult{}
 	opt.Trace.Emit("solve_start", map[string]any{

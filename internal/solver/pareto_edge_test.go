@@ -1,0 +1,113 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"fpga3d/internal/model"
+	"fpga3d/internal/obs"
+)
+
+// cancelOnEvent is a trace sink that cancels a context the first time a
+// line containing marker is emitted, turning trace events into
+// deterministic cancellation points for the tests below.
+type cancelOnEvent struct {
+	marker string
+	cancel context.CancelFunc
+}
+
+func (w *cancelOnEvent) Write(p []byte) (int, error) {
+	if strings.Contains(string(p), w.marker) {
+		w.cancel()
+	}
+	return len(p), nil
+}
+
+// TestParetoEmptyFrontierOnPreCanceled pins the walk's behavior when
+// the context is dead before the first probe: a non-nil partial result
+// with an empty frontier and the context's error, not a panic and not a
+// fabricated point.
+func TestParetoEmptyFrontierOnPreCanceled(t *testing.T) {
+	in := &model.Instance{
+		Name:  "pareto-empty",
+		Tasks: []model.Task{{W: 2, H: 1, Dur: 1}, {W: 1, H: 2, Dur: 2}},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := ParetoFrontCtx(ctx, in, Options{Workers: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if r == nil {
+		t.Fatal("want a partial result alongside the error")
+	}
+	if len(r.Points) != 0 || len(r.Curve) != 0 {
+		t.Fatalf("canceled-before-start walk produced points: %+v / curve %+v", r.Points, r.Curve)
+	}
+}
+
+// TestParetoSinglePointFrontier covers the degenerate curve: when the
+// very first time budget already reaches the largest-module floor, the
+// walk must stop after one point instead of probing the serialized
+// horizon.
+func TestParetoSinglePointFrontier(t *testing.T) {
+	in := &model.Instance{
+		Name:  "pareto-single",
+		Tasks: []model.Task{{W: 3, H: 2, Dur: 2}},
+	}
+	r, err := ParetoFront(in, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 1 || len(r.Curve) != 1 {
+		t.Fatalf("points %+v curve %+v, want exactly one of each", r.Points, r.Curve)
+	}
+	if p := r.Points[0]; p.T != 2 || p.H != 3 {
+		t.Fatalf("point %+v, want {T:2 H:3} (critical path, largest side)", p)
+	}
+}
+
+// TestParetoCancellationMidWalk cancels the context right after the
+// first frontier point is traced and requires a partial curve plus the
+// context error: the walk must surface what it established before the
+// deadline rather than discard it.
+func TestParetoCancellationMidWalk(t *testing.T) {
+	// Five independent 2×2 unit blocks: the full frontier has several
+	// points (h = 6, 4, … down to 2), so a cancel after the first leaves
+	// a genuinely partial curve.
+	in := &model.Instance{
+		Name: "pareto-cancel",
+		Tasks: []model.Task{
+			{W: 2, H: 2, Dur: 1}, {W: 2, H: 2, Dur: 1}, {W: 2, H: 2, Dur: 1},
+			{W: 2, H: 2, Dur: 1}, {W: 2, H: 2, Dur: 1},
+		},
+	}
+	full, err := ParetoFront(in, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Points) < 2 {
+		t.Fatalf("instance unsuitable: full frontier %+v has fewer than 2 points", full.Points)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r, err := ParetoFrontCtx(ctx, in, Options{
+		Workers: 1,
+		Trace:   obs.NewTracer(&cancelOnEvent{marker: "pareto_point", cancel: cancel}),
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if r == nil {
+		t.Fatal("want the partial result alongside the error")
+	}
+	if len(r.Points) == 0 || len(r.Points) >= len(full.Points) {
+		t.Fatalf("partial frontier has %d points, want between 1 and %d", len(r.Points), len(full.Points)-1)
+	}
+	if r.Probes == 0 {
+		t.Fatal("partial result lost its probe accounting")
+	}
+}

@@ -18,35 +18,24 @@ import (
 	"runtime"
 	"time"
 
-	"fpga3d/internal/bounds"
 	"fpga3d/internal/core"
-	"fpga3d/internal/heur"
 	"fpga3d/internal/model"
 	"fpga3d/internal/obs"
+	"fpga3d/internal/strategy"
 )
 
 // Decision is the three-valued outcome of a decision problem.
-type Decision int
+type Decision = strategy.Decision
 
+// Decision values, re-exported from the strategy layer.
 const (
 	// Unknown means the solver hit a node or time limit.
-	Unknown Decision = iota
+	Unknown = strategy.Unknown
 	// Feasible means a placement was found (and verified).
-	Feasible
+	Feasible = strategy.Feasible
 	// Infeasible means no placement exists.
-	Infeasible
+	Infeasible = strategy.Infeasible
 )
-
-func (d Decision) String() string {
-	switch d {
-	case Feasible:
-		return "feasible"
-	case Infeasible:
-		return "infeasible"
-	default:
-		return "unknown"
-	}
-}
 
 // Options configures the solver. The zero value enables every stage and
 // rule with no search limits.
@@ -86,6 +75,17 @@ type Options struct {
 	// TimeDisjointFirst flips the engine's value ordering on the time
 	// axis to try Disjoint before Overlap.
 	TimeDisjointFirst bool
+
+	// Strategy selects how the three stages are composed per OPP
+	// decision: "" or "staged" (the default — sequential short-circuit,
+	// bit-identical to the historical pipeline) or "portfolio"
+	// (incumbent sharing across the probes of an optimization run:
+	// dominated probes are answered by stored witnesses, sweeps are
+	// seeded by previous answers, and with Workers > 1 a single
+	// decision races the cheap prover against the exact search).
+	// Unknown names are rejected with an error by every entry point.
+	// See internal/strategy.
+	Strategy string
 	// ReferenceRules runs the engine on its pre-optimization reference
 	// rule implementations (see core.Options.ReferenceRules). Results
 	// are bit-identical to the default fast paths, only slower; the
@@ -105,6 +105,67 @@ type Options struct {
 	// OPP calls (opp.calls, opp.feasible, opp.decided_by.*,
 	// search.nodes, …). Safe to share between concurrent solves.
 	Metrics *obs.Registry
+
+	// inc is the per-run incumbent store shared by every strategy
+	// invocation of one optimization run. Exported entry points attach
+	// a fresh store to their local Options copy (withRun), so a caller
+	// sharing one Options value across goroutines never shares a store
+	// across instances or runs.
+	inc *strategy.Incumbents
+}
+
+// withRun validates the strategy selection and attaches a fresh
+// incumbent store for one optimization run. Every exported entry point
+// calls it on its local Options copy.
+func (o Options) withRun() (Options, error) {
+	if err := o.validateStrategy(); err != nil {
+		return o, err
+	}
+	if o.inc == nil {
+		o.inc = strategy.NewIncumbents()
+	}
+	return o, nil
+}
+
+// validateStrategy checks the strategy name without attaching an
+// incumbent store. Entry points whose probes run on cloned,
+// re-oriented instances (the rotation sweeps) use this instead of
+// withRun: a store keyed by chip footprint must never be shared
+// across different oriented instances, so each per-orientation
+// SolveOPPCtx call attaches its own fresh store.
+func (o Options) validateStrategy() error {
+	if !strategy.Valid(o.Strategy) {
+		return fmt.Errorf("solver: unknown strategy %q (valid: staged, portfolio)", o.Strategy)
+	}
+	return nil
+}
+
+// portfolio reports whether the portfolio strategy is selected.
+func (o Options) portfolio() bool { return o.Strategy == strategy.NamePortfolio }
+
+// strategyEnv builds the strategy layer's run environment from the
+// options.
+func (o Options) strategyEnv() *strategy.Env {
+	return &strategy.Env{
+		SearchOpts:    o.searchOptions,
+		SkipBounds:    o.SkipBounds,
+		SkipHeuristic: o.SkipHeuristic,
+		Workers:       o.effectiveWorkers(),
+		Progress:      o.Progress,
+		Trace:         o.Trace,
+		Metrics:       o.Metrics,
+		Inc:           o.inc,
+	}
+}
+
+// pipeline resolves the configured strategy over this run's
+// environment. The zero value selects Staged, the historical
+// three-stage pipeline.
+func (o Options) pipeline() strategy.Strategy {
+	if o.portfolio() {
+		return strategy.NewPortfolio(o.strategyEnv())
+	}
+	return strategy.NewStaged(o.strategyEnv())
 }
 
 // effectiveWorkers resolves Options.Workers to a concrete pool size.
@@ -178,50 +239,18 @@ func (o Options) notifyPhase(phase string) {
 // StageTimings records the wall-clock time one OPP call (or, summed,
 // a whole optimization run) spent in each stage of the three-stage
 // framework of Section 3.1.
-type StageTimings struct {
-	Bounds    time.Duration `json:"bounds"`
-	Heuristic time.Duration `json:"heuristic"`
-	Search    time.Duration `json:"search"`
-}
-
-// Add accumulates o into s.
-func (s *StageTimings) Add(o StageTimings) {
-	s.Bounds += o.Bounds
-	s.Heuristic += o.Heuristic
-	s.Search += o.Search
-}
-
-func (s StageTimings) String() string {
-	return fmt.Sprintf("bounds %v · heuristic %v · search %v",
-		s.Bounds.Round(time.Microsecond),
-		s.Heuristic.Round(time.Microsecond),
-		s.Search.Round(time.Microsecond))
-}
+type StageTimings = strategy.StageTimings
 
 // ms converts a duration to fractional milliseconds for trace fields.
-func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+func ms(d time.Duration) float64 { return strategy.MS(d) }
 
 // stagesMS renders stage timings as a trace/JSON field.
-func stagesMS(s StageTimings) map[string]float64 {
-	return map[string]float64{
-		"bounds":    ms(s.Bounds),
-		"heuristic": ms(s.Heuristic),
-		"search":    ms(s.Search),
-	}
-}
+func stagesMS(s StageTimings) map[string]float64 { return strategy.StagesMS(s) }
 
-// OPPResult is the outcome of one orthogonal packing decision.
-type OPPResult struct {
-	Decision  Decision
-	Placement *model.Placement // non-nil iff Decision == Feasible
-	// DecidedBy names the stage that settled the question:
-	// "bound: <name>", "heuristic", or "search".
-	DecidedBy string
-	Stats     core.Stats
-	// Stages breaks Elapsed down into per-stage wall-clock durations.
-	Stages  StageTimings
-	Elapsed time.Duration
-}
+// OPPResult is the outcome of one orthogonal packing decision. Its
+// canonical definition lives in the strategy layer: a Strategy's Solve
+// returns exactly this shape.
+type OPPResult = strategy.Result
 
 // SolveOPP decides whether the instance fits into container c while
 // satisfying its precedence constraints (problem FeasAT&FindS).
@@ -244,181 +273,23 @@ func SolveOPPCtx(ctx context.Context, in *model.Instance, c model.Container, opt
 	if err != nil {
 		return nil, err
 	}
+	opt, err = opt.withRun()
+	if err != nil {
+		return nil, err
+	}
 	return solveOPP(ctx, in, c, order, opt)
 }
 
+// solveOPP decides one orthogonal packing question through the
+// configured strategy (internal/strategy): Staged reproduces the
+// historical bounds → heuristic → search pipeline bit for bit,
+// Portfolio adds incumbent dominance and prover-versus-search racing.
 func solveOPP(ctx context.Context, in *model.Instance, c model.Container, order *model.Order, opt Options) (*OPPResult, error) {
-	start := time.Now()
-	res := &OPPResult{}
-	opt.Metrics.Counter("opp.calls").Inc()
-	opt.Trace.Emit("opp_start", map[string]any{
-		"instance": in.Name, "n": in.N(), "W": c.W, "H": c.H, "T": c.T,
-	})
-
-	// A probe whose context is already dead spends no effort at all;
-	// the racing drivers rely on this to discard queued probes cheaply,
-	// and CLI deadlines rely on it to cut off between probes.
-	if ctx.Err() != nil {
-		res.Decision = Unknown
-		res.DecidedBy = "canceled"
-		res.Elapsed = time.Since(start)
-		opt.Metrics.Counter("opp.decided_by.canceled").Inc()
-		opt.traceOPPEnd(res, nil)
-		return res, nil
-	}
-
-	// Stage 1: lower bounds.
-	if !opt.SkipBounds {
-		opt.notifyPhase(obs.PhaseBounds)
-		s0 := time.Now()
-		bad, why := bounds.OPPInfeasible(in, c, order)
-		res.Stages.Bounds = time.Since(s0)
-		if bad {
-			res.Decision = Infeasible
-			res.DecidedBy = "bound: " + why
-			res.Elapsed = time.Since(start)
-			opt.Metrics.Counter("opp.decided_by.bounds").Inc()
-			opt.traceOPPEnd(res, map[string]any{"bound": why})
-			return res, nil
-		}
-		opt.Trace.Emit("stage", map[string]any{
-			"phase": obs.PhaseBounds, "outcome": "pass", "elapsed_ms": ms(res.Stages.Bounds),
-		})
-	}
-	// Stage 2: greedy placer.
-	if !opt.SkipHeuristic {
-		opt.notifyPhase(obs.PhaseHeuristic)
-		s0 := time.Now()
-		p, ok := heur.Place(in, c, order)
-		res.Stages.Heuristic = time.Since(s0)
-		if ok {
-			if err := p.Verify(in, c, order); err != nil {
-				return nil, fmt.Errorf("solver: heuristic produced invalid placement: %w", err)
-			}
-			res.Decision = Feasible
-			res.Placement = p
-			res.DecidedBy = "heuristic"
-			res.Elapsed = time.Since(start)
-			opt.Metrics.Counter("opp.decided_by.heuristic").Inc()
-			opt.traceOPPEnd(res, nil)
-			return res, nil
-		}
-		opt.Trace.Emit("stage", map[string]any{
-			"phase": obs.PhaseHeuristic, "outcome": "miss", "elapsed_ms": ms(res.Stages.Heuristic),
-		})
-	}
-	// Stage 3: packing-class branch and bound.
-	opt.notifyPhase(obs.PhaseSearch)
-	opt.Trace.Emit("stage", map[string]any{"phase": obs.PhaseSearch})
-	s0 := time.Now()
-	prob := buildProblem(in, c, order, nil)
-	r := core.Solve(prob, opt.searchOptions(ctx))
-	res.Stages.Search = time.Since(s0)
-	res.Stats = r.Stats
-	res.Elapsed = time.Since(start)
-	opt.Metrics.Counter(obs.MetricSearchNodes).Add(r.Stats.Nodes)
-	opt.Metrics.Counter(obs.MetricSearchPropagations).Add(r.Stats.Propagations)
-	switch r.Status {
-	case core.StatusFeasible:
-		p := solutionToPlacement(r.Solution)
-		if err := p.Verify(in, c, order); err != nil {
-			return nil, fmt.Errorf("solver: search produced invalid placement: %w", err)
-		}
-		res.Decision = Feasible
-		res.Placement = p
-		res.DecidedBy = "search"
-		opt.Metrics.Counter("opp.decided_by.search").Inc()
-	case core.StatusInfeasible:
-		res.Decision = Infeasible
-		res.DecidedBy = "search"
-		opt.Metrics.Counter("opp.decided_by.search").Inc()
-	case core.StatusCanceled:
-		res.Decision = Unknown
-		res.DecidedBy = "canceled"
-		opt.Metrics.Counter("opp.decided_by.canceled").Inc()
-	default:
-		res.Decision = Unknown
-		res.DecidedBy = "limit"
-		opt.Metrics.Counter("opp.decided_by.limit").Inc()
-	}
-	opt.traceOPPEnd(res, nil)
-	return res, nil
-}
-
-// traceOPPEnd records the outcome of one OPP call: an opp_end trace
-// event (with full engine stats when the search ran) and the
-// per-decision metric counter.
-func (o Options) traceOPPEnd(res *OPPResult, extra map[string]any) {
-	o.Metrics.Counter("opp." + res.Decision.String()).Inc()
-	if o.Trace == nil {
-		return
-	}
-	f := map[string]any{
-		"decision":   res.Decision.String(),
-		"decided_by": res.DecidedBy,
-		"nodes":      res.Stats.Nodes,
-		"elapsed_ms": ms(res.Elapsed),
-		"stages_ms":  stagesMS(res.Stages),
-	}
-	if res.DecidedBy == "search" || res.DecidedBy == "limit" {
-		f["stats"] = res.Stats
-	}
-	for k, v := range extra {
-		f[k] = v
-	}
-	o.Trace.Emit("opp_end", f)
+	return opt.pipeline().Solve(ctx, &strategy.Problem{In: in, C: c, Order: order})
 }
 
 // buildProblem translates an instance+container into the engine's
-// three-dimensional problem. fixedStarts, when non-nil, freezes the time
-// dimension according to the given schedule (the FixedS variants).
+// three-dimensional problem; see strategy.BuildProblem.
 func buildProblem(in *model.Instance, c model.Container, order *model.Order, fixedStarts []int) *core.Problem {
-	n := in.N()
-	ws := make([]int, n)
-	hs := make([]int, n)
-	ds := make([]int, n)
-	for i, t := range in.Tasks {
-		ws[i], hs[i], ds[i] = t.W, t.H, t.Dur
-	}
-	p := &core.Problem{
-		N: n,
-		Dims: []core.Dim{
-			{Cap: c.W, Sizes: ws},
-			{Cap: c.H, Sizes: hs},
-			{Cap: c.T, Sizes: ds, Ordered: true},
-		},
-	}
-	const timeDim = 2
-	if fixedStarts != nil {
-		for u := 0; u < n; u++ {
-			for v := u + 1; v < n; v++ {
-				su, eu := fixedStarts[u], fixedStarts[u]+in.Tasks[u].Dur
-				sv, ev := fixedStarts[v], fixedStarts[v]+in.Tasks[v].Dur
-				if su < ev && sv < eu {
-					p.Fixed = append(p.Fixed, core.FixedEdge{Dim: timeDim, U: u, V: v, State: core.Overlap})
-				} else if eu <= sv {
-					p.Seeds = append(p.Seeds, core.SeedArc{Dim: timeDim, From: u, To: v})
-				} else {
-					p.Seeds = append(p.Seeds, core.SeedArc{Dim: timeDim, From: v, To: u})
-				}
-			}
-		}
-		return p
-	}
-	cl := order.Closure()
-	for u := 0; u < n; u++ {
-		uu := u
-		cl.Out(uu).ForEach(func(v int) {
-			p.Seeds = append(p.Seeds, core.SeedArc{Dim: timeDim, From: uu, To: v})
-		})
-	}
-	return p
-}
-
-func solutionToPlacement(s *core.Solution) *model.Placement {
-	return &model.Placement{
-		X: append([]int(nil), s.Coords[0]...),
-		Y: append([]int(nil), s.Coords[1]...),
-		S: append([]int(nil), s.Coords[2]...),
-	}
+	return strategy.BuildProblem(in, c, order, fixedStarts)
 }

@@ -1,0 +1,196 @@
+package strategy
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"fpga3d/internal/bounds"
+	"fpga3d/internal/core"
+	"fpga3d/internal/obs"
+)
+
+// Staged is the paper's sequential short-circuit pipeline: stage 1
+// tries to disprove feasibility with fast lower bounds, stage 2 tries
+// to find a feasible packing with the greedy heuristic, and only then
+// does stage 3 run the branch-and-bound search over packing classes.
+// It is the default strategy and reproduces the historical solver
+// pipeline bit for bit: decisions, witnesses, engine statistics and
+// trace events are identical.
+type Staged struct {
+	env *Env
+}
+
+// NewStaged returns the sequential short-circuit strategy over env.
+func NewStaged(env *Env) *Staged { return &Staged{env: env} }
+
+// Name returns NameStaged.
+func (s *Staged) Name() string { return NameStaged }
+
+// Solve runs bounds → heuristic → search with short-circuit
+// evaluation. A nil error with Decision Unknown means a limit or
+// cancellation.
+func (s *Staged) Solve(ctx context.Context, p *Problem) (*Result, error) {
+	if p.FixedStarts != nil {
+		return s.env.solveFixed(ctx, p, nil)
+	}
+	e := s.env
+	start := time.Now()
+	res := &Result{}
+	e.Metrics.Counter("opp.calls").Inc()
+	e.Trace.Emit("opp_start", map[string]any{
+		"instance": p.In.Name, "n": p.In.N(), "W": p.C.W, "H": p.C.H, "T": p.C.T,
+	})
+
+	// A probe whose context is already dead spends no effort at all;
+	// the racing drivers rely on this to discard queued probes cheaply,
+	// and CLI deadlines rely on it to cut off between probes.
+	if ctx.Err() != nil {
+		res.Decision = Unknown
+		res.DecidedBy = "canceled"
+		res.Elapsed = time.Since(start)
+		e.Metrics.Counter("opp.decided_by.canceled").Inc()
+		e.traceOPPEnd(res, nil)
+		return res, nil
+	}
+
+	// Stage 1: lower bounds.
+	if !e.SkipBounds {
+		e.notifyPhase(obs.PhaseBounds)
+		s0 := time.Now()
+		bad, why := bounds.OPPInfeasible(p.In, p.C, p.Order)
+		res.Stages.Bounds = time.Since(s0)
+		if bad {
+			res.Decision = Infeasible
+			res.DecidedBy = "bound: " + why
+			res.Elapsed = time.Since(start)
+			e.Metrics.Counter("opp.decided_by.bounds").Inc()
+			e.traceOPPEnd(res, map[string]any{"bound": why})
+			return res, nil
+		}
+		e.Trace.Emit("stage", map[string]any{
+			"phase": obs.PhaseBounds, "outcome": "pass", "elapsed_ms": MS(res.Stages.Bounds),
+		})
+	}
+	// Stage 2: greedy placer. The minimum-makespan placement for this
+	// chip footprint is memoized in the incumbent store (when one is
+	// attached): the list scheduler's slot scan is horizon-truncated,
+	// so the probe at time budget T succeeds iff T ≥ mk, and then with
+	// exactly the memoized placement — sweeps over T on one chip share
+	// a single stage-2 computation without changing any answer.
+	if !e.SkipHeuristic {
+		e.notifyPhase(obs.PhaseHeuristic)
+		s0 := time.Now()
+		hp, mk, hok := e.heurWitness(p)
+		res.Stages.Heuristic = time.Since(s0)
+		if hok && mk <= p.C.T {
+			pl := hp.Clone()
+			if err := pl.Verify(p.In, p.C, p.Order); err != nil {
+				return nil, fmt.Errorf("solver: heuristic produced invalid placement: %w", err)
+			}
+			res.Decision = Feasible
+			res.Placement = pl
+			res.DecidedBy = "heuristic"
+			res.Elapsed = time.Since(start)
+			e.Metrics.Counter("opp.decided_by.heuristic").Inc()
+			e.traceOPPEnd(res, nil)
+			return res, nil
+		}
+		e.Trace.Emit("stage", map[string]any{
+			"phase": obs.PhaseHeuristic, "outcome": "miss", "elapsed_ms": MS(res.Stages.Heuristic),
+		})
+	}
+	// Stage 3: packing-class branch and bound.
+	return e.solveSearch(ctx, p, res, start, nil)
+}
+
+// solveSearch runs stage 3 on a prepared result (stage timings of the
+// earlier stages already recorded) and finishes the trace bracket.
+// extra is merged into the opp_end event.
+func (e *Env) solveSearch(ctx context.Context, p *Problem, res *Result, start time.Time, extra map[string]any) (*Result, error) {
+	e.notifyPhase(obs.PhaseSearch)
+	e.Trace.Emit("stage", map[string]any{"phase": obs.PhaseSearch})
+	s0 := time.Now()
+	prob := BuildProblem(p.In, p.C, p.Order, nil)
+	r := core.Solve(prob, e.SearchOpts(ctx))
+	res.Stages.Search = time.Since(s0)
+	res.Stats = r.Stats
+	res.Elapsed = time.Since(start)
+	e.Metrics.Counter(obs.MetricSearchNodes).Add(r.Stats.Nodes)
+	e.Metrics.Counter(obs.MetricSearchPropagations).Add(r.Stats.Propagations)
+	switch r.Status {
+	case core.StatusFeasible:
+		pl := SolutionToPlacement(r.Solution)
+		if err := pl.Verify(p.In, p.C, p.Order); err != nil {
+			return nil, fmt.Errorf("solver: search produced invalid placement: %w", err)
+		}
+		res.Decision = Feasible
+		res.Placement = pl
+		res.DecidedBy = "search"
+		e.Metrics.Counter("opp.decided_by.search").Inc()
+	case core.StatusInfeasible:
+		res.Decision = Infeasible
+		res.DecidedBy = "search"
+		e.Metrics.Counter("opp.decided_by.search").Inc()
+	case core.StatusCanceled:
+		res.Decision = Unknown
+		res.DecidedBy = "canceled"
+		e.Metrics.Counter("opp.decided_by.canceled").Inc()
+	default:
+		res.Decision = Unknown
+		res.DecidedBy = "limit"
+		e.Metrics.Counter("opp.decided_by.limit").Inc()
+	}
+	e.traceOPPEnd(res, extra)
+	return res, nil
+}
+
+// solveFixed decides the FixedS variant: with every start time
+// prescribed the search degenerates to the two spatial dimensions, so
+// stages 1 and 2 are skipped. The caller has already validated the
+// schedule. extra is merged into the opp_end event.
+func (e *Env) solveFixed(ctx context.Context, p *Problem, extra map[string]any) (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+	e.Metrics.Counter("opp.calls").Inc()
+	e.Trace.Emit("opp_start", map[string]any{
+		"instance": p.In.Name, "n": p.In.N(), "W": p.C.W, "H": p.C.H, "T": p.C.T, "fixed_schedule": true,
+	})
+	e.notifyPhase(obs.PhaseSearch)
+	prob := BuildProblem(p.In, p.C, p.Order, p.FixedStarts)
+	r := core.Solve(prob, e.SearchOpts(ctx))
+	res.Stats = r.Stats
+	res.Elapsed = time.Since(start)
+	res.Stages.Search = res.Elapsed
+	e.Metrics.Counter(obs.MetricSearchNodes).Add(r.Stats.Nodes)
+	e.Metrics.Counter(obs.MetricSearchPropagations).Add(r.Stats.Propagations)
+	switch r.Status {
+	case core.StatusFeasible:
+		// The engine realizes some schedule with the same component
+		// graph and orientation; the prescribed start times are another
+		// realization of it, so the spatial coordinates carry over.
+		pl := SolutionToPlacement(r.Solution)
+		pl.S = append([]int(nil), p.FixedStarts...)
+		if err := pl.Verify(p.In, p.C, p.Order); err != nil {
+			return nil, fmt.Errorf("solver: fixed-schedule placement invalid: %w", err)
+		}
+		res.Decision = Feasible
+		res.Placement = pl
+		res.DecidedBy = "search"
+		e.Metrics.Counter("opp.decided_by.search").Inc()
+	case core.StatusInfeasible:
+		res.Decision = Infeasible
+		res.DecidedBy = "search"
+		e.Metrics.Counter("opp.decided_by.search").Inc()
+	case core.StatusCanceled:
+		res.Decision = Unknown
+		res.DecidedBy = "canceled"
+		e.Metrics.Counter("opp.decided_by.canceled").Inc()
+	default:
+		res.Decision = Unknown
+		res.DecidedBy = "limit"
+		e.Metrics.Counter("opp.decided_by.limit").Inc()
+	}
+	e.traceOPPEnd(res, extra)
+	return res, nil
+}

@@ -1,0 +1,42 @@
+package strategy
+
+import (
+	"fmt"
+	"time"
+)
+
+// StageTimings records the wall-clock time one OPP call (or, summed,
+// a whole optimization run) spent in each stage of the three-stage
+// framework of Section 3.1.
+type StageTimings struct {
+	Bounds    time.Duration `json:"bounds"`
+	Heuristic time.Duration `json:"heuristic"`
+	Search    time.Duration `json:"search"`
+}
+
+// Add accumulates o into s.
+func (s *StageTimings) Add(o StageTimings) {
+	s.Bounds += o.Bounds
+	s.Heuristic += o.Heuristic
+	s.Search += o.Search
+}
+
+// String renders the per-stage times, microsecond-rounded.
+func (s StageTimings) String() string {
+	return fmt.Sprintf("bounds %v · heuristic %v · search %v",
+		s.Bounds.Round(time.Microsecond),
+		s.Heuristic.Round(time.Microsecond),
+		s.Search.Round(time.Microsecond))
+}
+
+// MS converts a duration to fractional milliseconds for trace fields.
+func MS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// StagesMS renders stage timings as a trace/JSON field.
+func StagesMS(s StageTimings) map[string]float64 {
+	return map[string]float64{
+		"bounds":    MS(s.Bounds),
+		"heuristic": MS(s.Heuristic),
+		"search":    MS(s.Search),
+	}
+}
