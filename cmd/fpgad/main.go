@@ -7,15 +7,18 @@
 // Usage:
 //
 //	fpgad -addr :8080 -max-concurrent 4 -queue-depth 64 \
-//	      -default-timeout 30s -cache-size 256
+//	      -default-timeout 30s -cache-size 256 -log-format json
 //
 // API (JSON over HTTP; see README.md for a curl quickstart):
 //
 //	POST /v1/solve          {"instance": …, "chip": {"w":64,"h":64,"t":80}}
 //	POST /v1/minimize-time  {"instance": …, "w": 64, "h": 64}
 //	POST /v1/minimize-chip  {"instance": …, "t": 59}
+//	GET  /v1/progress/{id}  live solve progress as Server-Sent Events
 //	GET  /healthz           liveness + occupancy (503 while draining)
-//	GET  /metrics           serving + solver counters as JSON
+//	GET  /metrics           serving + solver counters as JSON, or
+//	                        Prometheus exposition with ?format=prom
+//	                        (or Accept: text/plain)
 //
 // Every solve endpoint accepts "timeout_ms" (overriding
 // -default-timeout; expiry answers 504 with the partial result) and
@@ -24,6 +27,15 @@
 // rejected with 429 and a Retry-After header. Identical questions
 // about canonically identical instances are answered from an LRU
 // result cache (flagged "cached": true in the response).
+//
+// Every response carries an X-Request-Id header (echoing the client's
+// own, if it sent a well-formed one). Subscribing to
+// GET /v1/progress/{id} with that ID while the solve is in flight
+// streams its search progress live. One structured log line is
+// emitted per request — text by default, JSON with -log-format json —
+// carrying the request ID, endpoint, strategy, cache outcome, status
+// and latency. -trace appends solver trace and span events as JSON
+// lines to a file, connected to the log by the same request IDs.
 //
 // On SIGTERM or SIGINT the daemon stops accepting connections, lets
 // in-flight solves finish (bounded by -drain-timeout), then exits.
@@ -34,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -41,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"fpga3d/internal/obs"
 	"fpga3d/internal/server"
 	"fpga3d/internal/strategy"
 )
@@ -55,6 +69,18 @@ func main() {
 	}
 }
 
+// newLogger builds the daemon's structured logger; format is "text"
+// or "json".
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (valid: text, json)", format)
+}
+
 // run starts the daemon and blocks until a fatal serve error or until
 // ctx is done (main wires ctx to SIGTERM/SIGINT), at which point it
 // drains in-flight solves and returns. ready, when non-nil, receives
@@ -62,15 +88,18 @@ func main() {
 func run(ctx context.Context, args []string, ready func(addr string)) error {
 	fs := flag.NewFlagSet("fpgad", flag.ContinueOnError)
 	var (
-		addr           = fs.String("addr", ":8080", "listen address")
-		maxConcurrent  = fs.Int("max-concurrent", runtime.GOMAXPROCS(0), "solves running at once")
-		queueDepth     = fs.Int("queue-depth", 64, "admitted requests waiting for a slot; beyond this requests get 429")
-		defaultTimeout = fs.Duration("default-timeout", 30*time.Second, "per-request solve deadline unless the request sets timeout_ms")
-		cacheSize      = fs.Int("cache-size", 256, "canonical-instance result cache entries (negative disables)")
-		workers        = fs.Int("workers", 1, "solver probe goroutines per solve (0 = GOMAXPROCS); keep 1 when -max-concurrent already saturates the cores")
-		strategyName   = fs.String("strategy", "", "default solve strategy: staged | portfolio (requests may override per call)")
-		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight solves")
-		enablePprof    = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (exposes internals; keep off untrusted networks)")
+		addr            = fs.String("addr", ":8080", "listen address")
+		maxConcurrent   = fs.Int("max-concurrent", runtime.GOMAXPROCS(0), "solves running at once")
+		queueDepth      = fs.Int("queue-depth", 64, "admitted requests waiting for a slot; beyond this requests get 429")
+		defaultTimeout  = fs.Duration("default-timeout", 30*time.Second, "per-request solve deadline unless the request sets timeout_ms")
+		cacheSize       = fs.Int("cache-size", 256, "canonical-instance result cache entries (negative disables)")
+		workers         = fs.Int("workers", 1, "solver probe goroutines per solve (0 = GOMAXPROCS); keep 1 when -max-concurrent already saturates the cores")
+		strategyName    = fs.String("strategy", "", "default solve strategy: staged | portfolio (requests may override per call)")
+		drainTimeout    = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight solves")
+		logFormat       = fs.String("log-format", "text", "structured log output: text | json")
+		traceFile       = fs.String("trace", "", "append solver trace and span events (JSON lines) to this file")
+		progressStreams = fs.Int("progress-streams", 64, "live progress streams tracked for GET /v1/progress/{id} (negative disables)")
+		enablePprof     = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (exposes internals; keep off untrusted networks)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,23 +110,45 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	if !strategy.Valid(*strategyName) {
 		return fmt.Errorf("unknown -strategy %q (valid: %s)", *strategyName, strings.Join(strategy.Names(), ", "))
 	}
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		return err
+	}
+
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("opening -trace file: %w", err)
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(f)
+	}
 
 	s := server.New(server.Config{
-		MaxConcurrent:  *maxConcurrent,
-		QueueDepth:     *queueDepth,
-		DefaultTimeout: *defaultTimeout,
-		CacheSize:      *cacheSize,
-		Workers:        *workers,
-		Strategy:       *strategyName,
-		Logf:           log.Printf,
-		EnablePprof:    *enablePprof,
+		MaxConcurrent:   *maxConcurrent,
+		QueueDepth:      *queueDepth,
+		DefaultTimeout:  *defaultTimeout,
+		CacheSize:       *cacheSize,
+		Workers:         *workers,
+		Strategy:        *strategyName,
+		Logger:          logger,
+		Tracer:          tracer,
+		ProgressStreams: *progressStreams,
+		EnablePprof:     *enablePprof,
 	})
 
 	serveErr := make(chan error, 1)
 	go func() {
 		serveErr <- s.ListenAndServe(*addr, func(bound string) {
-			log.Printf("listening on %s (max-concurrent %d, queue-depth %d, default-timeout %s, cache %d)",
-				bound, *maxConcurrent, *queueDepth, *defaultTimeout, *cacheSize)
+			// The bound address stays inside the message (not an attr):
+			// operators and the CI smoke scrape it as "listening on X".
+			logger.Info("listening on "+bound,
+				"max_concurrent", *maxConcurrent,
+				"queue_depth", *queueDepth,
+				"default_timeout", defaultTimeout.String(),
+				"cache_size", *cacheSize,
+				"log_format", *logFormat)
 			if ready != nil {
 				ready(bound)
 			}
@@ -108,7 +159,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	case err := <-serveErr:
 		return err
 	case <-ctx.Done():
-		log.Printf("shutdown requested; draining (timeout %s)", *drainTimeout)
+		logger.Info("shutdown requested; draining", "drain_timeout", drainTimeout.String())
 		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := s.Shutdown(dctx); err != nil {
@@ -117,7 +168,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		if err := <-serveErr; err != nil {
 			return err
 		}
-		log.Printf("drained; bye")
+		logger.Info("drained; bye")
 		return nil
 	}
 }

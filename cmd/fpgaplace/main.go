@@ -17,10 +17,16 @@
 // Observability:
 //
 //	fpgaplace -builtin de -mode spp -W 17 -H 17 -progress          # live status line on stderr
-//	fpgaplace -builtin de -mode spp -W 17 -H 17 -trace run.jsonl   # JSONL event trace
+//	fpgaplace -builtin de -mode spp -W 17 -H 17 -trace run.jsonl   # JSONL event trace + span tree
 //	fpgaplace -builtin de -mode spp -W 17 -H 17 -json              # machine-readable result
+//	fpgaplace -builtin de -mode spp -W 17 -H 17 -log-format json   # structured diagnostics on stderr
 //	fpgaplace -builtin de -mode spp -W 17 -H 17 -metrics :8123     # live metrics endpoint
 //	fpgaplace -mode tracestats -trace run.jsonl                    # summarize a recorded trace
+//
+// A -trace file carries, besides the solver's event stream, a span
+// tree rooted at a "run" span: every optimization driver, OPP probe
+// and stage emits a "span" event on completion, all stamped with one
+// request ID, mirroring what fpgad emits per HTTP request.
 //
 // Parallelism and deadlines:
 //
@@ -40,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"runtime"
@@ -81,7 +88,8 @@ func main() {
 		strategyName = flag.String("strategy", "", "solve strategy: staged (default; bounds, heuristic, search in order) | portfolio (incumbent sharing, prover-vs-search racing)")
 		timeout      = flag.Duration("timeout", 0, "whole-run deadline; on expiry the partial result is printed as JSON and the exit status is 3 (0 = none)")
 		progress     = flag.Bool("progress", false, "print a live search status line to stderr")
-		tracePath    = flag.String("trace", "", "write a JSONL event trace to this file (input file for mode=tracestats)")
+		logFormat    = flag.String("log-format", "text", "diagnostic log output: text | json")
+		tracePath    = flag.String("trace", "", "write a JSONL event trace (including the run's span tree) to this file (input file for mode=tracestats)")
 		metricsAddr  = flag.String("metrics", "", "serve live solver metrics as JSON on this address (e.g. :8123)")
 		jsonOut      = flag.Bool("json", false, "print the result as JSON instead of text")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
@@ -89,6 +97,9 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := applyLogFormat(*logFormat); err != nil {
+		log.Fatal(err)
+	}
 	if err := validateFlags(*mode, setFlags()); err != nil {
 		log.Fatal(err)
 	}
@@ -117,17 +128,17 @@ func main() {
 		}
 	}
 	opt := &fpga3d.Options{NodeLimit: *nodeLimit, TimeLimit: *timeLimit, Workers: *workers, Strategy: *strategyName}
-	finishObs, err := setupObs(opt, *progress, *tracePath, *metricsAddr, *cpuProfile, *memProfile)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer finishObs()
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	ctx, finishObs, err := setupObs(ctx, opt, *mode, *progress, *tracePath, *metricsAddr, *cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer finishObs()
 	// exitPartial ends a run whose deadline expired: the partial result
 	// goes to stdout as JSON (regardless of -json, so scripts always get
 	// something parseable) and the process exits with exitDeadline.
@@ -400,7 +411,7 @@ var commonFlags = map[string]bool{
 	"instance": true, "builtin": true, "mode": true, "no-prec": true,
 	"placement": true, "gantt": true, "svg": true, "reconfig": true,
 	"node-limit": true, "time-limit": true, "workers": true, "timeout": true, "strategy": true,
-	"progress": true, "trace": true, "metrics": true, "json": true,
+	"progress": true, "trace": true, "metrics": true, "json": true, "log-format": true,
 	"cpuprofile": true, "memprofile": true,
 }
 
@@ -444,23 +455,40 @@ func validateFlags(mode string, set map[string]bool) error {
 		strings.Join(bad, ", "), mode)
 }
 
+// applyLogFormat switches the diagnostic log output; "json" routes the
+// log package's lines through a JSON slog handler on stderr so scripts
+// capture structured diagnostics, "text" keeps the plain default.
+func applyLogFormat(format string) error {
+	switch format {
+	case "", "text":
+		return nil
+	case "json":
+		slog.SetDefault(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+		return nil
+	}
+	return fmt.Errorf("unknown -log-format %q (valid: text, json)", format)
+}
+
 // setupObs wires the -progress, -trace, -metrics, -cpuprofile and
-// -memprofile flags into the solver options. The returned function
-// flushes and closes the sinks; it is idempotent so it can run both
-// before result printing (to get the progress line off the screen) and
-// on the deferred path — and because exitPartial leaves via os.Exit,
-// which skips defers, the profile writers hang off this hook rather
-// than their own defer statements.
-func setupObs(opt *fpga3d.Options, progress bool, tracePath, metricsAddr, cpuProfile, memProfile string) (func(), error) {
+// -memprofile flags into the solver options and opens the run's root
+// span when tracing (every driver and stage span of the solve nests
+// under it, connected by a fresh request ID). The returned context
+// carries that span; the returned function flushes and closes the
+// sinks. It is idempotent so it can run both before result printing
+// (to get the progress line off the screen) and on the deferred path —
+// and because exitPartial leaves via os.Exit, which skips defers, the
+// profile writers hang off this hook rather than their own defer
+// statements.
+func setupObs(ctx context.Context, opt *fpga3d.Options, mode string, progress bool, tracePath, metricsAddr, cpuProfile, memProfile string) (context.Context, func(), error) {
 	var done []func()
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			f.Close()
-			return nil, err
+			return nil, nil, err
 		}
 		done = append(done, func() {
 			pprof.StopCPUProfile()
@@ -470,7 +498,7 @@ func setupObs(opt *fpga3d.Options, progress bool, tracePath, metricsAddr, cpuPro
 	if memProfile != "" {
 		f, err := os.Create(memProfile)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		done = append(done, func() {
 			runtime.GC() // materialize the final live set
@@ -487,11 +515,16 @@ func setupObs(opt *fpga3d.Options, progress bool, tracePath, metricsAddr, cpuPro
 	if tracePath != "" {
 		f, err := os.Create(tracePath)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		tr := fpga3d.NewTracer(f)
 		opt.Trace = tr
+		ctx = fpga3d.ContextWithRequestID(ctx, fpga3d.NewRequestID())
+		var runSpan *fpga3d.Span
+		ctx, runSpan = fpga3d.StartSpan(ctx, tr, "run")
+		runSpan.SetAttr("mode", mode)
 		done = append(done, func() {
+			runSpan.End()
 			if err := tr.Err(); err != nil {
 				log.Printf("trace: %v", err)
 			}
@@ -508,7 +541,7 @@ func setupObs(opt *fpga3d.Options, progress bool, tracePath, metricsAddr, cpuPro
 		}()
 	}
 	ran := false
-	return func() {
+	return ctx, func() {
 		if ran {
 			return
 		}

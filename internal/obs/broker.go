@@ -1,0 +1,195 @@
+package obs
+
+import "sync"
+
+// ProgressEvent is one item delivered to a progress subscriber: a
+// search snapshot, and Done=true exactly once as the terminal event of
+// a finished stream (its Snapshot is the final state of the solve).
+type ProgressEvent struct {
+	// Snapshot is the progress snapshot carried by the event.
+	Snapshot Snapshot
+	// Done marks the terminal event of the stream.
+	Done bool
+}
+
+// subBuffer is the per-subscriber channel capacity. Publishes to a full
+// subscriber coalesce by dropping its oldest undelivered event — a slow
+// SSE client sees fewer intermediate snapshots, never a stalled solver.
+const subBuffer = 8
+
+// ProgressBroker fans solver progress out to live subscribers, keyed by
+// request ID. A serving layer Opens a stream per request and feeds it
+// from the solve's ProgressFunc; any number of clients Subscribe to
+// watch. The broker is bounded: it retains at most maxStreams streams
+// (finished ones included, so a client that connects just after
+// completion still gets the terminal event), evicting the oldest —
+// preferring finished over live — when a new Open would exceed the cap.
+//
+// A nil *ProgressBroker is valid: Open returns a nil hook and a no-op
+// closer, Subscribe reports no such stream.
+type ProgressBroker struct {
+	mu         sync.Mutex
+	maxStreams int
+	streams    map[string]*progressStream
+	order      []string // insertion order, for bounded eviction
+}
+
+// progressStream is one request's fan-out state.
+type progressStream struct {
+	mu   sync.Mutex
+	last Snapshot
+	seen bool // at least one snapshot published
+	done bool
+	subs map[chan ProgressEvent]struct{}
+}
+
+// NewProgressBroker returns a broker retaining at most maxStreams
+// concurrent or recently finished streams (default 64 when
+// maxStreams <= 0).
+func NewProgressBroker(maxStreams int) *ProgressBroker {
+	if maxStreams <= 0 {
+		maxStreams = 64
+	}
+	return &ProgressBroker{
+		maxStreams: maxStreams,
+		streams:    make(map[string]*progressStream),
+	}
+}
+
+// Open registers a progress stream for id and returns the publish hook
+// to install as the solve's ProgressFunc plus a closer that marks the
+// stream finished, delivering the terminal Done event to every
+// subscriber. The closer is idempotent. Opening an id that already
+// exists restarts its stream.
+func (b *ProgressBroker) Open(id string) (ProgressFunc, func()) {
+	if b == nil {
+		return nil, func() {}
+	}
+	st := &progressStream{subs: make(map[chan ProgressEvent]struct{})}
+	b.mu.Lock()
+	if _, exists := b.streams[id]; !exists {
+		if len(b.streams) >= b.maxStreams {
+			b.evictLocked()
+		}
+		b.order = append(b.order, id)
+	}
+	b.streams[id] = st
+	b.mu.Unlock()
+	return st.publish, func() { st.close() }
+}
+
+// evictLocked removes one stream to make room: the oldest finished one,
+// or the oldest outright if every stream is still live. Callers hold
+// b.mu.
+func (b *ProgressBroker) evictLocked() {
+	victim := -1
+	for i, id := range b.order {
+		st := b.streams[id]
+		st.mu.Lock()
+		done := st.done
+		st.mu.Unlock()
+		if done {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		if len(b.order) == 0 {
+			return
+		}
+		victim = 0
+	}
+	id := b.order[victim]
+	b.order = append(b.order[:victim], b.order[victim+1:]...)
+	// A live victim's publisher keeps feeding its existing subscribers;
+	// the stream is only no longer reachable for new Subscribes.
+	delete(b.streams, id)
+}
+
+// Subscribe attaches to the stream for id. It returns a channel of
+// events (the latest snapshot is replayed immediately so subscribers
+// start with current state; on a finished stream the terminal event
+// follows and the channel closes), a cancel function releasing the
+// subscription, and ok=false when no such stream exists.
+func (b *ProgressBroker) Subscribe(id string) (<-chan ProgressEvent, func(), bool) {
+	if b == nil {
+		return nil, nil, false
+	}
+	b.mu.Lock()
+	st := b.streams[id]
+	b.mu.Unlock()
+	if st == nil {
+		return nil, nil, false
+	}
+	ch := make(chan ProgressEvent, subBuffer)
+	st.mu.Lock()
+	if st.seen {
+		ch <- ProgressEvent{Snapshot: st.last}
+	}
+	if st.done {
+		ch <- ProgressEvent{Snapshot: st.last, Done: true}
+		close(ch)
+		st.mu.Unlock()
+		return ch, func() {}, true
+	}
+	st.subs[ch] = struct{}{}
+	st.mu.Unlock()
+	cancel := func() {
+		st.mu.Lock()
+		if _, live := st.subs[ch]; live {
+			delete(st.subs, ch)
+			close(ch)
+		}
+		st.mu.Unlock()
+	}
+	return ch, cancel, true
+}
+
+// publish delivers a snapshot to every subscriber, coalescing on slow
+// ones. It is the stream's ProgressFunc.
+func (st *progressStream) publish(s Snapshot) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.done {
+		return
+	}
+	st.last = s
+	st.seen = true
+	for ch := range st.subs {
+		send(ch, ProgressEvent{Snapshot: s})
+	}
+}
+
+// close marks the stream done, emits the terminal event and closes all
+// subscriber channels. Idempotent.
+func (st *progressStream) close() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.done {
+		return
+	}
+	st.done = true
+	for ch := range st.subs {
+		send(ch, ProgressEvent{Snapshot: st.last, Done: true})
+		close(ch)
+		delete(st.subs, ch)
+	}
+}
+
+// send delivers ev without blocking: when the subscriber's buffer is
+// full its oldest undelivered event is dropped first, so the channel
+// always holds the freshest events and a stalled reader cannot back up
+// the solver.
+func send(ch chan ProgressEvent, ev ProgressEvent) {
+	for {
+		select {
+		case ch <- ev:
+			return
+		default:
+		}
+		select {
+		case <-ch:
+		default:
+		}
+	}
+}

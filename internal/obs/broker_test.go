@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBrokerPublishSubscribe(t *testing.T) {
+	b := NewProgressBroker(4)
+	pub, done := b.Open("r1")
+
+	ch, cancel, ok := b.Subscribe("r1")
+	if !ok {
+		t.Fatal("Subscribe failed on open stream")
+	}
+	defer cancel()
+
+	pub(Snapshot{Phase: PhaseSearch, Nodes: 100})
+	ev := recvEvent(t, ch)
+	if ev.Done || ev.Snapshot.Nodes != 100 {
+		t.Fatalf("first event = %+v", ev)
+	}
+
+	pub(Snapshot{Phase: PhaseSearch, Nodes: 200})
+	done()
+	ev = recvEvent(t, ch)
+	if ev.Snapshot.Nodes != 200 {
+		t.Fatalf("second event = %+v", ev)
+	}
+	ev = recvEvent(t, ch)
+	if !ev.Done || ev.Snapshot.Nodes != 200 {
+		t.Fatalf("terminal event = %+v", ev)
+	}
+	if _, open := <-ch; open {
+		t.Error("channel not closed after terminal event")
+	}
+}
+
+func TestBrokerReplaysLastSnapshot(t *testing.T) {
+	b := NewProgressBroker(4)
+	pub, done := b.Open("r1")
+	pub(Snapshot{Nodes: 7})
+
+	// Late subscriber immediately gets current state.
+	ch, cancel, ok := b.Subscribe("r1")
+	if !ok {
+		t.Fatal("Subscribe failed")
+	}
+	defer cancel()
+	if ev := recvEvent(t, ch); ev.Snapshot.Nodes != 7 || ev.Done {
+		t.Fatalf("replayed event = %+v", ev)
+	}
+
+	// Subscriber after completion gets the last snapshot, the terminal
+	// event, and a closed channel.
+	done()
+	ch2, _, ok := b.Subscribe("r1")
+	if !ok {
+		t.Fatal("Subscribe failed on finished stream")
+	}
+	if ev := recvEvent(t, ch2); ev.Snapshot.Nodes != 7 || ev.Done {
+		t.Fatalf("finished replay = %+v", ev)
+	}
+	if ev := recvEvent(t, ch2); !ev.Done {
+		t.Fatalf("no terminal event on finished stream: %+v", ev)
+	}
+	if _, open := <-ch2; open {
+		t.Error("finished stream channel not closed")
+	}
+}
+
+func TestBrokerCoalescesSlowSubscriber(t *testing.T) {
+	b := NewProgressBroker(4)
+	pub, done := b.Open("r1")
+	ch, cancel, _ := b.Subscribe("r1")
+	defer cancel()
+
+	// Publish far more than the buffer without reading: the oldest
+	// events are dropped, the solver never blocks, and the terminal
+	// event still arrives.
+	for i := 1; i <= subBuffer*5; i++ {
+		pub(Snapshot{Nodes: int64(i)})
+	}
+	done()
+
+	var got []ProgressEvent
+	for ev := range ch {
+		got = append(got, ev)
+	}
+	if len(got) > subBuffer {
+		t.Fatalf("slow subscriber got %d events, buffer is %d", len(got), subBuffer)
+	}
+	last := got[len(got)-1]
+	if !last.Done || last.Snapshot.Nodes != subBuffer*5 {
+		t.Fatalf("terminal event lost under coalescing: %+v", last)
+	}
+}
+
+func TestBrokerBoundedEviction(t *testing.T) {
+	b := NewProgressBroker(2)
+	_, done1 := b.Open("old")
+	done1() // finished: preferred eviction victim
+	b.Open("live")
+	b.Open("new") // exceeds cap of 2: evicts "old"
+
+	if _, _, ok := b.Subscribe("old"); ok {
+		t.Error("finished stream not evicted at cap")
+	}
+	if _, _, ok := b.Subscribe("live"); !ok {
+		t.Error("live stream evicted while a finished one existed")
+	}
+	if _, _, ok := b.Subscribe("new"); !ok {
+		t.Error("new stream missing")
+	}
+
+	// With only live streams, the oldest live one goes.
+	b2 := NewProgressBroker(1)
+	b2.Open("a")
+	b2.Open("b")
+	if _, _, ok := b2.Subscribe("a"); ok {
+		t.Error("oldest live stream not evicted")
+	}
+	if _, _, ok := b2.Subscribe("b"); !ok {
+		t.Error("newest stream missing")
+	}
+}
+
+func TestBrokerUnknownStream(t *testing.T) {
+	b := NewProgressBroker(4)
+	if _, _, ok := b.Subscribe("nope"); ok {
+		t.Error("Subscribe succeeded on unknown stream")
+	}
+}
+
+func TestBrokerNilSafe(t *testing.T) {
+	var b *ProgressBroker
+	pub, done := b.Open("x")
+	if pub != nil {
+		t.Error("nil broker returned a publish hook")
+	}
+	done() // must not panic
+	if _, _, ok := b.Subscribe("x"); ok {
+		t.Error("nil broker has streams")
+	}
+}
+
+func TestBrokerCancelStopsDelivery(t *testing.T) {
+	b := NewProgressBroker(4)
+	pub, done := b.Open("r1")
+	ch, cancel, _ := b.Subscribe("r1")
+	cancel()
+	cancel() // idempotent
+	pub(Snapshot{Nodes: 1})
+	done()
+	// Channel was closed by cancel; no events beyond what was buffered.
+	for ev := range ch {
+		t.Fatalf("event after cancel: %+v", ev)
+	}
+}
+
+// recvEvent reads one event with a timeout so broker bugs fail fast
+// instead of hanging the test binary.
+func recvEvent(t *testing.T, ch <-chan ProgressEvent) ProgressEvent {
+	t.Helper()
+	select {
+	case ev, ok := <-ch:
+		if !ok {
+			t.Fatal("channel closed while expecting an event")
+		}
+		return ev
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for progress event")
+	}
+	panic("unreachable")
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets is the histogram bucket layout used when a
+// histogram is created without an explicit one: log-scaled upper bounds
+// in seconds from 100µs to 100s, chosen so that sub-millisecond cache
+// lookups, millisecond heuristic solves and multi-second exact searches
+// all land in well-separated buckets. The implicit final bucket is
+// +Inf.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5,
+	10, 25, 50, 100,
+}
+
+// Histogram is a lock-free fixed-bucket histogram for latency-style
+// observations. Bucket upper bounds are set at construction (log-scaled
+// by default) and never change, so Observe is a linear scan over a
+// handful of float comparisons plus two atomic adds — cheap enough for
+// per-request recording on a serving hot path.
+//
+// Counts follow the Prometheus histogram convention: bucket i counts
+// observations ≤ bounds[i] (non-cumulative internally; the exporters
+// accumulate), with one extra overflow bucket for +Inf. The sum is kept
+// in integer nanoseconds, so concurrent Observe calls need no
+// compare-and-swap loop; the drift against a true float sum is below
+// one nanosecond per observation.
+type Histogram struct {
+	bounds []float64      // sorted upper bounds, in seconds
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf overflow
+	count  atomic.Int64
+	sumNS  atomic.Int64
+}
+
+// newHistogram builds a histogram over the given sorted upper bounds.
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// nopHistogram absorbs writes from nil registries. It is shared and
+// never read.
+var nopHistogram = newHistogram(DefaultLatencyBuckets)
+
+// Observe records one observation, in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	i := 0
+	for i < len(h.bounds) && seconds > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(seconds * 1e9))
+}
+
+// ObserveSince records the time elapsed since start — the idiomatic
+// call at the end of a request or stage.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values, in seconds.
+func (h *Histogram) Sum() float64 { return float64(h.sumNS.Load()) / 1e9 }
+
+// HistogramSnapshot is a point-in-time copy of a histogram: the bucket
+// upper bounds (seconds), the cumulative count at or below each bound
+// (Prometheus _bucket semantics; the final entry, for +Inf, equals
+// Count), the total count and the sum of observations in seconds.
+type HistogramSnapshot struct {
+	// Bounds holds the bucket upper bounds in seconds.
+	Bounds []float64
+	// Cumulative[i] counts observations ≤ Bounds[i]; the final extra
+	// entry counts everything (the +Inf bucket).
+	Cumulative []int64
+	// Count is the total number of observations.
+	Count int64
+	// Sum is the sum of all observations, in seconds.
+	Sum float64
+}
+
+// Snapshot copies the current histogram state. The per-bucket loads are
+// individually atomic; a snapshot taken while observations race may be
+// off by in-flight increments, never torn.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]int64, len(h.counts)),
+		Count:      h.count.Load(),
+		Sum:        h.Sum(),
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Cumulative[i] = cum
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) in seconds by linear
+// interpolation inside the bucket holding the target rank — the same
+// estimate Prometheus's histogram_quantile computes. Returns 0 with no
+// observations; observations beyond the last finite bound clamp to it.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var lo float64 // lower edge of the current bucket
+	var below int64
+	for i, ub := range s.Bounds {
+		c := s.Cumulative[i]
+		if float64(c) >= rank {
+			in := c - below // observations inside this bucket
+			if in == 0 {
+				return ub
+			}
+			return lo + (ub-lo)*(rank-float64(below))/float64(in)
+		}
+		below = c
+		lo = ub
+	}
+	// Target rank sits in the +Inf bucket: the finite bounds are all we
+	// know, so clamp to the largest one.
+	if n := len(s.Bounds); n > 0 {
+		return s.Bounds[n-1]
+	}
+	return 0
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req.latency")
+	h.Observe(0.0002) // bucket ≤ 0.00025
+	h.Observe(0.003)  // bucket ≤ 0.005
+	h.Observe(0.003)
+	h.Observe(2.0)   // bucket ≤ 2.5
+	h.Observe(500.0) // +Inf overflow
+
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.0002+0.003+0.003+2.0+500.0; math.Abs(got-want) > 1e-6 {
+		t.Errorf("Sum = %g, want %g", got, want)
+	}
+
+	s := h.Snapshot()
+	if len(s.Cumulative) != len(s.Bounds)+1 {
+		t.Fatalf("cumulative len %d, bounds len %d", len(s.Cumulative), len(s.Bounds))
+	}
+	// Cumulative counts are monotone and end at Count.
+	prev := int64(0)
+	for i, c := range s.Cumulative {
+		if c < prev {
+			t.Fatalf("cumulative[%d] = %d < previous %d", i, c, prev)
+		}
+		prev = c
+	}
+	if s.Cumulative[len(s.Cumulative)-1] != s.Count {
+		t.Errorf("final cumulative %d != count %d", s.Cumulative[len(s.Cumulative)-1], s.Count)
+	}
+	// The 0.0002 observation must land at or below the 0.00025 bound.
+	for i, ub := range s.Bounds {
+		if ub >= 0.00025 {
+			if s.Cumulative[i] < 1 {
+				t.Errorf("cumulative at bound %g = %d, want >= 1", ub, s.Cumulative[i])
+			}
+			break
+		}
+		if s.Cumulative[i] != 0 {
+			t.Errorf("cumulative at bound %g = %d, want 0", ub, s.Cumulative[i])
+		}
+	}
+}
+
+func TestHistogramExactBoundaryInclusive(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(1) // exactly on a bound: counts as ≤ 1 (Prometheus le semantics)
+	s := h.Snapshot()
+	if s.Cumulative[0] != 1 {
+		t.Errorf("observation on the bound fell in bucket %v", s.Cumulative)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 3, 4})
+	// 100 uniform observations in (0,1]: p50 should interpolate near 0.5.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); math.Abs(got-0.5) > 0.01 {
+		t.Errorf("p50 = %g, want ~0.5", got)
+	}
+	if got := s.Quantile(1.0); got != 1.0 {
+		t.Errorf("p100 = %g, want 1.0", got)
+	}
+
+	// Overflow observations clamp to the largest finite bound.
+	h2 := newHistogram([]float64{1, 2})
+	h2.Observe(100)
+	if got := h2.Snapshot().Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %g, want clamp to 2", got)
+	}
+
+	// Empty histogram.
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+}
+
+func TestHistogramObserveSince(t *testing.T) {
+	h := newHistogram(DefaultLatencyBuckets)
+	h.ObserveSince(time.Now().Add(-50 * time.Millisecond))
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if s := h.Sum(); s < 0.05 || s > 5 {
+		t.Errorf("Sum = %g, want ~0.05", s)
+	}
+}
+
+func TestHistogramNilRegistry(t *testing.T) {
+	var r *Registry
+	r.Histogram("x").Observe(1) // must not panic
+	r.Histogram("x").ObserveSince(time.Now())
+	if len(r.SnapshotHistograms()) != 0 {
+		t.Error("nil registry histogram snapshot not empty")
+	}
+}
+
+func TestHistogramRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Error("Histogram not idempotent")
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines
+// while snapshots are taken. Run under -race in CI.
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	var wg sync.WaitGroup
+	const workers, each = 8, 2000
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(float64(i%7) / 100)
+				if i%500 == 0 {
+					_ = h.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != workers*each {
+		t.Errorf("Count = %d, want %d", h.Count(), workers*each)
+	}
+	s := h.Snapshot()
+	if s.Cumulative[len(s.Cumulative)-1] != s.Count {
+		t.Errorf("cumulative tail %d != count %d", s.Cumulative[len(s.Cumulative)-1], s.Count)
+	}
+}

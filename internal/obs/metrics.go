@@ -8,23 +8,26 @@ import (
 )
 
 // Registry is a lightweight expvar-style metrics registry: named
-// monotone counters and settable gauges, all atomic, exported as a
-// JSON object over HTTP for long-running processes.
+// monotone counters, settable gauges and fixed-bucket latency
+// histograms, all atomic, exported as a JSON object (the default) or
+// Prometheus text exposition over HTTP for long-running processes.
 //
-// A nil *Registry is valid: Counter and Gauge return shared no-op
-// sinks, so instrumentation call sites need no guards. All methods are
-// safe for concurrent use.
+// A nil *Registry is valid: Counter, Gauge and Histogram return shared
+// no-op sinks, so instrumentation call sites need no guards. All
+// methods are safe for concurrent use.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty metrics registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -93,8 +96,29 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns the latency histogram with the given name (default
+// log-scaled buckets, see DefaultLatencyBuckets), creating it on first
+// use. On a nil registry it returns a shared discard histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nopHistogram
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = newHistogram(DefaultLatencyBuckets)
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // Snapshot returns the current value of every counter and gauge, keyed
-// by name. Counters and gauges share the namespace.
+// by name. Counters and gauges share the namespace; on a name collision
+// the counter wins deterministically (historically the map iterated
+// second silently overwrote the other kind, so the winner depended on
+// range order). Histograms are not part of the scalar snapshot — see
+// SnapshotHistograms.
 func (r *Registry) Snapshot() map[string]int64 {
 	out := make(map[string]int64)
 	if r == nil {
@@ -102,21 +126,67 @@ func (r *Registry) Snapshot() map[string]int64 {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for name, c := range r.counters {
-		out[name] = c.Value()
-	}
 	for name, g := range r.gauges {
 		out[name] = g.Value()
+	}
+	// Counters written second: a same-named counter deterministically
+	// shadows the gauge regardless of map iteration order.
+	for name, c := range r.counters {
+		out[name] = c.Value()
 	}
 	return out
 }
 
-// ServeHTTP writes the registry as a JSON object with sorted keys, so
-// a Registry can be mounted directly as an HTTP handler.
-func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+// SnapshotHistograms returns a point-in-time copy of every histogram,
+// keyed by name.
+func (r *Registry) SnapshotHistograms() map[string]HistogramSnapshot {
+	out := make(map[string]HistogramSnapshot)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, h := range r.histograms {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// JSONSnapshot flattens the whole registry — counters, gauges and
+// histogram summaries — into one JSON-encodable map of numbers.
+// Histograms contribute derived scalar series (<name>.count,
+// <name>.sum_ms, <name>.p50_ms, <name>.p99_ms), so existing consumers
+// that decode /metrics as a flat map of numbers keep working.
+func (r *Registry) JSONSnapshot() map[string]any {
+	out := make(map[string]any)
+	for name, v := range r.Snapshot() {
+		out[name] = v
+	}
+	for name, h := range r.SnapshotHistograms() {
+		out[name+".count"] = h.Count
+		out[name+".sum_ms"] = h.Sum * 1e3
+		out[name+".p50_ms"] = h.Quantile(0.50) * 1e3
+		out[name+".p99_ms"] = h.Quantile(0.99) * 1e3
+	}
+	return out
+}
+
+// ServeHTTP exports the registry. The default is a JSON object with
+// sorted keys (counters, gauges and flattened histogram summaries, see
+// JSONSnapshot); with ?format=prom, or when the Accept header prefers
+// text/plain, the Prometheus text exposition format is written instead
+// (see WritePrometheus), so the same endpoint serves dashboards and a
+// stock Prometheus scraper.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
+	if wantsPrometheus(req) {
+		w.Header().Set("Content-Type", PrometheusContentType)
+		_ = r.WritePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	// encoding/json sorts map keys, giving a stable export.
-	_ = enc.Encode(r.Snapshot())
+	_ = enc.Encode(r.JSONSnapshot())
 }

@@ -7,39 +7,80 @@ import (
 	"time"
 )
 
-// NewPrinter returns a ProgressFunc that renders snapshots as a live
-// single-line ticker on w (typically stderr): the line is rewritten in
-// place with carriage returns, at most once per interval. Snapshots
-// that change the phase always print immediately. The returned hook is
-// safe for concurrent use.
-//
-// Callers that enable the ticker should emit a final "\n" to w once
-// the solve returns, to move past the ticker line.
-func NewPrinter(w io.Writer, interval time.Duration) ProgressFunc {
-	if interval <= 0 {
-		interval = 200 * time.Millisecond
-	}
-	p := &printer{w: w, interval: interval}
-	return p.observe
-}
-
-type printer struct {
+// Printer renders progress snapshots as a live single-line ticker: the
+// line is rewritten in place with carriage returns, at most once per
+// interval. Snapshots that change the phase always print immediately,
+// and Flush forces the most recent snapshot out regardless of the
+// throttle, so the terminal state of a solve is never lost to the rate
+// limit. All methods are safe for concurrent use.
+type Printer struct {
 	mu       sync.Mutex
 	w        io.Writer
 	interval time.Duration
+	now      func() time.Time
 	last     time.Time
 	phase    string
+	pending  Snapshot // most recent snapshot, rendered or not
+	seen     bool     // at least one snapshot arrived
+	flushed  bool     // pending has been rendered
 }
 
-func (p *printer) observe(s Snapshot) {
+// NewPrinter returns a ProgressFunc that renders snapshots on w
+// (typically stderr) through a new Printer with the given interval.
+// Callers that need the final snapshot flushed keep the *Printer via
+// NewProgressTicker instead and call Flush once the solve returns.
+func NewPrinter(w io.Writer, interval time.Duration) ProgressFunc {
+	return NewProgressTicker(w, interval).Observe
+}
+
+// NewProgressTicker returns a Printer writing to w, rendering at most
+// once per interval (default 200ms when interval <= 0).
+func NewProgressTicker(w io.Writer, interval time.Duration) *Printer {
+	return newPrinterWithClock(w, interval, time.Now)
+}
+
+// newPrinterWithClock is NewProgressTicker with an injectable clock,
+// for deterministic throttle tests.
+func newPrinterWithClock(w io.Writer, interval time.Duration, now func() time.Time) *Printer {
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	return &Printer{w: w, interval: interval, now: now}
+}
+
+// Observe is the ProgressFunc of the printer: it records s as the
+// latest snapshot and renders it unless a same-phase render happened
+// less than one interval ago.
+func (p *Printer) Observe(s Snapshot) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	now := time.Now()
-	if s.Phase == p.phase && now.Sub(p.last) < p.interval {
+	p.pending = s
+	p.seen = true
+	now := p.now()
+	if s.Phase == p.phase && !p.last.IsZero() && now.Sub(p.last) < p.interval {
+		p.flushed = false
 		return
 	}
 	p.phase = s.Phase
 	p.last = now
+	p.render(s)
+}
+
+// Flush renders the most recent snapshot if the throttle suppressed it,
+// guaranteeing the final state of a solve reaches the terminal. It is a
+// no-op when nothing was suppressed or no snapshot ever arrived.
+func (p *Printer) Flush() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.seen || p.flushed {
+		return
+	}
+	p.render(p.pending)
+}
+
+// render writes one ticker line. Callers hold p.mu.
+func (p *Printer) render(s Snapshot) {
+	p.flushed = true
 	// Fixed-width fields so successive lines fully overwrite each other.
 	fmt.Fprintf(p.w, "\r[%-9s] nodes %-12d depth %-4d %10.0f nodes/s  conflicts %-10d %8s",
 		s.Phase, s.Nodes, s.MaxDepth, s.NodesPerSec, s.TotalConflicts(),

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type of the text exposition
+// format version this package writes.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// wantsPrometheus decides the /metrics representation: the explicit
+// ?format=prom query parameter wins, otherwise an Accept header that
+// asks for text/plain (what a stock Prometheus scraper sends) selects
+// the exposition format. Everything else stays JSON.
+func wantsPrometheus(req *http.Request) bool {
+	if req == nil {
+		return false
+	}
+	switch req.URL.Query().Get("format") {
+	case "prom", "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	return strings.Contains(req.Header.Get("Accept"), "text/plain")
+}
+
+// promName sanitizes a dot-separated metric name into the Prometheus
+// identifier charset [a-zA-Z0-9_:]: every other rune becomes '_', and
+// a leading digit gets a '_' prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a sample value the way Prometheus expects:
+// shortest-round-trip decimal, with +Inf for the overflow bucket bound.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every counter, gauge and histogram in the
+// Prometheus text exposition format (version 0.0.4): one # TYPE line
+// per family, counter/gauge samples verbatim, histograms as cumulative
+// <name>_bucket{le="…"} series (ending in le="+Inf") plus <name>_sum
+// and <name>_count. Dots in registry names become underscores
+// (server.cache.hits → server_cache_hits). Families are emitted in
+// sorted order, so the export of a quiesced process is byte-stable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	scalars := r.Snapshot()
+	hists := r.SnapshotHistograms()
+
+	// Split the scalar snapshot back into counters and gauges for the
+	// TYPE declarations. Snapshot already resolved collisions in favor
+	// of counters, so a name typed "counter" here carries that value.
+	r.mu.Lock()
+	kind := make(map[string]string, len(scalars))
+	for name := range r.gauges {
+		kind[name] = "gauge"
+	}
+	for name := range r.counters {
+		kind[name] = "counter"
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(scalars))
+	for name := range scalars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", pn, kind[name], pn, scalars[name]); err != nil {
+			return err
+		}
+	}
+
+	hnames := make([]string, 0, len(hists))
+	for name := range hists {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := hists[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		for i, ub := range h.Bounds {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(ub), h.Cumulative[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, promFloat(h.Sum), pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promSample is one parsed exposition line: name, optional le label,
+// value.
+type promSample struct {
+	name string
+	le   string
+	val  float64
+}
+
+// parseExposition is a minimal parser for the text exposition format:
+// it validates the overall line shape (# TYPE declarations, then
+// name[{le="…"}] value) and returns samples plus the declared family
+// types. It fails the test on any malformed line, standing in for
+// promtool without the dependency.
+func parseExposition(t *testing.T, b []byte) (samples []promSample, types map[string]string) {
+	t.Helper()
+	types = make(map[string]string)
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown family type in %q", line)
+			}
+			types[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		s := promSample{name: fields[0]}
+		if i := strings.IndexByte(s.name, '{'); i >= 0 {
+			label := s.name[i:]
+			s.name = s.name[:i]
+			if !strings.HasPrefix(label, `{le="`) || !strings.HasSuffix(label, `"}`) {
+				t.Fatalf("malformed label set in %q", line)
+			}
+			s.le = label[len(`{le="`) : len(label)-len(`"}`)]
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		s.val = v
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples, types
+}
+
+func TestWritePrometheusFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("server.requests.solve").Add(7)
+	r.Gauge("server.inflight").Set(2)
+	h := r.Histogram("server.latency.solve")
+	h.Observe(0.002)
+	h.Observe(0.004)
+	h.Observe(30)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, types := parseExposition(t, buf.Bytes())
+
+	if types["server_requests_solve"] != "counter" {
+		t.Errorf("counter family missing: %v", types)
+	}
+	if types["server_inflight"] != "gauge" {
+		t.Errorf("gauge family missing: %v", types)
+	}
+	if types["server_latency_solve"] != "histogram" {
+		t.Errorf("histogram family missing: %v", types)
+	}
+
+	byName := make(map[string]float64)
+	var buckets []promSample
+	for _, s := range samples {
+		if s.le != "" {
+			buckets = append(buckets, s)
+			continue
+		}
+		byName[s.name] = s.val
+	}
+	if byName["server_requests_solve"] != 7 {
+		t.Errorf("counter sample = %v", byName["server_requests_solve"])
+	}
+	if byName["server_inflight"] != 2 {
+		t.Errorf("gauge sample = %v", byName["server_inflight"])
+	}
+
+	// Histogram round-trip invariants: _count equals the +Inf bucket and
+	// the recorded observation count; _sum equals the histogram's sum;
+	// bucket series are cumulative (monotone in le order as written).
+	if got := byName["server_latency_solve_count"]; got != 3 {
+		t.Errorf("_count = %v, want 3", got)
+	}
+	if got, want := byName["server_latency_solve_sum"], h.Sum(); got != want {
+		t.Errorf("_sum = %v, want %v", got, want)
+	}
+	var lastVal float64
+	var sawInf bool
+	for _, b := range buckets {
+		if b.name != "server_latency_solve_bucket" {
+			t.Fatalf("unexpected bucket series %q", b.name)
+		}
+		if b.val < lastVal {
+			t.Errorf("bucket series not cumulative: le=%s value %v after %v", b.le, b.val, lastVal)
+		}
+		lastVal = b.val
+		if b.le == "+Inf" {
+			sawInf = true
+			if b.val != float64(h.Count()) {
+				t.Errorf("+Inf bucket = %v, want %d", b.val, h.Count())
+			}
+		}
+	}
+	if !sawInf {
+		t.Error("no +Inf bucket emitted")
+	}
+	if want := len(DefaultLatencyBuckets) + 1; len(buckets) != want {
+		t.Errorf("bucket series count = %d, want %d", len(buckets), want)
+	}
+}
+
+func TestWritePrometheusDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	r.Gauge("c").Set(1)
+	var first, second bytes.Buffer
+	if err := r.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("export not byte-stable:\n%q\n%q", first.String(), second.String())
+	}
+	if ai, bi := strings.Index(first.String(), "\na 1"), strings.Index(first.String(), "\nb 1"); ai > bi {
+		t.Errorf("families not sorted:\n%s", first.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"server.cache.hits": "server_cache_hits",
+		"already_fine":      "already_fine",
+		"with:colon":        "with:colon",
+		"9lead":             "_9lead",
+		"dash-y":            "dash_y",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWantsPrometheus(t *testing.T) {
+	mk := func(url, accept string) bool {
+		req := httptest.NewRequest("GET", url, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		return wantsPrometheus(req)
+	}
+	if !mk("/metrics?format=prom", "") {
+		t.Error("?format=prom not honored")
+	}
+	if !mk("/metrics?format=prometheus", "") {
+		t.Error("?format=prometheus not honored")
+	}
+	if mk("/metrics?format=json", "text/plain") {
+		t.Error("?format=json must beat the Accept header")
+	}
+	if !mk("/metrics", "text/plain;version=0.0.4") {
+		t.Error("Accept: text/plain not honored")
+	}
+	if mk("/metrics", "application/json") {
+		t.Error("JSON Accept header misrouted")
+	}
+	if mk("/metrics", "") {
+		t.Error("default must stay JSON")
+	}
+}
+
+func TestServeHTTPNegotiationAndHeaders(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("opp.calls").Add(2)
+	r.Histogram("lat").Observe(0.01)
+
+	// Prometheus representation.
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=prom", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != PrometheusContentType {
+		t.Errorf("prom Content-Type = %q", ct)
+	}
+	if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("prom Cache-Control = %q", cc)
+	}
+	if !strings.Contains(rec.Body.String(), "lat_bucket{le=") {
+		t.Errorf("no bucket series in %q", rec.Body.String())
+	}
+
+	// JSON stays the default and stays flat: every value a number, with
+	// histogram summary scalars alongside the counters.
+	rec = httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json Content-Type = %q", ct)
+	}
+	if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("json Cache-Control = %q", cc)
+	}
+	var flat map[string]float64
+	if err := json.Unmarshal(rec.Body.Bytes(), &flat); err != nil {
+		t.Fatalf("JSON export no longer flat numbers: %v\n%s", err, rec.Body.String())
+	}
+	if flat["opp.calls"] != 2 || flat["lat.count"] != 1 {
+		t.Errorf("export = %v", flat)
+	}
+	if _, ok := flat["lat.p99_ms"]; !ok {
+		t.Errorf("no p99 summary in %v", flat)
+	}
+}
+
+// TestSnapshotCollisionDeterministic is the regression test for the
+// historical Snapshot hazard where a gauge could silently overwrite a
+// same-named counter depending on map iteration order: the counter must
+// win, in the scalar snapshot and in both exports.
+func TestSnapshotCollisionDeterministic(t *testing.T) {
+	for i := 0; i < 20; i++ { // 20 rounds to shake out map-order luck
+		r := NewRegistry()
+		r.Gauge("dup").Set(111)
+		r.Counter("dup").Add(42)
+		if got := r.Snapshot()["dup"]; got != 42 {
+			t.Fatalf("round %d: snapshot[dup] = %d, want counter value 42", i, got)
+		}
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "# TYPE dup counter") || !strings.Contains(out, fmt.Sprintf("dup %d", 42)) {
+			t.Fatalf("round %d: prom export lost the counter:\n%s", i, out)
+		}
+	}
+}

@@ -39,4 +39,22 @@ const (
 	// MetricStrategyRequests is the prefix of the per-strategy request
 	// counters: "server.strategy.staged", "server.strategy.portfolio".
 	MetricStrategyRequests = "server.strategy"
+
+	// MetricRequestLatency is the prefix of the per-endpoint
+	// request-latency histograms: server.latency.solve,
+	// server.latency.minimize_time, … (seconds, log-scaled buckets).
+	MetricRequestLatency = "server.latency"
+	// MetricQueueWait histograms the time admitted requests spent
+	// waiting for a solve slot.
+	MetricQueueWait = "server.queue.wait"
+	// MetricCacheLookup histograms result-cache lookup latency
+	// (hits and misses alike).
+	MetricCacheLookup = "server.cache.lookup"
+	// MetricStageLatency is the prefix of the per-stage solve-duration
+	// histograms: server.stage.bounds, server.stage.heuristic,
+	// server.stage.search.
+	MetricStageLatency = "server.stage"
+	// MetricProgressSubscribers gauges currently connected SSE progress
+	// subscribers (GET /v1/progress/{id}).
+	MetricProgressSubscribers = "server.progress.subscribers"
 )

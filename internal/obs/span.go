@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// Span is one node of a request-scoped trace tree: a named unit of work
+// with a unique ID, a link to its parent, the request ID shared by the
+// whole tree, attributes, and a start/duration. Spans are carried
+// through context.Context (StartSpan / SpanFromContext) and emitted as
+// "span" events through the Tracer when ended, so one JSONL trace
+// reconstructs exactly where a slow request spent its time:
+//
+//	{"ev":"span","name":"request","span_id":"…","request_id":"…","dur_ms":…}
+//	{"ev":"span","name":"opp","span_id":"…","parent_id":"…","request_id":"…",…}
+//
+// A nil *Span is valid and ignores every call, so instrumentation sites
+// need no guards; StartSpan returns nil (and the context unchanged)
+// when no tracer is reachable, keeping the untraced hot path free of
+// allocations.
+type Span struct {
+	tr    *Tracer
+	name  string
+	id    string
+	par   string // parent span ID, "" for a root span
+	req   string // request ID shared by the tree
+	start time.Time
+
+	mu    sync.Mutex
+	attrs map[string]any
+	ended bool
+}
+
+// spanKey and requestIDKey are the context keys for the active span and
+// the request ID.
+type spanKey struct{}
+type requestIDKey struct{}
+
+// NewRequestID returns a fresh 16-hex-digit request identifier. IDs are
+// random, not sequential, so IDs from multiple replicas can be mixed in
+// one log stream without collisions.
+func NewRequestID() string {
+	return fmt.Sprintf("%016x", rand.Uint64())
+}
+
+// newSpanID returns a short unique span identifier.
+func newSpanID() string {
+	return fmt.Sprintf("%08x", rand.Uint32())
+}
+
+// ContextWithRequestID attaches a request ID to ctx; spans started
+// under it inherit the ID as their tree's request_id.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFromContext returns the request ID attached to ctx ("" if
+// none): either set explicitly with ContextWithRequestID or inherited
+// from an active span.
+func RequestIDFromContext(ctx context.Context) string {
+	if s, ok := ctx.Value(spanKey{}).(*Span); ok && s != nil {
+		return s.req
+	}
+	if id, ok := ctx.Value(requestIDKey{}).(string); ok {
+		return id
+	}
+	return ""
+}
+
+// SpanFromContext returns the active span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a span named name as a child of the span active in
+// ctx (a root span if there is none) and returns a context carrying it.
+// tr selects the tracer for a root span; child spans inherit their
+// parent's tracer, so passing nil deep in the stack still traces when a
+// caller higher up attached one. With no tracer reachable at all the
+// original context and a nil span are returned — the disabled path
+// costs one context lookup and nothing else.
+//
+// End the returned span exactly once; the "span" event is emitted at
+// End time, carrying the final duration and attributes.
+func StartSpan(ctx context.Context, tr *Tracer, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent != nil && tr == nil {
+		tr = parent.tr
+	}
+	if tr == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		tr:    tr,
+		name:  name,
+		id:    newSpanID(),
+		start: time.Now(),
+	}
+	if parent != nil {
+		s.par = parent.id
+		s.req = parent.req
+	} else if id, ok := ctx.Value(requestIDKey{}).(string); ok {
+		s.req = id
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// ID returns the span's unique identifier ("" on a nil span).
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// RequestID returns the request ID the span's tree belongs to.
+func (s *Span) RequestID() string {
+	if s == nil {
+		return ""
+	}
+	return s.req
+}
+
+// SetAttr attaches an attribute to the span; it is merged into the
+// emitted "span" event. No-op on a nil span or after End.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, 4)
+	}
+	s.attrs[key] = value
+}
+
+// End closes the span and emits its "span" event with the final
+// duration. Idempotent and nil-safe, so deferred Ends compose with
+// early-exit paths that already ended the span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	f := map[string]any{
+		"name":    s.name,
+		"span_id": s.id,
+		"dur_ms":  float64(time.Since(s.start)) / float64(time.Millisecond),
+	}
+	if s.par != "" {
+		f["parent_id"] = s.par
+	}
+	if s.req != "" {
+		f["request_id"] = s.req
+	}
+	for k, v := range s.attrs {
+		f[k] = v
+	}
+	s.mu.Unlock()
+	s.tr.Emit("span", f)
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decodeSpans parses JSONL trace output and returns the span events.
+func decodeSpans(t *testing.T, b []byte) []map[string]any {
+	t.Helper()
+	var spans []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		if ev["ev"] == "span" {
+			spans = append(spans, ev)
+		}
+	}
+	return spans
+}
+
+func TestSpanTreeConnected(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+
+	ctx := ContextWithRequestID(context.Background(), "req-abc")
+	ctx, root := StartSpan(ctx, tr, "request")
+	root.SetAttr("endpoint", "solve")
+
+	// Child inherits the tracer from its parent: nil tr deep in the stack.
+	cctx, stage := StartSpan(ctx, nil, "stage")
+	_, probe := StartSpan(cctx, nil, "probe")
+	probe.End()
+	stage.End()
+	root.End()
+
+	spans := decodeSpans(t, buf.Bytes())
+	if len(spans) != 3 {
+		t.Fatalf("got %d span events, want 3:\n%s", len(spans), buf.String())
+	}
+	byName := make(map[string]map[string]any)
+	for _, s := range spans {
+		byName[s["name"].(string)] = s
+	}
+	for _, name := range []string{"request", "stage", "probe"} {
+		s := byName[name]
+		if s == nil {
+			t.Fatalf("missing span %q", name)
+		}
+		if s["request_id"] != "req-abc" {
+			t.Errorf("span %q request_id = %v", name, s["request_id"])
+		}
+		if _, ok := s["dur_ms"].(float64); !ok {
+			t.Errorf("span %q has no duration", name)
+		}
+	}
+	if byName["stage"]["parent_id"] != byName["request"]["span_id"] {
+		t.Errorf("stage not parented to request: %v", byName["stage"])
+	}
+	if byName["probe"]["parent_id"] != byName["stage"]["span_id"] {
+		t.Errorf("probe not parented to stage: %v", byName["probe"])
+	}
+	if byName["request"]["parent_id"] != nil {
+		t.Errorf("root has a parent: %v", byName["request"])
+	}
+	if byName["request"]["endpoint"] != "solve" {
+		t.Errorf("attr lost: %v", byName["request"])
+	}
+}
+
+func TestStartSpanNoTracerIsFree(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, nil, "x")
+	if s != nil {
+		t.Fatal("got a span with no tracer reachable")
+	}
+	if ctx2 != ctx {
+		t.Error("context rewrapped on the disabled path")
+	}
+	// All methods nil-safe.
+	s.SetAttr("k", 1)
+	s.End()
+	s.End()
+	if s.ID() != "" || s.RequestID() != "" {
+		t.Error("nil span leaked identity")
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	_, s := StartSpan(context.Background(), tr, "once")
+	s.End()
+	s.End()
+	s.End()
+	if got := strings.Count(buf.String(), `"ev":"span"`); got != 1 {
+		t.Errorf("End emitted %d events, want 1:\n%s", got, buf.String())
+	}
+}
+
+func TestRequestIDPropagation(t *testing.T) {
+	ctx := context.Background()
+	if RequestIDFromContext(ctx) != "" {
+		t.Error("empty context has a request ID")
+	}
+	ctx = ContextWithRequestID(ctx, "r1")
+	if RequestIDFromContext(ctx) != "r1" {
+		t.Error("request ID lost")
+	}
+	var buf bytes.Buffer
+	ctx, s := StartSpan(ctx, NewTracer(&buf), "root")
+	if s.RequestID() != "r1" {
+		t.Errorf("span request ID = %q", s.RequestID())
+	}
+	if RequestIDFromContext(ctx) != "r1" {
+		t.Error("request ID not readable through the span")
+	}
+	if SpanFromContext(ctx) != s {
+		t.Error("SpanFromContext mismatch")
+	}
+}
+
+func TestNewRequestIDShape(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if len(id) != 16 {
+			t.Fatalf("request ID %q not 16 hex digits", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate request ID %q", id)
+		}
+		seen[id] = true
+	}
+}

@@ -25,11 +25,13 @@ const maxRequestBytes = 8 << 20
 // solveMode describes one /v1/* endpoint: how to validate its
 // parameters, the cache key it owns, how to invoke the solver, and
 // which chip a cached witness placement must be re-verified against.
+// invoke also reports the per-stage wall-clock split of the solve so
+// serveSolve can feed the server.stage.* histograms.
 type solveMode struct {
 	name     string // metric suffix and cache-key prefix
 	validate func(*solveRequest) error
 	key      func(*solveRequest, string, string) string
-	invoke   func(context.Context, *fpga3d.Instance, *solveRequest, *fpga3d.Options) (*solveResponse, error)
+	invoke   func(context.Context, *fpga3d.Instance, *solveRequest, *fpga3d.Options) (*solveResponse, fpga3d.StageTimings, error)
 	// verifyChip returns the container a cached placement for this
 	// request must verify against, or ok=false when the cached entry
 	// carries no usable value.
@@ -51,10 +53,10 @@ var modeSolve = &solveMode{
 	key: func(req *solveRequest, hash, strat string) string {
 		return cacheKey("solve", hash, strat, req.Chip.W, req.Chip.H, req.Chip.T)
 	},
-	invoke: func(ctx context.Context, in *fpga3d.Instance, req *solveRequest, o *fpga3d.Options) (*solveResponse, error) {
+	invoke: func(ctx context.Context, in *fpga3d.Instance, req *solveRequest, o *fpga3d.Options) (*solveResponse, fpga3d.StageTimings, error) {
 		r, err := fpga3d.SolveCtx(ctx, in, *req.Chip, o)
 		if err != nil {
-			return nil, err
+			return nil, fpga3d.StageTimings{}, err
 		}
 		resp := &solveResponse{
 			Decision:  r.Decision.String(),
@@ -64,7 +66,7 @@ var modeSolve = &solveMode{
 			Placement: r.Placement,
 		}
 		resp.fillMakespan(in)
-		return resp, nil
+		return resp, r.Stages, nil
 	},
 	verifyChip: func(req *solveRequest, _ *solveResponse) (fpga3d.Chip, bool) {
 		return *req.Chip, true
@@ -83,9 +85,9 @@ var modeMinTime = &solveMode{
 	key: func(req *solveRequest, hash, strat string) string {
 		return cacheKey("minimize_time", hash, strat, req.W, req.H, 0)
 	},
-	invoke: func(ctx context.Context, in *fpga3d.Instance, req *solveRequest, o *fpga3d.Options) (*solveResponse, error) {
+	invoke: func(ctx context.Context, in *fpga3d.Instance, req *solveRequest, o *fpga3d.Options) (*solveResponse, fpga3d.StageTimings, error) {
 		r, err := fpga3d.MinimizeTimeCtx(ctx, in, req.W, req.H, o)
-		return optimizeResponse(in, r), err
+		return optimizeResponse(in, r), optimizeStages(r), err
 	},
 	verifyChip: func(req *solveRequest, resp *solveResponse) (fpga3d.Chip, bool) {
 		if resp.Value == nil {
@@ -107,9 +109,9 @@ var modeMinChip = &solveMode{
 	key: func(req *solveRequest, hash, strat string) string {
 		return cacheKey("minimize_chip", hash, strat, req.T, 0, 0)
 	},
-	invoke: func(ctx context.Context, in *fpga3d.Instance, req *solveRequest, o *fpga3d.Options) (*solveResponse, error) {
+	invoke: func(ctx context.Context, in *fpga3d.Instance, req *solveRequest, o *fpga3d.Options) (*solveResponse, fpga3d.StageTimings, error) {
 		r, err := fpga3d.MinimizeChipCtx(ctx, in, req.T, o)
-		return optimizeResponse(in, r), err
+		return optimizeResponse(in, r), optimizeStages(r), err
 	},
 	verifyChip: func(req *solveRequest, resp *solveResponse) (fpga3d.Chip, bool) {
 		if resp.Value == nil {
@@ -117,6 +119,15 @@ var modeMinChip = &solveMode{
 		}
 		return fpga3d.Chip{W: *resp.Value, H: *resp.Value, T: req.T}, true
 	},
+}
+
+// optimizeStages extracts the stage split from an OptimizeResult,
+// tolerating the nil result of a canceled run.
+func optimizeStages(r *fpga3d.OptimizeResult) fpga3d.StageTimings {
+	if r == nil {
+		return fpga3d.StageTimings{}
+	}
+	return r.Stages
 }
 
 // optimizeResponse converts an OptimizeResult (possibly the partial
@@ -190,28 +201,57 @@ func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request, m *solveMode
 		strat = strategy.NameStaged
 	}
 	s.reg.Counter(obs.MetricStrategyRequests + "." + strat).Inc()
+	reqID := obs.RequestIDFromContext(r.Context())
+	info := infoFromContext(r.Context())
+	if info != nil {
+		info.strategy = strat
+	}
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
 
+	// The live-progress stream opens before cache and admission so a
+	// subscriber holding the request ID can attach while this request
+	// is still queued; even a cache hit then yields a terminal event.
+	var progress obs.ProgressFunc
+	if s.broker != nil && reqID != "" {
+		pub, closeStream := s.broker.Open(reqID)
+		progress = pub
+		defer closeStream()
+	}
+
 	key := m.key(&req, in.CanonicalHash(), strat)
 	if !req.NoCache {
-		if cached, ok := s.cache.Get(key); ok && s.servable(in, &req, m, cached) {
+		lookup := time.Now()
+		cached, ok := s.cache.Get(key)
+		s.reg.Histogram(obs.MetricCacheLookup).ObserveSince(lookup)
+		if ok && s.servable(in, &req, m, cached) {
 			s.reg.Counter(obs.MetricCacheHits).Inc()
+			if info != nil {
+				info.cache = "hit"
+			}
 			out := *cached
 			out.Cached = true
+			out.RequestID = reqID
 			s.writeJSON(w, http.StatusOK, &out)
 			return
 		}
 		s.reg.Counter(obs.MetricCacheMisses).Inc()
+		if info != nil {
+			info.cache = "miss"
+		}
+	} else if info != nil {
+		info.cache = "bypass"
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
+	enqueued := time.Now()
 	release, err := s.pool.Acquire(ctx)
+	s.reg.Histogram(obs.MetricQueueWait).ObserveSince(enqueued)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull):
@@ -230,8 +270,15 @@ func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request, m *solveMode
 	}
 	defer release()
 
-	o := &fpga3d.Options{Workers: s.cfg.Workers, Metrics: s.reg, Strategy: strat}
-	resp, err := m.invoke(ctx, in, &req, o)
+	o := &fpga3d.Options{
+		Workers:  s.cfg.Workers,
+		Metrics:  s.reg,
+		Strategy: strat,
+		Progress: progress,
+		Trace:    s.tracer,
+	}
+	resp, stages, err := m.invoke(ctx, in, &req, o)
+	s.observeStages(stages)
 	if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
 		s.reg.Counter(obs.MetricSolveErrors).Inc()
 		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
@@ -241,6 +288,7 @@ func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request, m *solveMode
 		resp = &solveResponse{Decision: fpga3d.Unknown.String(), DecidedBy: "canceled"}
 	}
 	resp.Strategy = strat
+	resp.RequestID = reqID
 	if resp.Decision == fpga3d.Unknown.String() {
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			// The deadline cut the solve short: 504 with whatever
@@ -257,9 +305,24 @@ func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request, m *solveMode
 	if !req.NoCache && resp.Decision != fpga3d.Unknown.String() {
 		stored := *resp
 		stored.Cached = false
+		stored.RequestID = "" // per-request identity; never cached
 		s.cache.Put(key, &stored)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// observeStages feeds the per-stage solve-duration histograms; stages
+// the solve never entered (zero duration) are not recorded.
+func (s *Server) observeStages(st fpga3d.StageTimings) {
+	if st.Bounds > 0 {
+		s.reg.Histogram(obs.MetricStageLatency + "." + obs.PhaseBounds).Observe(st.Bounds.Seconds())
+	}
+	if st.Heuristic > 0 {
+		s.reg.Histogram(obs.MetricStageLatency + "." + obs.PhaseHeuristic).Observe(st.Heuristic.Seconds())
+	}
+	if st.Search > 0 {
+		s.reg.Histogram(obs.MetricStageLatency + "." + obs.PhaseSearch).Observe(st.Search.Seconds())
+	}
 }
 
 // servable decides whether a cached entry may answer this request. A
@@ -285,8 +348,10 @@ func (s *Server) servable(in *fpga3d.Instance, req *solveRequest, m *solveMode, 
 }
 
 // handleHealthz reports liveness and occupancy; during a drain it
-// flips to 503 so load balancers stop routing new work here.
+// flips to 503 so load balancers stop routing new work here. The body
+// is a point-in-time reading, so caches must not hold it.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
 	h := healthResponse{
 		Status:       "ok",
 		Inflight:     s.pool.Inflight(),

@@ -1,0 +1,401 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fpga3d/internal/obs"
+)
+
+// TestMetricsHeadersAndNegotiation: /metrics answers flat JSON by
+// default and Prometheus exposition when asked, both uncacheable; the
+// exposition carries at least one histogram family.
+func TestMetricsHeadersAndNegotiation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// One solve so histograms have data.
+	postSolve(t, ts.Client(), ts.URL+"/v1/solve", solveBody(t, easyInstance(), `{"w":4,"h":4,"t":6}`, ""))
+
+	get := func(url, accept string) (*http.Response, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(body)
+	}
+
+	resp, body := get(ts.URL+"/metrics", "")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("default /metrics Content-Type = %q, want application/json", ct)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("default /metrics Cache-Control = %q, want no-store", cc)
+	}
+	var flat map[string]float64
+	if err := json.Unmarshal([]byte(body), &flat); err != nil {
+		t.Fatalf("default /metrics is not a flat JSON map: %v", err)
+	}
+
+	for _, q := range []struct{ url, accept string }{
+		{ts.URL + "/metrics?format=prom", ""},
+		{ts.URL + "/metrics", "text/plain"},
+	} {
+		resp, body := get(q.url, q.accept)
+		if ct := resp.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+			t.Errorf("%s Accept=%q: Content-Type = %q, want %q", q.url, q.accept, ct, obs.PrometheusContentType)
+		}
+		if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("%s: Cache-Control = %q, want no-store", q.url, cc)
+		}
+		if !strings.Contains(body, "_bucket{le=") {
+			t.Errorf("%s: exposition has no histogram bucket series", q.url)
+		}
+		if !strings.Contains(body, "server_latency_solve_count") {
+			t.Errorf("%s: exposition missing solve latency count", q.url)
+		}
+	}
+}
+
+// TestHealthzHeaders: the liveness reading must not be cached.
+func TestHealthzHeaders(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("healthz Content-Type = %q, want application/json", ct)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("healthz Cache-Control = %q, want no-store", cc)
+	}
+}
+
+// TestRequestIDAssignment: the server assigns a request ID, echoes a
+// well-formed client-supplied one, and discards a malformed one; the
+// response body carries the same ID as the X-Request-Id header, and a
+// cache hit gets the hitting request's ID, not the filler's.
+func TestRequestIDAssignment(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := solveBody(t, easyInstance(), `{"w":4,"h":4,"t":6}`, "")
+
+	_, first, hdr := postSolve(t, ts.Client(), ts.URL+"/v1/solve", body)
+	id := hdr.Get("X-Request-Id")
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(id) {
+		t.Fatalf("assigned X-Request-Id = %q, want 16 hex digits", id)
+	}
+	if first.RequestID != id {
+		t.Fatalf("body request_id %q != header %q", first.RequestID, id)
+	}
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", "my-chosen.id_42")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second solveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&second); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "my-chosen.id_42" {
+		t.Fatalf("client-supplied ID not echoed: %q", got)
+	}
+	if !second.Cached {
+		t.Fatal("second identical request should be a cache hit")
+	}
+	if second.RequestID != "my-chosen.id_42" {
+		t.Fatalf("cache hit carries request_id %q, want the hitting request's ID", second.RequestID)
+	}
+
+	req, err = http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "not ok: spaces and é")
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(got) {
+		t.Fatalf("malformed client ID should be replaced, got %q", got)
+	}
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data progressWire
+}
+
+// readSSE consumes a text/event-stream body until the terminal "done"
+// event, EOF, or the deadline.
+func readSSE(t *testing.T, body io.Reader) []sseEvent {
+	t.Helper()
+	var events []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.data); err != nil {
+				t.Fatalf("SSE data is not valid JSON: %v in %q", err, line)
+			}
+		case line == "":
+			if cur.name != "" {
+				events = append(events, cur)
+				if cur.name == "done" {
+					return events
+				}
+				cur = sseEvent{}
+			}
+		}
+	}
+	return events
+}
+
+// TestProgressSSE: a subscriber holding the request ID of an in-flight
+// slow solve observes at least one live progress snapshot and the
+// terminal done event, with correct streaming headers.
+func TestProgressSSE(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 2})
+	const reqID = "sse-slow-solve"
+
+	solveDone := make(chan struct{})
+	go func() {
+		defer close(solveDone)
+		body := solveBody(t, hardInstance(), hardChipJSON, `"timeout_ms": 3000, "no_cache": true`)
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve", strings.NewReader(body))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Request-Id", reqID)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+
+	// The stream opens once the handler passes validation; retry until
+	// it exists (or the solve finished, leaving a replayable stream).
+	var resp *http.Response
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var err error
+		resp, err = ts.Client().Get(ts.URL + "/v1/progress/" + reqID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		resp.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatalf("progress stream never appeared (last status %d)", resp.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q, want text/event-stream", ct)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("Cache-Control = %q, want no-store", cc)
+	}
+
+	events := readSSE(t, resp.Body)
+	<-solveDone
+	if len(events) == 0 {
+		t.Fatal("no SSE events observed")
+	}
+	last := events[len(events)-1]
+	if last.name != "done" {
+		t.Fatalf("last event %q, want terminal done; events=%d", last.name, len(events))
+	}
+	var sawProgress bool
+	for _, ev := range events[:len(events)-1] {
+		if ev.name != "progress" {
+			t.Fatalf("unexpected event name %q", ev.name)
+		}
+		if ev.data.Phase != "" {
+			sawProgress = true
+		}
+	}
+	if !sawProgress && last.data.Phase == "" {
+		t.Fatal("no snapshot with a phase observed")
+	}
+
+	// The stream is finished but retained: a late subscriber gets the
+	// last snapshot and the terminal event immediately.
+	resp2, err := ts.Client().Get(ts.URL + "/v1/progress/" + reqID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("late subscribe: status %d", resp2.StatusCode)
+	}
+	replay := readSSE(t, resp2.Body)
+	if len(replay) == 0 || replay[len(replay)-1].name != "done" {
+		t.Fatalf("late subscriber events = %+v, want terminal done", replay)
+	}
+
+	// The handler decrements the gauge in a deferred call that may
+	// still be running when the client sees the terminal event.
+	waitFor(t, func() bool {
+		return s.Registry().Snapshot()[obs.MetricProgressSubscribers] == 0
+	})
+}
+
+// TestProgressNotFound: unknown IDs and malformed paths are rejected.
+func TestProgressNotFound(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := ts.Client().Get(ts.URL + "/v1/progress/never-seen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown stream: status %d, want 404", resp.StatusCode)
+	}
+	resp, err = ts.Client().Get(ts.URL + "/v1/progress/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty ID: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// syncBuffer is a goroutine-safe writer for capturing trace output
+// that is still being appended when the test starts reading.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestSpanTreeOverHTTP: a span-enabled fpgad request emits a connected
+// span tree — request → opp → stage — all sharing the request ID that
+// the response echoed.
+func TestSpanTreeOverHTTP(t *testing.T) {
+	var buf syncBuffer
+	_, ts := newTestServer(t, Config{Tracer: obs.NewTracer(&buf)})
+	_, _, hdr := postSolve(t, ts.Client(), ts.URL+"/v1/solve",
+		solveBody(t, easyInstance(), `{"w":4,"h":4,"t":6}`, `"no_cache": true`))
+	reqID := hdr.Get("X-Request-Id")
+	if reqID == "" {
+		t.Fatal("no X-Request-Id on response")
+	}
+
+	// The request span ends after the response is written; wait for it.
+	waitFor(t, func() bool {
+		return strings.Contains(buf.String(), `"name":"request"`)
+	})
+
+	type span struct {
+		id, parent, name, reqID string
+	}
+	spans := map[string]span{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line %q: %v", line, err)
+		}
+		if ev["ev"] != "span" {
+			continue
+		}
+		sp := span{}
+		sp.id, _ = ev["span_id"].(string)
+		sp.parent, _ = ev["parent_id"].(string)
+		sp.name, _ = ev["name"].(string)
+		sp.reqID, _ = ev["request_id"].(string)
+		spans[sp.id] = sp
+	}
+
+	var root span
+	var haveRoot bool
+	counts := map[string]int{}
+	for _, sp := range spans {
+		counts[sp.name]++
+		if sp.name == "request" {
+			root, haveRoot = sp, true
+		}
+		if sp.reqID != reqID {
+			t.Errorf("span %q carries request_id %q, want %q", sp.name, sp.reqID, reqID)
+		}
+	}
+	if !haveRoot {
+		t.Fatal("no request span emitted")
+	}
+	if root.parent != "" {
+		t.Fatalf("request span has parent %q, want none", root.parent)
+	}
+	if counts["opp"] == 0 {
+		t.Fatal("no opp span emitted")
+	}
+	if counts["stage"] == 0 {
+		t.Fatal("no stage span emitted")
+	}
+	// Every span must reach the request root through parent links.
+	for _, sp := range spans {
+		cur := sp
+		for hops := 0; cur.id != root.id; hops++ {
+			if hops > 10 {
+				t.Fatalf("span %q does not reach the request root", sp.name)
+			}
+			parent, ok := spans[cur.parent]
+			if !ok {
+				t.Fatalf("span %q has dangling parent %q", cur.name, cur.parent)
+			}
+			cur = parent
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"fpga3d/internal/obs"
+)
+
+// progressWire is the JSON body of one SSE "progress" (or terminal
+// "done") event on GET /v1/progress/{request-id}: a point-in-time
+// reading of the solve identified by the request ID.
+type progressWire struct {
+	Phase       string  `json:"phase"`
+	Nodes       int64   `json:"nodes"`
+	NodesPerSec float64 `json:"nodes_per_sec"`
+	MaxDepth    int     `json:"max_depth"`
+	Conflicts   int64   `json:"conflicts"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+}
+
+// wireSnapshot converts an obs.Snapshot to the SSE body.
+func wireSnapshot(s obs.Snapshot) progressWire {
+	return progressWire{
+		Phase:       s.Phase,
+		Nodes:       s.Nodes,
+		NodesPerSec: s.NodesPerSec,
+		MaxDepth:    s.MaxDepth,
+		Conflicts:   s.TotalConflicts(),
+		ElapsedMS:   float64(s.Elapsed) / float64(time.Millisecond),
+	}
+}
+
+// handleProgress streams live solve progress for one request as
+// Server-Sent Events: GET /v1/progress/{request-id}, where the ID is
+// the X-Request-Id of an in-flight solve (client-chosen, or read from
+// a previous response). Each solver progress snapshot arrives as an
+// "event: progress" frame; when the solve finishes the stream ends
+// with a terminal "event: done" frame carrying the last snapshot.
+// Unknown (or already-evicted) request IDs answer 404.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/progress/")
+	if id == "" || strings.Contains(id, "/") {
+		s.writeError(w, http.StatusBadRequest, "use /v1/progress/{request-id}")
+		return
+	}
+	if s.broker == nil {
+		s.writeError(w, http.StatusNotFound, "progress streaming disabled")
+		return
+	}
+	ch, cancel, ok := s.broker.Subscribe(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no progress stream for request "+id)
+		return
+	}
+	defer cancel()
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		s.writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Accel-Buffering", "no") // keep reverse proxies from buffering the stream
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	gauge := s.reg.Gauge(obs.MetricProgressSubscribers)
+	gauge.Add(1)
+	defer gauge.Add(-1)
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			name := "progress"
+			if ev.Done {
+				name = "done"
+			}
+			body, err := json.Marshal(wireSnapshot(ev.Snapshot))
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, body); err != nil {
+				return
+			}
+			flusher.Flush()
+			if ev.Done {
+				return
+			}
+		}
+	}
+}

@@ -17,6 +17,8 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -53,6 +55,18 @@ type Config struct {
 	Registry *obs.Registry
 	// Logf, when non-nil, receives one line per notable server event.
 	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives one structured access-log record
+	// per request (request ID, endpoint, strategy, cache outcome,
+	// status, latency) plus the notable-event lines that would
+	// otherwise go to Logf.
+	Logger *slog.Logger
+	// Tracer, when non-nil, receives request/driver/stage span events
+	// for every request, connected by the request ID.
+	Tracer *obs.Tracer
+	// ProgressStreams bounds concurrently tracked live-progress streams
+	// for GET /v1/progress/{id} (0 means 64; negative disables the
+	// endpoint's backing broker).
+	ProgressStreams int
 	// EnablePprof mounts the net/http/pprof handlers under
 	// /debug/pprof/ for live profiling of a running daemon. Off by
 	// default: the profile endpoints expose goroutine stacks and heap
@@ -69,6 +83,9 @@ type Server struct {
 	reg      *obs.Registry
 	pool     *Pool
 	cache    *Cache
+	broker   *obs.ProgressBroker
+	log      *slog.Logger
+	tracer   *obs.Tracer
 	handler  http.Handler
 	httpSrv  *http.Server
 	draining atomic.Bool
@@ -90,16 +107,22 @@ func New(cfg Config) *Server {
 		reg = obs.NewRegistry()
 	}
 	s := &Server{
-		cfg:   cfg,
-		reg:   reg,
-		pool:  NewPool(cfg.MaxConcurrent, cfg.QueueDepth, reg),
-		cache: NewCache(cfg.CacheSize, reg),
+		cfg:    cfg,
+		reg:    reg,
+		pool:   NewPool(cfg.MaxConcurrent, cfg.QueueDepth, reg),
+		cache:  NewCache(cfg.CacheSize, reg),
+		log:    cfg.Logger,
+		tracer: cfg.Tracer,
+	}
+	if cfg.ProgressStreams >= 0 {
+		s.broker = obs.NewProgressBroker(cfg.ProgressStreams)
 	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/solve", func(w http.ResponseWriter, r *http.Request) { s.serveSolve(w, r, modeSolve) })
 	mux.HandleFunc("/v1/minimize-time", func(w http.ResponseWriter, r *http.Request) { s.serveSolve(w, r, modeMinTime) })
 	mux.HandleFunc("/v1/minimize-chip", func(w http.ResponseWriter, r *http.Request) { s.serveSolve(w, r, modeMinChip) })
+	mux.HandleFunc("/v1/progress/", s.handleProgress)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", reg)
 	if cfg.EnablePprof {
@@ -109,7 +132,7 @@ func New(cfg Config) *Server {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	s.handler = s.recoverPanics(mux)
+	s.handler = s.instrument(s.recoverPanics(mux))
 
 	s.httpSrv = &http.Server{
 		Handler:           s.handler,
@@ -158,9 +181,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.httpSrv.Shutdown(ctx)
 }
 
-// logf forwards to Config.Logf when set.
+// logf forwards notable-event lines to Config.Logf when set, else to
+// the structured Logger.
 func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
+	switch {
+	case s.cfg.Logf != nil:
 		s.cfg.Logf(format, args...)
+	case s.log != nil:
+		s.log.Info(fmt.Sprintf(format, args...))
 	}
 }

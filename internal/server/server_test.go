@@ -300,13 +300,16 @@ func TestHealthzAndMetricsEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var m map[string]int64
+	var m map[string]float64
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	if _, ok := m[obs.MetricRequestLatency+".healthz.count"]; !ok {
+		t.Fatalf("flat JSON metrics missing request-latency histogram summary; got keys %v", len(m))
 	}
 }
 

@@ -38,11 +38,15 @@ type solveRequest struct {
 // accompanies any witness placement. Strategy echoes the solve
 // strategy that produced the answer. Cached reports whether the
 // response was served from the canonical-instance cache without
-// invoking the solver.
+// invoking the solver. RequestID echoes the request's X-Request-Id
+// (assigned by the server when the client sent none); it also names
+// the live-progress stream at GET /v1/progress/{request_id}, and is
+// per-request, so it is blanked before a response is cached.
 type solveResponse struct {
 	Decision   string            `json:"decision"`
 	DecidedBy  string            `json:"decided_by,omitempty"`
 	Strategy   string            `json:"strategy,omitempty"`
+	RequestID  string            `json:"request_id,omitempty"`
 	Value      *int              `json:"value,omitempty"`
 	LowerBound *int              `json:"lower_bound,omitempty"`
 	Nodes      int64             `json:"nodes"`

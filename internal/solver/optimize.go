@@ -82,6 +82,8 @@ func (o Options) heurMinMakespan(in *model.Instance, W, H int, order *model.Orde
 func minTime(ctx context.Context, in *model.Instance, W, H int, order *model.Order, opt Options) (*OptResult, error) {
 	start := time.Now()
 	res := &OptResult{}
+	ctx, dspan := opt.driverSpan(ctx, "spp", in.Name)
+	defer func() { opt.endDriverSpan(dspan, res) }()
 	opt.Trace.Emit("solve_start", map[string]any{
 		"mode": "spp", "instance": in.Name, "n": in.N(), "W": W, "H": H,
 	})
@@ -210,6 +212,29 @@ func minTime(ctx context.Context, in *model.Instance, W, H int, order *model.Ord
 	return res, nil
 }
 
+// driverSpan opens the span of one optimization run (mode "spp",
+// "bmp", "bmp_fixed", …) as a child of the span carried by ctx — in
+// fpgad, the request span — rooted in the run's tracer otherwise. Nil
+// (and free beyond one context lookup) when no tracer is reachable.
+func (o Options) driverSpan(ctx context.Context, mode, instance string) (context.Context, *obs.Span) {
+	ctx, sp := obs.StartSpan(ctx, o.Trace, mode)
+	if sp != nil {
+		sp.SetAttr("instance", instance)
+	}
+	return ctx, sp
+}
+
+// endDriverSpan finishes an optimization run's span with its outcome.
+func (o Options) endDriverSpan(sp *obs.Span, res *OptResult) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("decision", res.Decision.String())
+	sp.SetAttr("value", res.Value)
+	sp.SetAttr("probes", res.Probes)
+	sp.End()
+}
+
 // probe records one optimization-loop probe in the trace.
 func (o Options) probe(mode string, fields map[string]any) {
 	if o.Trace == nil {
@@ -279,6 +304,8 @@ func MinBaseCtx(ctx context.Context, in *model.Instance, T int, opt Options) (*O
 func minBase(ctx context.Context, in *model.Instance, T int, order *model.Order, opt Options) (*OptResult, error) {
 	start := time.Now()
 	res := &OptResult{}
+	ctx, dspan := opt.driverSpan(ctx, "bmp", in.Name)
+	defer func() { opt.endDriverSpan(dspan, res) }()
 	opt.Trace.Emit("solve_start", map[string]any{
 		"mode": "bmp", "instance": in.Name, "n": in.N(), "T": T,
 	})
@@ -428,6 +455,8 @@ func MinBaseFixedScheduleCtx(ctx context.Context, in *model.Instance, starts []i
 	}
 	start := time.Now()
 	res := &OptResult{}
+	ctx, dspan := opt.driverSpan(ctx, "bmp_fixed", in.Name)
+	defer func() { opt.endDriverSpan(dspan, res) }()
 	lb := in.MaxW()
 	if h := in.MaxH(); h > lb {
 		lb = h

@@ -71,7 +71,7 @@ func TestTraceGoldenTinyOPP(t *testing.T) {
 	if r.Decision != Feasible || r.DecidedBy != "search" {
 		t.Fatalf("decision %v by %s", r.Decision, r.DecidedBy)
 	}
-	got := marshalEvents(t, normalizeTrace(traceLines(t, &buf)))
+	got := marshalEvents(t, normalizeTrace(nonSpanEvents(traceLines(t, &buf))))
 	want := []string{
 		`{"H":2,"T":2,"W":2,"ev":"opp_start","instance":"tiny","n":2}`,
 		`{"ev":"stage","phase":"search"}`,
@@ -127,7 +127,7 @@ func TestTraceFullFramework(t *testing.T) {
 	if r.Decision != Infeasible || !strings.HasPrefix(r.DecidedBy, "bound:") {
 		t.Fatalf("decision %v by %s", r.Decision, r.DecidedBy)
 	}
-	evs := traceLines(t, &buf)
+	evs := nonSpanEvents(traceLines(t, &buf))
 	if len(evs) != 2 || evs[0]["ev"] != "opp_start" || evs[1]["ev"] != "opp_end" {
 		t.Fatalf("bound-refuted events: %v", evs)
 	}
@@ -145,7 +145,7 @@ func TestTraceFullFramework(t *testing.T) {
 	if r.Decision != Feasible || r.DecidedBy != "heuristic" {
 		t.Fatalf("decision %v by %s", r.Decision, r.DecidedBy)
 	}
-	evs = traceLines(t, &buf)
+	evs = nonSpanEvents(traceLines(t, &buf))
 	var kinds []string
 	for _, e := range evs {
 		k := e["ev"].(string)
@@ -158,6 +158,19 @@ func TestTraceFullFramework(t *testing.T) {
 	if got := strings.Join(kinds, ","); got != want {
 		t.Errorf("event kinds %q, want %q", got, want)
 	}
+}
+
+// nonSpanEvents filters span events out of a trace, for assertions on
+// the exact sequence of the other event types (span structure has its
+// own tests).
+func nonSpanEvents(evs []map[string]any) []map[string]any {
+	var out []map[string]any
+	for _, e := range evs {
+		if e["ev"] != "span" {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // probingInstance returns a small random instance whose heuristic
@@ -199,12 +212,51 @@ func TestTraceMinTimeRun(t *testing.T) {
 	if counts["opp_start"] != counts["opp_end"] {
 		t.Errorf("unbalanced opp events: %v", counts)
 	}
-	first, last := evs[0], evs[len(evs)-1]
-	if first["ev"] != "solve_start" || last["ev"] != "solve_end" {
-		t.Errorf("first/last events %v / %v", first["ev"], last["ev"])
+	// The run's span closes when the driver returns, so the final event
+	// is the driver span; solve_end is the last non-span event before it.
+	first := evs[0]
+	if first["ev"] != "solve_start" {
+		t.Errorf("first event %v", first["ev"])
+	}
+	var last map[string]any
+	for _, e := range evs {
+		if e["ev"] != "span" {
+			last = e
+		}
+	}
+	if last["ev"] != "solve_end" {
+		t.Errorf("last non-span event %v", last["ev"])
 	}
 	if last["decision"] != "feasible" || last["value"] != float64(r.Value) {
 		t.Errorf("solve_end payload %v", last)
+	}
+	// Span tree: every opp span is parented to the spp driver span.
+	spans := map[string]map[string]any{} // span_id → event
+	for _, e := range evs {
+		if e["ev"] == "span" {
+			spans[e["span_id"].(string)] = e
+		}
+	}
+	var driverID string
+	for id, s := range spans {
+		if s["name"] == "spp" {
+			driverID = id
+		}
+	}
+	if driverID == "" {
+		t.Fatalf("no spp driver span in %v", spans)
+	}
+	opps := 0
+	for _, s := range spans {
+		if s["name"] == "opp" {
+			opps++
+			if s["parent_id"] != driverID {
+				t.Errorf("opp span not parented to driver: %v", s)
+			}
+		}
+	}
+	if opps != counts["opp_start"] {
+		t.Errorf("%d opp spans for %d opp_start events", opps, counts["opp_start"])
 	}
 	// The metrics registry saw the same run.
 	snap := opt.Metrics.Snapshot()

@@ -48,6 +48,8 @@ func (s *Portfolio) Solve(ctx context.Context, p *Problem) (*Result, error) {
 	}
 	start := time.Now()
 	res := &Result{}
+	ctx, osp := e.oppSpan(ctx, p)
+	defer func() { e.endOPPSpan(osp, res) }()
 	e.Metrics.Counter("opp.calls").Inc()
 	e.Trace.Emit("opp_start", map[string]any{
 		"instance": p.In.Name, "n": p.In.N(), "W": p.C.W, "H": p.C.H, "T": p.C.T,
@@ -88,9 +90,11 @@ func (s *Portfolio) Solve(ctx context.Context, p *Problem) (*Result, error) {
 	// Sequential stages, as in Staged, but recording witnesses.
 	if !e.SkipBounds {
 		e.notifyPhase(obs.PhaseBounds)
+		ssp := e.stageSpan(ctx, obs.PhaseBounds)
 		s0 := time.Now()
 		bad, why := bounds.OPPInfeasible(p.In, p.C, p.Order)
 		res.Stages.Bounds = time.Since(s0)
+		ssp.End()
 		if bad {
 			res.Decision = Infeasible
 			res.DecidedBy = "bound: " + why
@@ -105,9 +109,11 @@ func (s *Portfolio) Solve(ctx context.Context, p *Problem) (*Result, error) {
 	}
 	if !e.SkipHeuristic {
 		e.notifyPhase(obs.PhaseHeuristic)
+		ssp := e.stageSpan(ctx, obs.PhaseHeuristic)
 		s0 := time.Now()
 		hp, mk, hok := e.heurWitness(p)
 		res.Stages.Heuristic = time.Since(s0)
+		ssp.End()
 		if hok && mk <= p.C.T {
 			pl := hp.Clone()
 			if err := pl.Verify(p.In, p.C, p.Order); err != nil {
@@ -168,6 +174,8 @@ func (s *Portfolio) race(ctx context.Context, p *Problem, res *Result, start tim
 	ch := make(chan raceAnswer, 2)
 
 	go func() { // prover: stage 1 then stage 2
+		psp := e.stageSpan(ctx, "prover")
+		defer psp.End()
 		pr := &Result{}
 		if !e.SkipBounds {
 			s0 := time.Now()
@@ -202,6 +210,8 @@ func (s *Portfolio) race(ctx context.Context, p *Problem, res *Result, start tim
 	}()
 
 	go func() { // exact search under the cancelable sub-context
+		ssp := e.stageSpan(sctx, obs.PhaseSearch)
+		defer ssp.End()
 		sr := &Result{}
 		// A task exceeding the container in some dimension is trivially
 		// infeasible; the engine treats such input as a programmer error

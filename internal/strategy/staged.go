@@ -37,6 +37,8 @@ func (s *Staged) Solve(ctx context.Context, p *Problem) (*Result, error) {
 	e := s.env
 	start := time.Now()
 	res := &Result{}
+	ctx, osp := e.oppSpan(ctx, p)
+	defer func() { e.endOPPSpan(osp, res) }()
 	e.Metrics.Counter("opp.calls").Inc()
 	e.Trace.Emit("opp_start", map[string]any{
 		"instance": p.In.Name, "n": p.In.N(), "W": p.C.W, "H": p.C.H, "T": p.C.T,
@@ -57,9 +59,11 @@ func (s *Staged) Solve(ctx context.Context, p *Problem) (*Result, error) {
 	// Stage 1: lower bounds.
 	if !e.SkipBounds {
 		e.notifyPhase(obs.PhaseBounds)
+		ssp := e.stageSpan(ctx, obs.PhaseBounds)
 		s0 := time.Now()
 		bad, why := bounds.OPPInfeasible(p.In, p.C, p.Order)
 		res.Stages.Bounds = time.Since(s0)
+		ssp.End()
 		if bad {
 			res.Decision = Infeasible
 			res.DecidedBy = "bound: " + why
@@ -80,9 +84,11 @@ func (s *Staged) Solve(ctx context.Context, p *Problem) (*Result, error) {
 	// a single stage-2 computation without changing any answer.
 	if !e.SkipHeuristic {
 		e.notifyPhase(obs.PhaseHeuristic)
+		ssp := e.stageSpan(ctx, obs.PhaseHeuristic)
 		s0 := time.Now()
 		hp, mk, hok := e.heurWitness(p)
 		res.Stages.Heuristic = time.Since(s0)
+		ssp.End()
 		if hok && mk <= p.C.T {
 			pl := hp.Clone()
 			if err := pl.Verify(p.In, p.C, p.Order); err != nil {
@@ -110,10 +116,12 @@ func (s *Staged) Solve(ctx context.Context, p *Problem) (*Result, error) {
 func (e *Env) solveSearch(ctx context.Context, p *Problem, res *Result, start time.Time, extra map[string]any) (*Result, error) {
 	e.notifyPhase(obs.PhaseSearch)
 	e.Trace.Emit("stage", map[string]any{"phase": obs.PhaseSearch})
+	ssp := e.stageSpan(ctx, obs.PhaseSearch)
 	s0 := time.Now()
 	prob := BuildProblem(p.In, p.C, p.Order, nil)
 	r := core.Solve(prob, e.SearchOpts(ctx))
 	res.Stages.Search = time.Since(s0)
+	ssp.End()
 	res.Stats = r.Stats
 	res.Elapsed = time.Since(start)
 	e.Metrics.Counter(obs.MetricSearchNodes).Add(r.Stats.Nodes)
@@ -152,11 +160,15 @@ func (e *Env) solveSearch(ctx context.Context, p *Problem, res *Result, start ti
 func (e *Env) solveFixed(ctx context.Context, p *Problem, extra map[string]any) (*Result, error) {
 	start := time.Now()
 	res := &Result{}
+	ctx, osp := e.oppSpan(ctx, p)
+	defer func() { e.endOPPSpan(osp, res) }()
 	e.Metrics.Counter("opp.calls").Inc()
 	e.Trace.Emit("opp_start", map[string]any{
 		"instance": p.In.Name, "n": p.In.N(), "W": p.C.W, "H": p.C.H, "T": p.C.T, "fixed_schedule": true,
 	})
 	e.notifyPhase(obs.PhaseSearch)
+	ssp := e.stageSpan(ctx, obs.PhaseSearch)
+	defer ssp.End()
 	prob := BuildProblem(p.In, p.C, p.Order, p.FixedStarts)
 	r := core.Solve(prob, e.SearchOpts(ctx))
 	res.Stats = r.Stats

@@ -164,6 +164,39 @@ func (e *Env) notifyPhase(phase string) {
 	}
 }
 
+// oppSpan opens the "opp" span of one probe — a child of whatever span
+// the caller's context carries (the optimization driver's, which in
+// fpgad descends from the request span), rooted in e.Trace otherwise.
+// With no tracer reachable it costs one context lookup and returns a
+// nil span.
+func (e *Env) oppSpan(ctx context.Context, p *Problem) (context.Context, *obs.Span) {
+	ctx, sp := obs.StartSpan(ctx, e.Trace, "opp")
+	if sp != nil {
+		sp.SetAttr("W", p.C.W)
+		sp.SetAttr("H", p.C.H)
+		sp.SetAttr("T", p.C.T)
+	}
+	return ctx, sp
+}
+
+// endOPPSpan finishes a probe's span with its outcome.
+func (e *Env) endOPPSpan(sp *obs.Span, res *Result) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("decision", res.Decision.String())
+	sp.SetAttr("decided_by", res.DecidedBy)
+	sp.End()
+}
+
+// stageSpan opens a "stage" span for one stage of the three-stage
+// framework, parented to the probe span in ctx (nil when untraced).
+func (e *Env) stageSpan(ctx context.Context, phase string) *obs.Span {
+	_, sp := obs.StartSpan(ctx, nil, "stage")
+	sp.SetAttr("phase", phase)
+	return sp
+}
+
 // heurWitness returns the greedy minimum-makespan placement for the
 // problem's chip, memoized in the incumbent store when one is
 // attached. ok is false only if some task does not fit the chip

@@ -15,6 +15,7 @@ package fpga3d
 // them set pays only a nil check on the hot path.
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -45,10 +46,26 @@ type ProgressFunc = obs.ProgressFunc
 // event schema). Safe for concurrent use.
 type Tracer = obs.Tracer
 
-// Metrics is a registry of named counters and gauges updated by the
-// solver. Safe for concurrent use; it implements http.Handler, serving
-// a JSON snapshot of all values.
+// Metrics is a registry of named counters, gauges and latency
+// histograms updated by the solver. Safe for concurrent use; it
+// implements http.Handler, serving a flat JSON snapshot by default and
+// Prometheus text exposition when the request asks for it
+// (?format=prom, or Accept: text/plain).
 type Metrics = obs.Registry
+
+// Histogram is a fixed-bucket latency histogram registered in a
+// Metrics registry; observations are lock-free atomic increments.
+type Histogram = obs.Histogram
+
+// Span is one timed operation in a request-scoped span tree. Spans are
+// emitted as "span" events through the run's Tracer when they end, and
+// child spans carry their parent's ID plus the shared request ID, so a
+// trace file reconstructs the whole tree. All methods are nil-safe.
+type Span = obs.Span
+
+// PrometheusContentType is the Content-Type of the Prometheus text
+// exposition served by a Metrics registry on content negotiation.
+const PrometheusContentType = obs.PrometheusContentType
 
 // Metric names published by the fpgad placement daemon (cmd/fpgad)
 // into its /metrics registry, alongside the solver's own opp.* and
@@ -78,6 +95,20 @@ const (
 	MetricCacheEvictions = obs.MetricCacheEvictions
 	// MetricCacheSize gauges resident result-cache entries.
 	MetricCacheSize = obs.MetricCacheSize
+	// MetricRequestLatency prefixes the per-endpoint request-latency
+	// histograms (server.latency.solve, …; seconds).
+	MetricRequestLatency = obs.MetricRequestLatency
+	// MetricQueueWait histograms time spent waiting for a solve slot.
+	MetricQueueWait = obs.MetricQueueWait
+	// MetricCacheLookup histograms result-cache lookup latency.
+	MetricCacheLookup = obs.MetricCacheLookup
+	// MetricStageLatency prefixes the per-stage solve-duration
+	// histograms (server.stage.bounds, server.stage.heuristic,
+	// server.stage.search).
+	MetricStageLatency = obs.MetricStageLatency
+	// MetricProgressSubscribers gauges connected SSE progress
+	// subscribers on GET /v1/progress/{id}.
+	MetricProgressSubscribers = obs.MetricProgressSubscribers
 )
 
 // NewTracer returns a Tracer emitting JSON Lines to w.
@@ -91,4 +122,27 @@ func NewMetrics() *Metrics { return obs.NewRegistry() }
 // (200ms if interval <= 0).
 func ProgressPrinter(w io.Writer, interval time.Duration) ProgressFunc {
 	return obs.NewPrinter(w, interval)
+}
+
+// NewRequestID returns a fresh 16-hex-digit identifier for correlating
+// one request's spans, trace events and log lines.
+func NewRequestID() string { return obs.NewRequestID() }
+
+// ContextWithRequestID stamps ctx with a request ID; spans started
+// under the returned context inherit it.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return obs.ContextWithRequestID(ctx, id)
+}
+
+// RequestIDFromContext returns the request ID carried by ctx ("" if
+// none).
+func RequestIDFromContext(ctx context.Context) string {
+	return obs.RequestIDFromContext(ctx)
+}
+
+// StartSpan opens a span named name under ctx, emitting to tr (or, for
+// a child span, to its parent's tracer when tr is nil). It returns ctx
+// unchanged plus a nil span — free — when no tracer is reachable.
+func StartSpan(ctx context.Context, tr *Tracer, name string) (context.Context, *Span) {
+	return obs.StartSpan(ctx, tr, name)
 }

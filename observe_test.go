@@ -35,23 +35,34 @@ func TestObservabilityAPI(t *testing.T) {
 		t.Errorf("Stats.Nodes %d != Nodes %d", r.Stats.Nodes, r.Nodes)
 	}
 
-	// Every trace line is a JSON object bracketed by solve_start/solve_end.
+	// Every trace line is a JSON object; the solver's event stream is
+	// bracketed by solve_start/solve_end, and the run's span tree ends
+	// after (spans close when the driver returns).
 	lines := strings.Split(strings.TrimSuffix(trace.String(), "\n"), "\n")
 	if len(lines) < 2 {
 		t.Fatalf("trace has %d lines", len(lines))
 	}
-	var first, last map[string]any
-	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
-		t.Fatal(err)
+	var events, spans []map[string]any
+	for _, line := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev["ev"] == "span" {
+			spans = append(spans, ev)
+		} else {
+			events = append(events, ev)
+		}
 	}
-	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
-		t.Fatal(err)
-	}
+	first, last := events[0], events[len(events)-1]
 	if first["ev"] != "solve_start" || last["ev"] != "solve_end" {
 		t.Errorf("trace brackets %v … %v", first["ev"], last["ev"])
 	}
 	if last["value"] != float64(r.Value) {
 		t.Errorf("solve_end value %v, result %d", last["value"], r.Value)
+	}
+	if len(spans) == 0 {
+		t.Error("trace carries no span events")
 	}
 
 	if progress.Len() == 0 {
