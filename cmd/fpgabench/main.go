@@ -12,7 +12,8 @@
 //
 //	fpgabench [-quick] [-runs N] [-out report.json]
 //	          [-baseline BENCH_core.json] [-tolerance 0.5] [-floor 25ms]
-//	          [-compare-ref] [-compare-strategy] [-workers N] [-list]
+//	          [-compare-ref] [-compare-strategy] [-compare-parallel N]
+//	          [-workers N] [-list]
 //
 // Exit codes: 0 success, 1 usage or solver error, 2 regression against
 // the baseline (or determinism violation).
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -49,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		compareRef      = fs.Bool("compare-ref", false, "also time the reference rule paths and record the speedup")
 		workers         = fs.Int("workers", 0, "additionally time optimization sweeps with this worker pool")
 		compareStrategy = fs.Bool("compare-strategy", false, "also run every case under the portfolio strategy; exit 2 if it changes an answer, or increases a node count on a paper instance")
+		compareParallel = fs.Int("compare-parallel", 0, "also run single-decision (opp) cases with an intra-probe work-stealing pool of this size; exit 2 if any answer changes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -133,6 +136,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 			e.PortfolioNodes = &p.Nodes
 			e.PortfolioWallNS = p.WallNS
 		}
+		if *compareParallel > 1 && c.kind == "opp" {
+			// Intra-probe work stealing: the same single decision on a
+			// shared-tree pool. Answer equality is the gate; nodes and
+			// steals are sum-of-shards, recorded but never diffed.
+			pOpt := opt
+			pOpt.Workers = *compareParallel
+			p, err := measureCase(c, pOpt, *runs)
+			if err != nil {
+				fmt.Fprintf(stderr, "fpgabench: %s (parallel): %v\n", c.name, err)
+				return 1
+			}
+			if p.Status != e.Status || p.Value != e.Value {
+				fmt.Fprintf(stderr, "fpgabench: %s: parallel search changed the answer: %s/%d, sequential %s/%d\n",
+					c.name, p.Status, p.Value, e.Status, e.Value)
+				exit = 2
+			}
+			e.ParallelWorkers = *compareParallel
+			e.ParallelNodes = p.Nodes
+			e.ParallelSteals = p.Steals
+			e.ParallelWallNS = p.WallNS
+			if p.WallNS > 0 {
+				e.ParallelSpeedup = float64(e.WallNS) / float64(p.WallNS)
+			}
+		}
 		if *workers > 1 && c.kind != "opp" {
 			// Racing probes cancel each other, so stats are not
 			// deterministic here; record wall time only.
@@ -185,7 +212,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // error. With Workers > 1 racing probes cancel each other at
 // timing-dependent points, so only the answer is checked there.
 func measureCase(c benchCase, opt solver.Options, runs int) (Entry, error) {
-	e := Entry{Name: c.name, Kind: c.kind}
+	e := Entry{Name: c.name, Kind: c.kind, GoMaxProcs: runtime.GOMAXPROCS(0)}
 	var first core.Stats
 	for r := 0; r < runs; r++ {
 		start := time.Now()
@@ -198,6 +225,7 @@ func measureCase(c benchCase, opt solver.Options, runs int) (Entry, error) {
 			first = stats
 			e.Status, e.Value = status, value
 			e.Nodes, e.Propagations = stats.Nodes, stats.Propagations
+			e.Steals = stats.Steals
 			e.WallNS = int64(wall)
 			continue
 		}
@@ -233,6 +261,10 @@ func printEntry(w io.Writer, e Entry) {
 	}
 	if e.PortfolioNodes != nil {
 		line += fmt.Sprintf("  portfolio %8d", *e.PortfolioNodes)
+	}
+	if e.ParallelWorkers > 0 {
+		line += fmt.Sprintf("  par(%d) %10v  steals %4d  speedup %.2fx",
+			e.ParallelWorkers, time.Duration(e.ParallelWallNS).Round(time.Microsecond), e.ParallelSteals, e.ParallelSpeedup)
 	}
 	if e.WorkersWallNS > 0 {
 		line += fmt.Sprintf("  workers %10v", time.Duration(e.WorkersWallNS).Round(time.Microsecond))

@@ -60,6 +60,28 @@ type Entry struct {
 	// PortfolioWallNS is the best wall time under the portfolio
 	// strategy (present only in -compare-strategy reports).
 	PortfolioWallNS int64 `json:"portfolio_wall_ns,omitempty"`
+	// GoMaxProcs is the scheduler width actually in effect while this
+	// case was measured. The env block records the global value, but a
+	// per-case stamp keeps single-core-container runs honest: a
+	// parallel column measured at gomaxprocs 1 is time-slicing, not
+	// speedup.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	// Steals counts work-stealing subtree hand-offs during the measured
+	// run (run 0 of the repetitions; scheduling-dependent). Zero — and
+	// omitted — for sequential measurements.
+	Steals int64 `json:"steals,omitempty"`
+	// ParallelWorkers, ParallelNodes, ParallelSteals, ParallelWallNS
+	// and ParallelSpeedup describe the same decision re-run with an
+	// intra-probe work-stealing pool (-compare-parallel N; opp cases
+	// only). The answer is gated equal to the sequential run; nodes and
+	// steals are sum-of-shards and scheduling-dependent, recorded for
+	// inspection, never diffed. ParallelSpeedup is sequential wall over
+	// parallel wall.
+	ParallelWorkers int     `json:"parallel_workers,omitempty"`
+	ParallelNodes   int64   `json:"parallel_nodes,omitempty"`
+	ParallelSteals  int64   `json:"parallel_steals,omitempty"`
+	ParallelWallNS  int64   `json:"parallel_wall_ns,omitempty"`
+	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
 }
 
 // Report is the machine-readable output of a fpgabench run.

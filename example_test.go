@@ -106,6 +106,27 @@ func ExampleMinimizeChipCtx() {
 	// Output: feasible 17x17
 }
 
+// ExampleSolve_workers answers a single feasibility question with an
+// intra-probe work-stealing pool: Workers > 1 on a plain Solve shares
+// one branch-and-bound tree across workers instead of racing sweep
+// probes (there is no sweep to race). The decision is always equal to
+// the sequential run's; the witness placement and node counts may
+// differ between runs, which is why only the decision is printed here.
+func ExampleSolve_workers() {
+	de := fpga3d.BenchmarkDE()
+	chip := fpga3d.Chip{W: 17, H: 17, T: 13}
+
+	// Skipping the bound/heuristic stages forces the exact search, so
+	// the pool actually runs; real callers keep the stages on.
+	opt := &fpga3d.Options{Workers: 4, SkipBounds: true, SkipHeuristic: true}
+	res, err := fpga3d.Solve(de, chip, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Decision)
+	// Output: feasible
+}
+
 // ExampleFixedSchedule checks a prescribed schedule for spatial
 // feasibility (the paper's FeasA&FixedS problem).
 func ExampleFixedSchedule() {

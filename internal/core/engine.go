@@ -102,6 +102,18 @@ type engine struct {
 	start    time.Time // search start, for progress snapshots
 	aborted  Status    // StatusFeasible (sentinel "not aborted") or a limit status
 
+	// pool, when non-nil, is the work-stealing pool this engine's search
+	// participates in (parallel solves only; nil on the sequential path,
+	// which keeps dfs bit-identical). poolStopped records that the last
+	// abort came from the pool's stop broadcast rather than a genuine
+	// limit, so the shard's StatusCanceled is not mistaken for a
+	// context cancellation when outcomes are merged.
+	pool        *wspool
+	poolStopped bool
+	// nodesFlushed is the portion of stats.Nodes already added to the
+	// pool's global node counter (parallel solves only).
+	nodesFlushed int64
+
 	solution *Solution
 
 	// vol[b] is the product of box b's sizes over all dimensions;
@@ -468,13 +480,19 @@ func (e *engine) checkLimits() bool {
 	if e.aborted != StatusFeasible {
 		return false
 	}
-	if e.opt.NodeLimit > 0 && e.stats.Nodes >= e.opt.NodeLimit {
+	// In a parallel search the node budget is global across shards and
+	// enforced by the pool on the polling cadence below; the per-engine
+	// check here applies only to the sequential path.
+	if e.pool == nil && e.opt.NodeLimit > 0 && e.stats.Nodes >= e.opt.NodeLimit {
 		e.aborted = StatusNodeLimit
 		return false
 	}
 	e.nodeTick++
 	if e.nodeTick%256 != 0 {
 		return true
+	}
+	if e.pool != nil && !e.pool.poll(e) {
+		return false
 	}
 	if e.opt.Ctx != nil {
 		select {

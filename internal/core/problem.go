@@ -249,6 +249,28 @@ type Options struct {
 	// for cmd/fpgabench's -compare-ref speedup measurement; production
 	// callers leave it false.
 	ReferenceRules bool
+
+	// Workers, when greater than 1, explores the branch-and-bound tree
+	// itself on a work-stealing pool of that many goroutines: idle
+	// workers receive cloned engine states for not-yet-explored sibling
+	// subtrees ("donations"), and the first definitive answer stops the
+	// pool. The parallel path is answer-equal to the sequential one —
+	// same Status and, when feasible, a valid witness — but not
+	// bit-identical: Stats are the sum over all shards and depend on
+	// scheduling (see Stats.Steals). Workers <= 1 (including 0) keeps
+	// the fully deterministic sequential search. Incompatible with
+	// ReferenceRules only in the sense that the reference path is never
+	// parallelized; Workers is ignored when ReferenceRules is set.
+	Workers int
+
+	// OnSolution, when non-nil and Workers > 1, is invoked exactly once
+	// with the winning solution of a parallel search, from the worker
+	// goroutine that found it, before Solve returns. The strategy layer
+	// uses it to broadcast the witness into its incumbent store so
+	// concurrent sweep probes can prune. The hook must be fast and
+	// concurrency-safe; the sequential path ignores it (callers see the
+	// solution in the Result).
+	OnSolution func(*Solution)
 }
 
 // Result bundles the outcome of a Solve call.

@@ -27,12 +27,35 @@ func Solve(p *Problem, opt Options) Result {
 		}
 	}
 	e := newEngine(p, opt)
+	if !e.applyRoot() {
+		return Result{Status: StatusInfeasible, Stats: e.stats}
+	}
 
-	// Root constraints.
-	// Size rule: boxes that cannot sit side by side in a dimension must
-	// overlap there. This is the cascade starter the paper relies on
-	// (e.g. two 16×16 multipliers on a 17×17 chip must share both
-	// spatial dimensions, hence be sequential in time).
+	// Workers > 1 hands the propagated root to the work-stealing pool;
+	// answers are equal to the sequential search but statistics become
+	// sum-of-shards (see Options.Workers). The reference-rules path is
+	// never parallelized: it exists to pin down the bit-identical
+	// sequential contract.
+	if opt.Workers > 1 && !opt.ReferenceRules {
+		return solveParallel(e, opt)
+	}
+
+	st := e.dfs(0)
+	if st == StatusFeasible {
+		return Result{Status: StatusFeasible, Solution: e.solution, Stats: e.stats}
+	}
+	return Result{Status: st, Stats: e.stats}
+}
+
+// applyRoot installs the root constraints on a fresh engine and runs
+// the root propagation pass; it reports whether the root survived.
+//
+// Size rule: boxes that cannot sit side by side in a dimension must
+// overlap there. This is the cascade starter the paper relies on
+// (e.g. two 16×16 multipliers on a 17×17 chip must share both
+// spatial dimensions, hence be sequential in time).
+func (e *engine) applyRoot() bool {
+	p := e.p
 	for d := 0; d < e.nd; d++ {
 		w := p.Dims[d].Sizes
 		cap := p.Dims[d].Cap
@@ -51,21 +74,13 @@ func Solve(p *Problem, opt Options) Result {
 		e.setBefore(a.Dim, a.From, a.To, confOrient)
 	}
 	e.propagate()
-	if e.conflict == noConflict && !opt.DisableCliqueForce {
+	if e.conflict == noConflict && !e.opt.DisableCliqueForce {
 		e.cliqueForcePass()
 	}
 	if e.conflict == noConflict {
 		e.holeCheck()
 	}
-	if e.conflict != noConflict {
-		return Result{Status: StatusInfeasible, Stats: e.stats}
-	}
-
-	st := e.dfs(0)
-	if st == StatusFeasible {
-		return Result{Status: StatusFeasible, Solution: e.solution, Stats: e.stats}
-	}
-	return Result{Status: st, Stats: e.stats}
+	return e.conflict == noConflict
 }
 
 // dfs explores the packing-class tree below the current state. The
@@ -96,7 +111,19 @@ func (e *engine) dfs(depth int) Status {
 	} else {
 		values = [2]EdgeState{Disjoint, Overlap}
 	}
-	for _, val := range values {
+	// In a parallel search, offer the second branch to an idle worker
+	// before descending into the first; the donated clone explores it
+	// concurrently. Sequential solves (pool == nil) skip the check, so
+	// their exploration order is untouched.
+	donated := false
+	if e.pool != nil && e.pool.tryDonate(e, depth, d, p, values[1]) {
+		donated = true
+		e.stats.Steals++
+	}
+	for i, val := range values {
+		if i == 1 && donated {
+			break
+		}
 		m := e.mark()
 		// Branch assignments start from Unknown, so the rule tag below
 		// is never recorded as a conflict source.

@@ -25,6 +25,11 @@ type Stats struct {
 	// the engine's unit of constraint-propagation work. Deterministic
 	// like Nodes.
 	Propagations int64
+	// Steals counts subtree hand-offs between the workers of a parallel
+	// search (Options.Workers > 1), attributed to the donating shard.
+	// Always zero on the sequential path; scheduling-dependent, so it is
+	// excluded from the bit-identical contract.
+	Steals int64
 
 	ConflictC3     int64
 	ConflictSize   int64
@@ -58,6 +63,7 @@ func (s *Stats) Add(o Stats) {
 	s.Leaves += o.Leaves
 	s.LeafRejects += o.LeafRejects
 	s.Propagations += o.Propagations
+	s.Steals += o.Steals
 	s.ConflictC3 += o.ConflictC3
 	s.ConflictSize += o.ConflictSize
 	s.ConflictClique += o.ConflictClique

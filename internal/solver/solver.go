@@ -46,17 +46,32 @@ type Options struct {
 	// TimeLimit bounds the wall time per OPP call (0 = unlimited).
 	TimeLimit time.Duration
 
-	// Workers bounds the number of OPP decisions the optimization
-	// drivers (MinTime, MinBase, ParetoFront and their Ctx variants)
-	// may race concurrently. The per-container decisions of a sweep are
+	// Workers sets the parallelism budget, which the solver spends at
+	// two levels:
+	//
+	// Sweep racing. The optimization drivers (MinTime, MinBase,
+	// ParetoFront and their Ctx variants) race up to Workers
+	// per-container OPP decisions concurrently. The decisions are
 	// independent certificates, so they parallelize without changing
 	// the answer: the optimum, and the witness placement at the
 	// optimum, are bit-identical to the sequential sweep (the lowest
-	// container wins ties, exactly as in the sequential ascent).
+	// container wins ties, exactly as in the sequential ascent). Each
+	// raced probe runs a sequential engine — the two levels never
+	// multiply, so a sweep uses at most Workers goroutines in total.
 	//
-	// 0 (the zero value) means runtime.GOMAXPROCS(0); 1 forces the
-	// sequential sweep; negative values are treated as 1. Single OPP
-	// decisions (SolveOPP, FeasibleFixedSchedule) are unaffected.
+	// Intra-probe work stealing. A single decision that is not part of
+	// a sweep — SolveOPP, FeasibleFixedSchedule, SolveMultiChip, each
+	// k-step of MinChips — explores its one branch-and-bound tree on a
+	// work-stealing pool of Workers engine clones (core.Options.Workers)
+	// when Workers is explicitly greater than 1. The verdict and the
+	// witness validity are unchanged, but the statistics become the sum
+	// over shards (core.Stats.Steals counts the hand-offs) and the
+	// specific witness found may vary between runs.
+	//
+	// 0 (the zero value) means runtime.GOMAXPROCS(0) for sweep racing
+	// but keeps single decisions sequential — the deterministic default;
+	// intra-probe stealing is strictly opt-in via Workers > 1. 1 forces
+	// everything sequential; negative values are treated as 1.
 	Workers int
 
 	// SkipBounds disables stage 1 (lower bounds).
@@ -192,6 +207,12 @@ func (o Options) coreOptions(ctx context.Context) core.Options {
 		DisableOrientRules: o.DisableOrientRules,
 		TimeOverlapFirst:   !o.TimeDisjointFirst,
 		ReferenceRules:     o.ReferenceRules,
+	}
+	// Intra-probe work stealing is opt-in: only an explicit Workers > 1
+	// parallelizes a single engine search. Sweep racers pin their probes
+	// to Workers = 1 (oppProbe), so the two levels never multiply.
+	if o.Workers > 1 {
+		c.Workers = o.Workers
 	}
 	if o.TimeLimit > 0 {
 		c.Deadline = time.Now().Add(o.TimeLimit)

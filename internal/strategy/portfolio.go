@@ -227,7 +227,7 @@ func (s *Portfolio) race(ctx context.Context, p *Problem, res *Result, start tim
 		}
 		s0 := time.Now()
 		prob := BuildProblem(p.In, p.C, p.Order, nil)
-		r := core.Solve(prob, e.SearchOpts(sctx))
+		r := core.Solve(prob, e.searchOpts(sctx, p))
 		sr.Stages.Search = time.Since(s0)
 		sr.Stats = r.Stats
 		e.Metrics.Counter(obs.MetricSearchNodes).Add(r.Stats.Nodes)

@@ -110,6 +110,27 @@ func (s *Staged) Solve(ctx context.Context, p *Problem) (*Result, error) {
 	return e.solveSearch(ctx, p, res, start, nil)
 }
 
+// searchOpts returns the stage-3 engine options for problem p. When the
+// engine will run a parallel (work-stealing) search and an incumbent
+// store is attached, the pool's OnSolution hook broadcasts the winning
+// witness into the store the moment a worker finds it — so concurrent
+// sweep probes can already prune on it while this probe is still
+// assembling its result. The hook verifies before recording; an invalid
+// witness is dropped here and surfaces as an error on the main path.
+func (e *Env) searchOpts(ctx context.Context, p *Problem) core.Options {
+	co := e.SearchOpts(ctx)
+	if co.Workers > 1 && e.Inc != nil {
+		in, c, order, inc := p.In, p.C, p.Order, e.Inc
+		co.OnSolution = func(sol *core.Solution) {
+			pl := SolutionToPlacement(sol)
+			if pl.Verify(in, c, order) == nil {
+				inc.RecordWitness(in, pl, "search-parallel")
+			}
+		}
+	}
+	return co
+}
+
 // solveSearch runs stage 3 on a prepared result (stage timings of the
 // earlier stages already recorded) and finishes the trace bracket.
 // extra is merged into the opp_end event.
@@ -119,7 +140,7 @@ func (e *Env) solveSearch(ctx context.Context, p *Problem, res *Result, start ti
 	ssp := e.stageSpan(ctx, obs.PhaseSearch)
 	s0 := time.Now()
 	prob := BuildProblem(p.In, p.C, p.Order, nil)
-	r := core.Solve(prob, e.SearchOpts(ctx))
+	r := core.Solve(prob, e.searchOpts(ctx, p))
 	res.Stages.Search = time.Since(s0)
 	ssp.End()
 	res.Stats = r.Stats
