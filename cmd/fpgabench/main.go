@@ -15,6 +15,17 @@
 //	          [-compare-ref] [-compare-strategy] [-compare-parallel N]
 //	          [-workers N] [-list]
 //
+// With -online, fpgabench instead replays the seeded online placement
+// scripts (module arrivals, departures, defrags) against fresh
+// internal/online sessions, reporting admissions per second, defrag
+// move counts and p50/p99 admission latency per script into a
+// schema-stamped report (fpgabench/online/v1, committed as
+// BENCH_online.json). Decision counts and probe nodes are deterministic
+// and diffed exactly; latencies are tolerance-gated:
+//
+//	fpgabench -online [-quick] [-runs N] [-out BENCH_online.json]
+//	          [-baseline BENCH_online.json] [-tolerance 0.5] [-floor 25ms]
+//
 // Exit codes: 0 success, 1 usage or solver error, 2 regression against
 // the baseline (or determinism violation).
 package main
@@ -52,9 +63,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers         = fs.Int("workers", 0, "additionally time optimization sweeps with this worker pool")
 		compareStrategy = fs.Bool("compare-strategy", false, "also run every case under the portfolio strategy; exit 2 if it changes an answer, or increases a node count on a paper instance")
 		compareParallel = fs.Int("compare-parallel", 0, "also run single-decision (opp) cases with an intra-probe work-stealing pool of this size; exit 2 if any answer changes")
+		onlineMode      = fs.Bool("online", false, "replay the online placement scripts instead of the core solver suite")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
+	}
+	if *runs < 1 {
+		*runs = 1
+	}
+	if *onlineMode {
+		return runOnline(stdout, stderr, *quick, *list, *runs, *out, *baseline, *tolerance, *floor)
 	}
 	cases := suite()
 	if *list {
@@ -66,9 +84,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-24s %s%s\n", c.name, c.kind, tag)
 		}
 		return 0
-	}
-	if *runs < 1 {
-		*runs = 1
 	}
 
 	rep := &Report{

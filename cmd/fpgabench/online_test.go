@@ -1,0 +1,214 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleOnlineReport() *OnlineReport {
+	return &OnlineReport{
+		Schema:    OnlineReportSchema,
+		Generated: "2026-08-06T00:00:00Z",
+		Env:       envStamp(),
+		Runs:      3,
+		Entries: []OnlineEntry{
+			{Name: "online/steady/8x8", Seed: 1, Events: 62, Admitted: 48, Departed: 14,
+				WallNS: 1_000_000, AdmitP50NS: 10_000, AdmitP99NS: 40_000, AdmissionsPerSec: 48000},
+			{Name: "online/tight/6x6", Seed: 5, Events: 70, Admitted: 48, Rejected: 8, Departed: 9,
+				Defrags: 4, DefragMoves: 21, ProbeNodes: 6,
+				WallNS: 60_000_000, AdmitP50NS: 20_000, AdmitP99NS: 90_000, AdmissionsPerSec: 900},
+		},
+	}
+}
+
+func TestOnlineReportRoundTrip(t *testing.T) {
+	r := sampleOnlineReport()
+	path := filepath.Join(t.TempDir(), "online.json")
+	if err := writeOnlineReport(r, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readOnlineReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("round trip changed the report:\nwrote %+v\nread  %+v", r, got)
+	}
+	if msgs := diffOnlineReports(r, got, 0, 0); len(msgs) != 0 {
+		t.Fatalf("self-diff not clean: %v", msgs)
+	}
+
+	r.Schema = "fpgabench/online/v0"
+	if err := writeOnlineReport(r, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readOnlineReport(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+// TestDiffOnlineRegressions exercises each class the online gate can
+// raise: decision drift, probe-node drift, latency regressions past the
+// floor, and vanished cases.
+func TestDiffOnlineRegressions(t *testing.T) {
+	base := sampleOnlineReport()
+
+	t.Run("decision drift", func(t *testing.T) {
+		cur := sampleOnlineReport()
+		cur.Entries[0].Admitted--
+		cur.Entries[0].Rejected++
+		msgs := diffOnlineReports(base, cur, 0.5, 25*time.Millisecond)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "decisions changed") {
+			t.Fatalf("msgs = %v", msgs)
+		}
+	})
+	t.Run("defrag move drift", func(t *testing.T) {
+		cur := sampleOnlineReport()
+		cur.Entries[1].DefragMoves++
+		msgs := diffOnlineReports(base, cur, 0.5, 25*time.Millisecond)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "decisions changed") {
+			t.Fatalf("msgs = %v", msgs)
+		}
+	})
+	t.Run("probe node drift", func(t *testing.T) {
+		cur := sampleOnlineReport()
+		cur.Entries[1].ProbeNodes++
+		msgs := diffOnlineReports(base, cur, 0.5, 25*time.Millisecond)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "probe node count changed") {
+			t.Fatalf("msgs = %v", msgs)
+		}
+	})
+	t.Run("wall regression past floor", func(t *testing.T) {
+		cur := sampleOnlineReport()
+		cur.Entries[1].WallNS *= 3
+		msgs := diffOnlineReports(base, cur, 0.5, 25*time.Millisecond)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "replay wall time regressed") {
+			t.Fatalf("msgs = %v", msgs)
+		}
+	})
+	t.Run("micro latency noise under floor ignored", func(t *testing.T) {
+		cur := sampleOnlineReport()
+		cur.Entries[0].WallNS *= 3
+		cur.Entries[0].AdmitP99NS *= 5
+		if msgs := diffOnlineReports(base, cur, 0.5, 25*time.Millisecond); len(msgs) != 0 {
+			t.Fatalf("micro-case noise flagged: %v", msgs)
+		}
+	})
+	t.Run("missing case in full run", func(t *testing.T) {
+		cur := sampleOnlineReport()
+		cur.Entries = cur.Entries[:1]
+		msgs := diffOnlineReports(base, cur, 0.5, 25*time.Millisecond)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "not in this run") {
+			t.Fatalf("msgs = %v", msgs)
+		}
+	})
+	t.Run("missing case tolerated in quick run", func(t *testing.T) {
+		cur := sampleOnlineReport()
+		cur.Entries = cur.Entries[:1]
+		cur.Quick = true
+		if msgs := diffOnlineReports(base, cur, 0.5, 25*time.Millisecond); len(msgs) != 0 {
+			t.Fatalf("quick run flagged for subsetting: %v", msgs)
+		}
+	})
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	if p50, p99 := latencyPercentiles(nil); p50 != 0 || p99 != 0 {
+		t.Fatalf("empty samples: p50=%d p99=%d", p50, p99)
+	}
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Microsecond
+	}
+	p50, p99 := latencyPercentiles(samples)
+	if p50 != int64(50*time.Microsecond) || p99 != int64(99*time.Microsecond) {
+		t.Fatalf("p50=%v p99=%v, want 50µs/99µs", time.Duration(p50), time.Duration(p99))
+	}
+}
+
+// TestRunOnlineEndToEnd drives fpgabench -online over the quick subset:
+// report written and well-formed, self-baseline clean, tampered
+// baseline trips exit 2.
+func TestRunOnlineEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "online.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-online", "-quick", "-runs", "2", "-out", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	rep, err := readOnlineReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) == 0 || !rep.Quick {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	for _, e := range rep.Entries {
+		if e.WallNS <= 0 || e.AdmitP99NS <= 0 || e.AdmissionsPerSec <= 0 {
+			t.Fatalf("%s: missing timing fields: %+v", e.Name, e)
+		}
+		if e.Admitted == 0 {
+			t.Fatalf("%s: script admitted nothing", e.Name)
+		}
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-online", "-quick", "-runs", "1", "-baseline", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("self baseline: exit %d, stderr: %s", code, stderr.String())
+	}
+
+	tampered := filepath.Join(dir, "tampered.json")
+	bad := *rep
+	bad.Entries = append([]OnlineEntry(nil), rep.Entries...)
+	for i := range bad.Entries {
+		bad.Entries[i].Admitted++
+	}
+	if err := writeOnlineReport(&bad, tampered); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-online", "-quick", "-runs", "1", "-baseline", tampered}, &stdout, &stderr); code != 2 {
+		t.Fatalf("tampered baseline: exit %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "decisions changed") {
+		t.Fatalf("stderr missing regression message: %s", stderr.String())
+	}
+}
+
+// TestCommittedOnlineBaselineMatches replays every suite script and
+// checks the deterministic fields against the committed
+// BENCH_online.json — the replay analogue of TestCommittedBaselineParses,
+// but strong enough to re-derive the counts because each script runs in
+// well under a second.
+func TestCommittedOnlineBaselineMatches(t *testing.T) {
+	rep, err := readOnlineReport("../../BENCH_online.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]OnlineEntry{}
+	for _, e := range rep.Entries {
+		byName[e.Name] = e
+	}
+	for _, c := range onlineSuite() {
+		b, ok := byName[c.name]
+		if !ok {
+			t.Errorf("baseline missing case %q — refresh BENCH_online.json (fpgabench -online -out BENCH_online.json)", c.name)
+			continue
+		}
+		e, err := measureOnlineCase(c, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if e.Admitted != b.Admitted || e.Rejected != b.Rejected || e.Unknown != b.Unknown ||
+			e.Departed != b.Departed || e.Defrags != b.Defrags || e.DefragMoves != b.DefragMoves ||
+			e.ProbeNodes != b.ProbeNodes {
+			t.Errorf("%s: replay disagrees with committed baseline:\nnow      %+v\nbaseline %+v", c.name, e, b)
+		}
+	}
+}

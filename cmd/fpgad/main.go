@@ -20,6 +20,21 @@
 //	                        Prometheus exposition with ?format=prom
 //	                        (or Accept: text/plain)
 //
+// Online placement sessions (long-lived device state; see
+// ARCHITECTURE.md, "Online placement"):
+//
+//	POST   /v1/sessions               {"w":16,"h":16} → 201 + session id
+//	GET    /v1/sessions/{id}          layout snapshot + counters
+//	DELETE /v1/sessions/{id}          drop the session
+//	POST   /v1/sessions/{id}/admit    {"name":"m0","w":4,"h":3,"dur":20,
+//	                                   "at":0,"deadline":0}
+//	POST   /v1/sessions/{id}/depart   {"id":3,"at":9}
+//	POST   /v1/sessions/{id}/defrag   {"at":12} → validated move plan
+//	GET    /v1/sessions/{id}/events   session events as SSE
+//
+// Sessions idle longer than -session-ttl are evicted lazily; at most
+// -max-sessions are resident at once (429 beyond).
+//
 // Every solve endpoint accepts "timeout_ms" (overriding
 // -default-timeout; expiry answers 504 with the partial result) and
 // "no_cache". At most -max-concurrent solves run at once; up to
@@ -100,6 +115,8 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		traceFile       = fs.String("trace", "", "append solver trace and span events (JSON lines) to this file")
 		progressStreams = fs.Int("progress-streams", 64, "live progress streams tracked for GET /v1/progress/{id} (negative disables)")
 		enablePprof     = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (exposes internals; keep off untrusted networks)")
+		sessionTTL      = fs.Duration("session-ttl", 15*time.Minute, "evict online placement sessions idle longer than this")
+		maxSessions     = fs.Int("max-sessions", 64, "online placement sessions resident at once; beyond this POST /v1/sessions gets 429")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -136,6 +153,8 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		Tracer:          tracer,
 		ProgressStreams: *progressStreams,
 		EnablePprof:     *enablePprof,
+		SessionTTL:      *sessionTTL,
+		MaxSessions:     *maxSessions,
 	})
 
 	serveErr := make(chan error, 1)

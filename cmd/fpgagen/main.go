@@ -12,11 +12,24 @@
 //	fpgagen -family layered -n 4 -seed 1      > layered.json
 //	fpgagen -family dot -from de.json         # DOT graph to stdout
 //
+// With -online, fpgagen instead emits an event script for the online
+// placement subsystem (schema fpga3d/online-script/v1; see
+// internal/online.ScriptSchema for the format): a timed sequence of
+// module arrivals, early departures, and defrag requests to replay
+// against a session via fpgabench -online or the fpgad session API:
+//
+//	fpgagen -online -w 10 -h 10 -n 64 -seed 7 \
+//	        -depart-frac 0.4 -defrag-every 8  > script.json
+//
+// In online mode -n counts arrival events and -max-size/-max-dur bound
+// module shapes, mirroring their instance-family meanings.
+//
 // Generation is reproducible: the random families (random, layered,
-// sp) draw every sample from a math/rand source seeded with -seed, so
-// the same flags always emit byte-identical JSON — cite the seed and
-// anyone can regenerate the exact instance. Vary -seed to sample new
-// instances from the same family.
+// sp) and the online script generator draw every sample from a
+// math/rand source seeded with -seed, so the same flags always emit
+// byte-identical JSON — cite the seed and anyone can regenerate the
+// exact instance. Vary -seed to sample new instances from the same
+// family.
 package main
 
 import (
@@ -28,6 +41,7 @@ import (
 
 	"fpga3d/internal/bench"
 	"fpga3d/internal/model"
+	"fpga3d/internal/online"
 )
 
 func main() {
@@ -42,9 +56,35 @@ func main() {
 		maxDur  = flag.Int("max-dur", 4, "maximum duration (random families)")
 		pArc    = flag.Float64("p-arc", 0.3, "precedence arc probability (random, layered)")
 		from    = flag.String("from", "", "input JSON instance (dot)")
+
+		onlineMode    = flag.Bool("online", false, "emit an online placement event script instead of an instance")
+		devW          = flag.Int("w", 10, "device width (online)")
+		devH          = flag.Int("h", 10, "device height (online)")
+		maxGap        = flag.Int("max-gap", 4, "max cycles between consecutive arrivals (online)")
+		departFrac    = flag.Float64("depart-frac", 0.3, "fraction of arrivals that also depart early (online)")
+		defragEvery   = flag.Int("defrag-every", 0, "insert a defrag event after every n-th arrival (online; 0 disables)")
+		deadlineSlack = flag.Int("deadline-slack", 0, "max extra cycles granted past arrival for the admission deadline (online; 0 = admit-now)")
+		name          = flag.String("name", "", "script name (online; default online-<seed>)")
 	)
 	flag.Parse()
 
+	if *onlineMode {
+		sc := online.Generate(online.GenParams{
+			Name: *name, Seed: *seed,
+			W: *devW, H: *devH,
+			Events: *n, MaxSize: *maxSize, MaxDur: *maxDur, MaxGap: *maxGap,
+			DepartFrac: *departFrac, DefragEvery: *defragEvery, DeadlineSlack: *deadlineSlack,
+		})
+		if err := sc.Validate(); err != nil {
+			log.Fatalf("generated script invalid: %v", err)
+		}
+		if err := online.WriteScript(os.Stdout, sc); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fpgagen: %s — %d events on a %dx%d device\n",
+			sc.Name, len(sc.Events), sc.Device.W, sc.Device.H)
+		return
+	}
 	if *family == "dot" {
 		if *from == "" {
 			log.Fatal("-family dot needs -from instance.json")

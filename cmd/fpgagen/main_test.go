@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"fpga3d/internal/model"
+	"fpga3d/internal/online"
 )
 
 // TestSeedReproducibility: the same -seed must regenerate the exact
@@ -73,6 +74,30 @@ func TestGeneratedInstancesValidate(t *testing.T) {
 				t.Errorf("%s seed %d: %v", family, seed, err)
 			}
 		}
+	}
+}
+
+// TestOnlineScriptRoundTrip: the -online path emits a valid script that
+// ReadScript accepts byte-identically, reproducible per seed.
+func TestOnlineScriptRoundTrip(t *testing.T) {
+	p := online.GenParams{Seed: 7, W: 10, H: 10, Events: 16, MaxSize: 4, MaxDur: 6, DepartFrac: 0.4, DefragEvery: 5}
+	a, b := online.Generate(p), online.Generate(p)
+	var ja, jb bytes.Buffer
+	if err := online.WriteScript(&ja, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := online.WriteScript(&jb, b); err != nil {
+		t.Fatal(err)
+	}
+	if ja.String() != jb.String() {
+		t.Fatal("seed 7 generated two different scripts")
+	}
+	back, err := online.ReadScript(&ja)
+	if err != nil {
+		t.Fatalf("emitted script does not round-trip: %v", err)
+	}
+	if len(back.Events) != len(a.Events) {
+		t.Fatalf("round-trip lost events: %d vs %d", len(back.Events), len(a.Events))
 	}
 }
 

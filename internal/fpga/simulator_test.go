@@ -2,6 +2,7 @@ package fpga
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 
@@ -98,6 +99,78 @@ func TestSimulateDetectsViolations(t *testing.T) {
 		if _, err := Simulate(in, c, p, o); err == nil {
 			t.Errorf("%s: accepted", tc.name)
 		}
+	}
+}
+
+// TestSimulateErrorMessages pins the diagnostic of each rejection path:
+// a failing replay must say which constraint broke and where, because
+// the online defrag planner surfaces these errors verbatim.
+func TestSimulateErrorMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*model.Placement)
+		want string
+	}{
+		{"overlap names both tasks and the cell",
+			func(p *model.Placement) { p.X[1] = 1 }, "tasks 1 and 0 collide on cell (1,0)"},
+		{"out of bounds names the array",
+			func(p *model.Placement) { p.X[1] = 3 }, "exceeds the 4x4 array"},
+		{"past horizon names the finish time",
+			func(p *model.Placement) { p.S[2] = 4 }, "finishes at 5, after the horizon 4"},
+		{"negative coordinate",
+			func(p *model.Placement) { p.Y[0] = -1 }, "negative coordinates"},
+		{"precedence names the arc",
+			func(p *model.Placement) { p.S[2] = 1; p.X[2] = 3; p.Y[2] = 3 }, "precedence 0≺2 violated"},
+		{"size mismatch",
+			func(p *model.Placement) { p.S = p.S[:2] }, "placement size mismatch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in, p, c := demo()
+			o, _ := in.Order()
+			tc.mut(p)
+			_, err := Simulate(in, c, p, o)
+			if err == nil {
+				t.Fatal("invalid placement accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %q, want it to mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReconfigurationsCountsColumnWrites: a module of width w streams w
+// column configurations when it loads, and every load counts — two
+// modules reusing the same columns back to back write them twice.
+func TestReconfigurationsCountsColumnWrites(t *testing.T) {
+	in := &model.Instance{Tasks: []model.Task{
+		{Name: "first", W: 2, H: 2, Dur: 2},
+		{Name: "second", W: 2, H: 2, Dur: 2}, // same columns, after first
+		{Name: "side", W: 3, H: 1, Dur: 1},
+	}}
+	p := &model.Placement{X: []int{0, 0, 2}, Y: []int{0, 0, 3}, S: []int{0, 2, 0}}
+	tr, err := Simulate(in, model.Container{W: 5, H: 4, T: 4}, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCols := []int{2, 2, 1, 1, 1}
+	for x, want := range wantCols {
+		if tr.ColumnLoads[x] != want {
+			t.Fatalf("column loads = %v, want %v", tr.ColumnLoads, wantCols)
+		}
+	}
+	if got := tr.Reconfigurations(); got != 2+2+3 {
+		t.Fatalf("reconfigurations = %d, want 7 (widths 2+2+3)", got)
+	}
+	// An empty trace reconfigures nothing.
+	empty, err := Simulate(&model.Instance{}, model.Container{W: 2, H: 2, T: 1},
+		&model.Placement{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Reconfigurations() != 0 {
+		t.Fatalf("empty trace reconfigurations = %d", empty.Reconfigurations())
 	}
 }
 

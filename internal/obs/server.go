@@ -57,4 +57,25 @@ const (
 	// MetricProgressSubscribers gauges currently connected SSE progress
 	// subscribers (GET /v1/progress/{id}).
 	MetricProgressSubscribers = "server.progress.subscribers"
+
+	// MetricSessionsActive gauges currently resident online placement
+	// sessions (POST /v1/sessions).
+	MetricSessionsActive = "server.session.active"
+	// MetricSessionsCreated counts sessions created over the process
+	// lifetime.
+	MetricSessionsCreated = "server.session.created"
+	// MetricSessionsExpired counts sessions evicted by TTL idleness.
+	MetricSessionsExpired = "server.session.expired"
+	// MetricSessionsDeleted counts sessions removed by client DELETE.
+	MetricSessionsDeleted = "server.session.deleted"
+	// MetricSessionAdmits is the prefix of the per-outcome admission
+	// counters: server.session.admit.placed, server.session.admit.defrag,
+	// server.session.admit.rejected, server.session.admit.unknown.
+	MetricSessionAdmits = "server.session.admit"
+	// MetricSessionDefragMoves counts modules relocated by session
+	// defragmentation plans (admission-triggered and explicit alike).
+	MetricSessionDefragMoves = "server.session.defrag.moves"
+	// MetricSessionAdmitLatency histograms admission decision latency
+	// (seconds, log-scaled buckets).
+	MetricSessionAdmitLatency = "server.session.admit_latency"
 )

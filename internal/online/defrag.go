@@ -1,0 +1,452 @@
+package online
+
+import (
+	"fmt"
+	"sort"
+
+	"fpga3d/internal/fpga"
+	"fpga3d/internal/model"
+)
+
+// Plan is a validated defragmentation schedule. Moves lists the
+// relocations of loaded modules in reconfiguration order; Replans
+// counts reserved (not yet loaded) modules whose position changed at
+// zero cost. Every plan handed out by a Session has already been
+// replayed through fpga.Simulate; Validate re-runs that replay so
+// callers (and tests) can check independently.
+type Plan struct {
+	Moves   []Move `json:"moves"`
+	Replans int    `json:"replans,omitempty"`
+
+	// Cycle-accurate replay encoding of the plan (see buildPlan).
+	inst  *model.Instance
+	cont  model.Container
+	place *model.Placement
+	order *model.Order
+}
+
+// Validate replays the plan's reconfiguration schedule cycle-accurately
+// through fpga.Simulate: movers are precedence-chained unload/load box
+// pairs, every other module a fixed box, so any ordering error —
+// writing a destination before it is free, colliding with a resident,
+// leaving the array — surfaces as a simulation error. An empty plan
+// validates trivially.
+func (p *Plan) Validate() error {
+	if p.inst == nil {
+		return nil
+	}
+	_, err := fpga.Simulate(p.inst, p.cont, p.place, p.order)
+	return err
+}
+
+// mover is one loaded module scheduled to relocate.
+type mover struct {
+	idx      int // task index in the static problem
+	id       int
+	name     string
+	w, h     int
+	from, to [2]int
+	unloadAt int
+	loadAt   int
+}
+
+// applyWitnessLocked turns a feasible witness into the admission
+// answer: moves are minimized against the current layout, ordered into
+// a reconfiguration schedule, validated by simulation, and applied to
+// the session state. Callers hold s.mu; tasks is the static problem
+// the witness solves (candidate last).
+func (s *Session) applyWitnessLocked(req AdmitRequest, tasks []staticTask, w *model.Placement, tier string, nodes int64) (*AdmitResult, error) {
+	final := make([][2]int, len(tasks))
+	for i := range tasks {
+		final[i] = [2]int{w.X[i], w.Y[i]}
+	}
+	minimizeMoves(tasks, final)
+	movers, replans := diffLayout(tasks, final)
+	if len(movers) > s.cfg.MaxMoves {
+		return &AdmitResult{Decision: DecisionRejected, DecidedBy: "move-bound", Nodes: nodes}, nil
+	}
+
+	plan, err := s.buildPlanLocked(tasks, final, movers, true)
+	if err != nil {
+		return nil, err
+	}
+	plan.Replans = replans
+
+	// Apply: relocate movers, re-plan reserved modules, admit the
+	// candidate at its witness position.
+	ci := len(tasks) - 1
+	for i, t := range tasks {
+		if t.relID < 0 {
+			continue
+		}
+		s.res[t.relID].X, s.res[t.relID].Y = final[i][0], final[i][1]
+	}
+	r := &Resident{ID: s.nextID, Name: req.Name, W: req.W, H: req.H, Dur: req.Dur,
+		X: final[ci][0], Y: final[ci][1], Start: s.now}
+	s.nextID++
+	s.res[r.ID] = r
+	s.rebuildGridLocked()
+
+	res := &AdmitResult{
+		Decision: DecisionPlaced, DecidedBy: tier,
+		ID: r.ID, X: r.X, Y: r.Y, Start: r.Start,
+		Moves: plan.Moves, Replans: replans, Nodes: nodes, Plan: plan,
+	}
+	if len(movers) > 0 {
+		res.Decision = DecisionDefrag
+		s.count.Defrags++
+		s.count.Moves += int64(len(movers))
+	}
+	return res, nil
+}
+
+// rebuildGridLocked recomputes the occupancy bitmap from the residents
+// active at the current clock.
+func (s *Session) rebuildGridLocked() {
+	s.grid = fpga.NewGrid(s.cfg.W, s.cfg.H)
+	s.rects = nil
+	for _, r := range s.res {
+		if r.active(s.now) {
+			s.grid.Fill(r.X, r.Y, r.W, r.H)
+		}
+	}
+}
+
+// minimizeMoves greedily reverts relocated modules back to their
+// current positions whenever that stays conflict-free against the
+// final positions of everything else, processing loaded modules first
+// (their moves carry reconfiguration cost; reserved modules re-plan for
+// free). Each accepted revert keeps the layout valid, so the result is
+// a feasible final layout that relocates a (locally) minimal set.
+func minimizeMoves(tasks []staticTask, final [][2]int) {
+	var order []int
+	for i, t := range tasks {
+		if t.relID >= 0 && t.start == 0 {
+			order = append(order, i)
+		}
+	}
+	for i, t := range tasks {
+		if t.relID >= 0 && t.start > 0 {
+			order = append(order, i)
+		}
+	}
+	for _, i := range order {
+		cur := [2]int{tasks[i].curX, tasks[i].curY}
+		if final[i] == cur {
+			continue
+		}
+		ok := true
+		for j := range tasks {
+			if j != i && boxesConflict(tasks[i], cur, tasks[j], final[j]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			final[i] = cur
+		}
+	}
+}
+
+// boxesConflict reports whether two placed tasks overlap in space and
+// time simultaneously.
+func boxesConflict(a staticTask, pa [2]int, b staticTask, pb [2]int) bool {
+	if pa[0]+a.w <= pb[0] || pb[0]+b.w <= pa[0] {
+		return false
+	}
+	if pa[1]+a.h <= pb[1] || pb[1]+b.h <= pa[1] {
+		return false
+	}
+	return a.start < b.start+b.dur && b.start < a.start+a.dur
+}
+
+// diffLayout extracts the movers (loaded modules whose final position
+// differs from their current one) and counts reserved re-plans.
+func diffLayout(tasks []staticTask, final [][2]int) ([]*mover, int) {
+	var movers []*mover
+	replans := 0
+	for i, t := range tasks {
+		if t.relID < 0 || final[i] == [2]int{t.curX, t.curY} {
+			continue
+		}
+		if t.start > 0 {
+			replans++
+			continue
+		}
+		movers = append(movers, &mover{
+			idx: i, id: t.relID, name: t.name, w: t.w, h: t.h,
+			from: [2]int{t.curX, t.curY}, to: final[i],
+		})
+	}
+	return movers, replans
+}
+
+// orderMoves schedules the movers into reconfiguration cycles 1..K on a
+// scratch copy of the current occupancy: a mover whose destination is
+// free moves directly (unload and load in one cycle — the destination
+// may overlap its own source); when no one can move directly, one mover
+// is unloaded and parked off-array until later moves free its
+// destination. Because the final layout is overlap-free, every parked
+// module eventually loads, so the loop terminates in at most 3·len
+// steps. Returns K.
+func orderMoves(g *fpga.Grid, movers []*mover) (int, error) {
+	cycle := 0
+	pending := append([]*mover(nil), movers...)
+	var parked []*mover
+	for len(pending) > 0 || len(parked) > 0 {
+		progress := false
+		for i := 0; i < len(pending); {
+			m := pending[i]
+			g.Clear(m.from[0], m.from[1], m.w, m.h)
+			if g.RegionFree(m.to[0], m.to[1], m.w, m.h) {
+				g.Fill(m.to[0], m.to[1], m.w, m.h)
+				cycle++
+				m.unloadAt, m.loadAt = cycle, cycle
+				pending = append(pending[:i], pending[i+1:]...)
+				progress = true
+			} else {
+				g.Fill(m.from[0], m.from[1], m.w, m.h)
+				i++
+			}
+		}
+		for i := 0; i < len(parked); {
+			m := parked[i]
+			if g.RegionFree(m.to[0], m.to[1], m.w, m.h) {
+				g.Fill(m.to[0], m.to[1], m.w, m.h)
+				cycle++
+				m.loadAt = cycle
+				parked = append(parked[:i], parked[i+1:]...)
+				progress = true
+			} else {
+				i++
+			}
+		}
+		if !progress {
+			if len(pending) == 0 {
+				return 0, fmt.Errorf("online: move ordering deadlocked with %d parked modules", len(parked))
+			}
+			m := pending[0]
+			g.Clear(m.from[0], m.from[1], m.w, m.h)
+			cycle++
+			m.unloadAt = cycle
+			parked = append(parked, m)
+			pending = pending[1:]
+		}
+	}
+	return cycle, nil
+}
+
+// buildPlanLocked orders the movers and encodes the full plan as a
+// synthetic instance replayed through fpga.Simulate. The encoding maps
+// reconfiguration steps to cycles 1..K and real time now+τ to cycle
+// K+1+τ: a mover becomes an unload box [0, unloadAt) at its source plus
+// a load box [loadAt, K+1+remaining) at its destination with a
+// precedence arc between them; a stationary loaded module spans the
+// whole window at its position; reserved modules and the candidate
+// (withCand) load at their shifted real starts. Simulate then checks
+// every cell ownership cycle-accurately, so the returned plan is only
+// handed out if the move schedule is physically executable. Callers
+// hold s.mu.
+func (s *Session) buildPlanLocked(tasks []staticTask, final [][2]int, movers []*mover, withCand bool) (*Plan, error) {
+	plan := &Plan{Moves: []Move{}}
+	K, err := orderMoves(s.grid.Clone(), movers)
+	if err != nil {
+		return nil, err
+	}
+	byIdx := make(map[int]*mover, len(movers))
+	for _, m := range movers {
+		byIdx[m.idx] = m
+		plan.Moves = append(plan.Moves, Move{
+			ID: m.id, Name: m.name,
+			FromX: m.from[0], FromY: m.from[1], ToX: m.to[0], ToY: m.to[1],
+			UnloadAt: m.unloadAt, LoadAt: m.loadAt,
+		})
+	}
+	if len(movers) == 0 && !withCand {
+		return plan, nil
+	}
+
+	base := K + 1
+	maxFin := 1
+	for _, t := range tasks {
+		if f := t.start + t.dur; f > maxFin {
+			maxFin = f
+		}
+	}
+	inst := &model.Instance{Name: "online-defrag"}
+	var xs, ys, starts []int
+	add := func(name string, w, h, dur, x, y, start int) int {
+		inst.Tasks = append(inst.Tasks, model.Task{Name: name, W: w, H: h, Dur: dur})
+		xs, ys, starts = append(xs, x), append(ys, y), append(starts, start)
+		return len(inst.Tasks) - 1
+	}
+	for i, t := range tasks {
+		name := t.name
+		if name == "" {
+			name = fmt.Sprintf("m%d", i)
+		}
+		switch {
+		case t.relID < 0: // candidate: loads once the moves are done
+			add(name+"#new", t.w, t.h, t.dur, final[i][0], final[i][1], base)
+		case t.start > 0: // reserved: loads at its shifted real start
+			add(name+"#resv", t.w, t.h, t.dur, final[i][0], final[i][1], base+t.start)
+		default:
+			if m := byIdx[i]; m != nil {
+				a := add(name+"#out", t.w, t.h, m.unloadAt, m.from[0], m.from[1], 0)
+				b := add(name+"#in", t.w, t.h, base+t.dur-m.loadAt, m.to[0], m.to[1], m.loadAt)
+				inst.Prec = append(inst.Prec, model.Arc{From: a, To: b})
+			} else {
+				add(name+"#res", t.w, t.h, base+t.dur, final[i][0], final[i][1], 0)
+			}
+		}
+	}
+	order, err := inst.Order()
+	if err != nil {
+		return nil, fmt.Errorf("online: plan encoding: %w", err)
+	}
+	p := model.NewPlacement(len(inst.Tasks))
+	copy(p.X, xs)
+	copy(p.Y, ys)
+	copy(p.S, starts)
+	plan.inst, plan.cont, plan.place, plan.order = inst, s.device(base+maxFin), p, order
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("online: defrag plan failed simulation: %w", err)
+	}
+	return plan, nil
+}
+
+// Defrag proactively compacts the layout at cycle at: loaded modules
+// are greedily repacked bottom-left (area-descending) around the
+// reserved modules' timing, moves are minimized and ordered, and the
+// plan is applied only when it strictly grows the largest free
+// rectangle. The returned plan is empty when compaction cannot improve
+// the layout (or there is nothing to move).
+func (s *Session) Defrag(at int) (*Plan, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked(at)
+	tasks, _ := s.staticProblem(nil)
+	if len(tasks) == 0 {
+		return &Plan{Moves: []Move{}}, nil
+	}
+
+	// No move-minimization revert pass here: for an explicit compaction
+	// the relocations are the point, and reverting modules to their old
+	// positions would undo exactly the packing the caller asked for.
+	// The improvement gate below keeps the plan from moving modules
+	// without growing the largest free rectangle.
+	final, ok := compactLayout(tasks, s.cfg.W, s.cfg.H)
+	if !ok || !s.improvesLocked(tasks, final) {
+		s.emit("defrag:noop", 0)
+		return &Plan{Moves: []Move{}}, nil
+	}
+	movers, replans := diffLayout(tasks, final)
+	if len(movers) == 0 || len(movers) > s.cfg.MaxMoves {
+		s.emit("defrag:noop", 0)
+		return &Plan{Moves: []Move{}}, nil
+	}
+	plan, err := s.buildPlanLocked(tasks, final, movers, false)
+	if err != nil {
+		return nil, err
+	}
+	plan.Replans = replans
+	for i, t := range tasks {
+		s.res[t.relID].X, s.res[t.relID].Y = final[i][0], final[i][1]
+	}
+	s.rebuildGridLocked()
+	s.count.Defrags++
+	s.count.Moves += int64(len(movers))
+	s.emit("defrag", 0)
+	return plan, nil
+}
+
+// compactLayout greedily re-places every task bottom-left — loaded
+// modules area-descending first, then reserved modules by start — each
+// at its fixed start time, checking space-time conflicts against the
+// boxes placed so far. ok is false when the greedy order fails (the
+// current layout then stands).
+func compactLayout(tasks []staticTask, w, h int) ([][2]int, bool) {
+	order := make([]int, 0, len(tasks))
+	for i, t := range tasks {
+		if t.start == 0 {
+			order = append(order, i)
+		}
+	}
+	sortByArea(order, tasks)
+	resv := make([]int, 0)
+	for i, t := range tasks {
+		if t.start > 0 {
+			resv = append(resv, i)
+		}
+	}
+	sortByStart(resv, tasks)
+	order = append(order, resv...)
+
+	final := make([][2]int, len(tasks))
+	placed := make([]int, 0, len(tasks))
+	for _, i := range order {
+		t := tasks[i]
+		x, y, ok := bottomLeft3D(tasks, final, placed, t, w, h)
+		if !ok {
+			return nil, false
+		}
+		final[i] = [2]int{x, y}
+		placed = append(placed, i)
+	}
+	return final, true
+}
+
+// bottomLeft3D scans positions bottom-left for a spot where task t fits
+// the device and conflicts with none of the already placed tasks.
+func bottomLeft3D(tasks []staticTask, final [][2]int, placed []int, t staticTask, w, h int) (int, int, bool) {
+	for y := 0; y+t.h <= h; y++ {
+	next:
+		for x := 0; x+t.w <= w; x++ {
+			for _, j := range placed {
+				if boxesConflict(t, [2]int{x, y}, tasks[j], final[j]) {
+					continue next
+				}
+			}
+			return x, y, true
+		}
+	}
+	return 0, 0, false
+}
+
+// sortByArea orders task indices by descending footprint, then index.
+func sortByArea(order []int, tasks []staticTask) {
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		aa, ab := tasks[a].w*tasks[a].h, tasks[b].w*tasks[b].h
+		if aa != ab {
+			return aa > ab
+		}
+		return a < b
+	})
+}
+
+// sortByStart orders task indices by start time, then index.
+func sortByStart(order []int, tasks []staticTask) {
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if tasks[a].start != tasks[b].start {
+			return tasks[a].start < tasks[b].start
+		}
+		return a < b
+	})
+}
+
+// improvesLocked reports whether the proposed final layout strictly
+// grows the largest free rectangle of the *instantaneous* occupancy
+// (loaded modules only). Callers hold s.mu.
+func (s *Session) improvesLocked(tasks []staticTask, final [][2]int) bool {
+	g := fpga.NewGrid(s.cfg.W, s.cfg.H)
+	for i, t := range tasks {
+		if t.relID >= 0 && t.start == 0 {
+			g.Fill(final[i][0], final[i][1], t.w, t.h)
+		}
+	}
+	after := fpga.LargestFreeRect(g.MaximalFreeRects()).Area()
+	before := fpga.LargestFreeRect(s.freeRectsLocked()).Area()
+	return after > before
+}

@@ -73,6 +73,8 @@ func endpointName(path string) string {
 		return "minimize_chip"
 	case strings.HasPrefix(path, "/v1/progress/"):
 		return "progress"
+	case path == "/v1/sessions" || strings.HasPrefix(path, "/v1/sessions/"):
+		return "sessions"
 	case path == "/healthz":
 		return "healthz"
 	case path == "/metrics":

@@ -73,6 +73,13 @@ type Config struct {
 	// contents, so they are opt-in (fpgad -pprof) and should stay
 	// unreachable from untrusted networks.
 	EnablePprof bool
+	// SessionTTL evicts online placement sessions idle longer than
+	// this (0 means 15m). Eviction is lazy: it runs on the next
+	// session-API call, not on a timer.
+	SessionTTL time.Duration
+	// MaxSessions caps concurrently resident online placement sessions
+	// (0 means 64); beyond it POST /v1/sessions answers 429.
+	MaxSessions int
 }
 
 // Server wires the admission pool, the result cache and the HTTP
@@ -84,6 +91,7 @@ type Server struct {
 	pool     *Pool
 	cache    *Cache
 	broker   *obs.ProgressBroker
+	sessions *sessionManager
 	log      *slog.Logger
 	tracer   *obs.Tracer
 	handler  http.Handler
@@ -117,12 +125,15 @@ func New(cfg Config) *Server {
 	if cfg.ProgressStreams >= 0 {
 		s.broker = obs.NewProgressBroker(cfg.ProgressStreams)
 	}
+	s.sessions = newSessionManager(cfg.SessionTTL, cfg.MaxSessions)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/solve", func(w http.ResponseWriter, r *http.Request) { s.serveSolve(w, r, modeSolve) })
 	mux.HandleFunc("/v1/minimize-time", func(w http.ResponseWriter, r *http.Request) { s.serveSolve(w, r, modeMinTime) })
 	mux.HandleFunc("/v1/minimize-chip", func(w http.ResponseWriter, r *http.Request) { s.serveSolve(w, r, modeMinChip) })
 	mux.HandleFunc("/v1/progress/", s.handleProgress)
+	mux.HandleFunc("/v1/sessions", s.handleSessions)
+	mux.HandleFunc("/v1/sessions/", s.handleSessionOp)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", reg)
 	if cfg.EnablePprof {

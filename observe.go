@@ -109,6 +109,25 @@ const (
 	// MetricProgressSubscribers gauges connected SSE progress
 	// subscribers on GET /v1/progress/{id}.
 	MetricProgressSubscribers = obs.MetricProgressSubscribers
+	// MetricSessionsActive gauges resident online placement sessions.
+	MetricSessionsActive = obs.MetricSessionsActive
+	// MetricSessionsCreated counts sessions created over the process
+	// lifetime.
+	MetricSessionsCreated = obs.MetricSessionsCreated
+	// MetricSessionsExpired counts sessions evicted by TTL idleness.
+	MetricSessionsExpired = obs.MetricSessionsExpired
+	// MetricSessionsDeleted counts sessions removed by client DELETE.
+	MetricSessionsDeleted = obs.MetricSessionsDeleted
+	// MetricSessionAdmits prefixes the per-outcome session admission
+	// counters (server.session.admit.placed, ….defrag, ….rejected,
+	// ….unknown).
+	MetricSessionAdmits = obs.MetricSessionAdmits
+	// MetricSessionDefragMoves counts modules relocated by session
+	// defragmentation plans.
+	MetricSessionDefragMoves = obs.MetricSessionDefragMoves
+	// MetricSessionAdmitLatency histograms session admission latency in
+	// seconds.
+	MetricSessionAdmitLatency = obs.MetricSessionAdmitLatency
 )
 
 // NewTracer returns a Tracer emitting JSON Lines to w.
