@@ -9,16 +9,30 @@
 //	fpgad -addr :8080 -max-concurrent 4 -queue-depth 64 \
 //	      -default-timeout 30s -cache-size 256 -log-format json
 //
-// API (JSON over HTTP; see README.md for a curl quickstart):
+// API (JSON over HTTP; full reference in API.md, operator runbook in
+// OPERATIONS.md):
 //
 //	POST /v1/solve          {"instance": …, "chip": {"w":64,"h":64,"t":80}}
 //	POST /v1/minimize-time  {"instance": …, "w": 64, "h": 64}
 //	POST /v1/minimize-chip  {"instance": …, "t": 59}
+//	POST /v1/solve-batch    {"requests": [{"mode":"solve", …}, …]} — up to
+//	                        -max-batch instances in one round trip,
+//	                        results keyed by canonical hash,
+//	                        per-entry partial-failure semantics
+//	POST /v1/jobs           async solve → 202 + job id; progress over
+//	                        SSE at /v1/progress/{job_id}
+//	GET  /v1/jobs[/{id}]    job list / snapshot (result once done)
+//	DELETE /v1/jobs/{id}    cancel an active job; remove a finished one
 //	GET  /v1/progress/{id}  live solve progress as Server-Sent Events
 //	GET  /healthz           liveness + occupancy (503 while draining)
 //	GET  /metrics           serving + solver counters as JSON, or
 //	                        Prometheus exposition with ?format=prom
 //	                        (or Accept: text/plain)
+//
+// Async jobs are bounded three ways: -max-jobs caps the job table
+// (429 when full of active jobs), -jobs-per-client caps one
+// submitter's active jobs (429 for that client), and -job-ttl evicts
+// finished jobs that were never collected.
 //
 // Online placement sessions (long-lived device state; see
 // ARCHITECTURE.md, "Online placement"):
@@ -108,7 +122,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		queueDepth      = fs.Int("queue-depth", 64, "admitted requests waiting for a slot; beyond this requests get 429")
 		defaultTimeout  = fs.Duration("default-timeout", 30*time.Second, "per-request solve deadline unless the request sets timeout_ms")
 		cacheSize       = fs.Int("cache-size", 256, "canonical-instance result cache entries (negative disables)")
-		workers         = fs.Int("workers", 1, "solver probe goroutines per solve (0 = GOMAXPROCS); keep 1 when -max-concurrent already saturates the cores")
+		workers         = fs.Int("workers", 1, "per-solve parallelism: sweeps race probes (bit-identical), single decisions steal subtrees when >1 (answer-equal); 0 = GOMAXPROCS for sweeps only; keep 1 when -max-concurrent already saturates the cores")
 		strategyName    = fs.String("strategy", "", "default solve strategy: staged | portfolio (requests may override per call)")
 		drainTimeout    = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight solves")
 		logFormat       = fs.String("log-format", "text", "structured log output: text | json")
@@ -117,6 +131,10 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		enablePprof     = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (exposes internals; keep off untrusted networks)")
 		sessionTTL      = fs.Duration("session-ttl", 15*time.Minute, "evict online placement sessions idle longer than this")
 		maxSessions     = fs.Int("max-sessions", 64, "online placement sessions resident at once; beyond this POST /v1/sessions gets 429")
+		maxBatch        = fs.Int("max-batch", 64, "instances accepted per /v1/solve-batch request")
+		maxJobs         = fs.Int("max-jobs", 256, "async jobs resident at once; a table full of active jobs answers POST /v1/jobs with 429")
+		jobsPerClient   = fs.Int("jobs-per-client", 16, "active async jobs per client identity; beyond this POST /v1/jobs gets 429")
+		jobTTL          = fs.Duration("job-ttl", 10*time.Minute, "retain finished async jobs this long for collection before lazy eviction")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -155,6 +173,10 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		EnablePprof:     *enablePprof,
 		SessionTTL:      *sessionTTL,
 		MaxSessions:     *maxSessions,
+		MaxBatch:        *maxBatch,
+		MaxJobs:         *maxJobs,
+		JobsPerClient:   *jobsPerClient,
+		JobTTL:          *jobTTL,
 	})
 
 	serveErr := make(chan error, 1)

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"fpga3d/internal/server"
+)
+
+// startDaemon brings up an in-process serving stack, so the load
+// generator is tested end to end without a network or a binary.
+func startDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := server.New(server.Config{MaxConcurrent: 4, QueueDepth: 64, Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestLoadReplayCleanAndDeterministic(t *testing.T) {
+	ts := startDaemon(t)
+	cfg := loadConfig{baseURL: ts.URL, seed: 7, clients: 3, requests: 12, timeout: 10 * time.Second}
+
+	rep, opErrs, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opErrs) > 0 {
+		t.Fatalf("replay had client-visible errors: %v", opErrs)
+	}
+	total := 0
+	counts := map[string]int{}
+	for _, e := range rep.Entries {
+		if e.Errors != 0 {
+			t.Errorf("%s: %d errors", e.Name, e.Errors)
+		}
+		total += e.Count
+		counts[e.Name] = e.Count
+	}
+	if want := cfg.clients * cfg.requests; total != want {
+		t.Fatalf("op total %d, want %d", total, want)
+	}
+	if len(rep.Entries) != len(kinds) {
+		t.Fatalf("entries: %d, want one per kind (%d)", len(rep.Entries), len(kinds))
+	}
+	if rep.CacheHitRate <= 0 {
+		t.Errorf("duplicate-heavy mix should produce cache hits, rate %v", rep.CacheHitRate)
+	}
+
+	// Same seed → same mix, even against a fresh daemon.
+	ts2 := startDaemon(t)
+	cfg.baseURL = ts2.URL
+	rep2, _, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range rep2.Entries {
+		if counts[e.Name] != e.Count {
+			t.Errorf("%s: count %d differs from first replay's %d (seeded mix must be deterministic)",
+				e.Name, e.Count, counts[e.Name])
+		}
+	}
+
+	// The gating pattern: a run diffs clean against itself, and the
+	// diff refuses cross-workload comparisons.
+	if msgs := diffReports(rep, rep2, 1.0, 50*time.Millisecond); len(msgs) != 0 {
+		t.Errorf("self-diff reported regressions: %v", msgs)
+	}
+	other := *rep2
+	other.Seed++
+	if msgs := diffReports(rep, &other, 1.0, 50*time.Millisecond); len(msgs) != 1 {
+		t.Errorf("workload mismatch must be exactly one gate message, got %v", msgs)
+	}
+}
+
+func TestDiffCatchesRegressions(t *testing.T) {
+	base := &ServeReport{
+		Schema: ServeReportSchema, Seed: 1, Clients: 2, Requests: 10,
+		Entries: []ServeEntry{
+			{Name: "serve/solve", Count: 12, P99NS: int64(time.Millisecond)},
+			{Name: "serve/job", Count: 8, P99NS: int64(time.Millisecond)},
+		},
+	}
+	cur := &ServeReport{
+		Schema: ServeReportSchema, Seed: 1, Clients: 2, Requests: 10,
+		Entries: []ServeEntry{
+			{Name: "serve/solve", Count: 11, P99NS: int64(time.Millisecond)},    // count drift
+			{Name: "serve/job", Count: 8, Errors: 1, P99NS: int64(time.Second)}, // errors + latency
+		},
+	}
+	msgs := diffReports(base, cur, 0.5, 10*time.Millisecond)
+	if len(msgs) != 3 {
+		t.Fatalf("want 3 regressions (count, errors, p99), got %d: %v", len(msgs), msgs)
+	}
+}
+
+// TestCommittedServeBaselineParses keeps the committed baseline honest:
+// it must stay schema-compatible with the reader the gate uses.
+func TestCommittedServeBaselineParses(t *testing.T) {
+	rep, err := readReport("../../BENCH_serve.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) == 0 {
+		t.Fatal("committed baseline has no entries")
+	}
+	for _, e := range rep.Entries {
+		if e.Errors != 0 {
+			t.Errorf("committed baseline records errors in %s — regenerate it from a clean run", e.Name)
+		}
+	}
+}

@@ -1,0 +1,432 @@
+// Command fpgaload is the serving-layer load generator: it replays a
+// seeded mix of synchronous solves, optimizations, batches and async
+// jobs against a live fpgad daemon and reports client-side latency
+// percentiles, throughput, cache hit rate and queue wait as a
+// schema-stamped JSON report, gated against a committed baseline in the
+// same way fpgabench gates the solver (BENCHMARKS.md, "Serving load").
+//
+// Usage:
+//
+//	fpgad -addr :8080 &
+//	fpgaload -addr localhost:8080 -seed 1 -clients 4 -requests 25 \
+//	         -out BENCH_serve.json -baseline BENCH_serve.json
+//
+// The op mix is a pure function of (-seed, -clients, -requests): client
+// i draws from its own rand.NewSource(seed+i), so per-kind operation
+// counts are identical on every machine and diffed exactly, while
+// latencies are tolerance-gated. Exit status: 0 ok, 1 usage or I/O
+// error, 2 gate failure (client-visible errors or a latency
+// regression).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fpga3d/internal/bench"
+	"fpga3d/internal/model"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// kinds lists the operation kinds in report order.
+var kinds = []string{"serve/solve", "serve/mintime", "serve/minchip", "serve/batch", "serve/job"}
+
+// loadConfig pins one replay: everything the generator samples derives
+// from Seed, so the mix is reproducible.
+type loadConfig struct {
+	baseURL  string
+	seed     int64
+	clients  int
+	requests int // per client
+	timeout  time.Duration
+}
+
+// workload is the shared, pre-rendered instance pool: a handful of
+// small seeded instances (JSON-encoded once) that the solver answers in
+// well under a millisecond, so the replay measures the serving layer,
+// not search.
+type workload struct {
+	instances [][]byte
+}
+
+// chip dimensions every pooled instance is asked about. Small tasks in
+// a roomy 6×6×16 container keep each solve trivial.
+const (
+	chipW, chipH, chipT = 6, 6, 16
+)
+
+// buildWorkload renders the seeded instance pool.
+func buildWorkload(seed int64) (*workload, error) {
+	rng := rand.New(rand.NewSource(seed))
+	w := &workload{}
+	for i := 0; i < 8; i++ {
+		in := bench.Random(rng, 4+rng.Intn(2), 3, 5, 0.3)
+		in.Name = fmt.Sprintf("load-%d", i)
+		var buf bytes.Buffer
+		if err := model.WriteInstance(&buf, in); err != nil {
+			return nil, err
+		}
+		w.instances = append(w.instances, buf.Bytes())
+	}
+	return w, nil
+}
+
+// tally accumulates one client's outcomes per kind.
+type tally struct {
+	samples map[string][]time.Duration
+	errors  map[string]int
+}
+
+func newTally() *tally {
+	return &tally{samples: make(map[string][]time.Duration), errors: make(map[string]int)}
+}
+
+// record stores one operation's outcome.
+func (t *tally) record(kind string, d time.Duration, err error) {
+	t.samples[kind] = append(t.samples[kind], d)
+	if err != nil {
+		t.errors[kind]++
+	}
+}
+
+// runLoad executes the whole replay and assembles the report (metrics
+// scrape included). It is the programmatic core behind the CLI, called
+// directly by the in-process tests.
+func runLoad(cfg loadConfig) (*ServeReport, []string, error) {
+	w, err := buildWorkload(cfg.seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	client := &http.Client{Timeout: cfg.timeout + 5*time.Second}
+
+	tallies := make([]*tally, cfg.clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tallies[c] = runClient(cfg, w, client, c)
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &ServeReport{
+		Schema:    ServeReportSchema,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Env:       envStamp(),
+		Seed:      cfg.seed,
+		Clients:   cfg.clients,
+		Requests:  cfg.requests,
+		WallNS:    int64(wall),
+	}
+	total := 0
+	var sampleErrs []string
+	for _, kind := range kinds {
+		var all []time.Duration
+		errs := 0
+		for _, t := range tallies {
+			all = append(all, t.samples[kind]...)
+			errs += t.errors[kind]
+		}
+		p50, p99 := percentiles(all)
+		rep.Entries = append(rep.Entries, ServeEntry{
+			Name: kind, Count: len(all), Errors: errs, P50NS: p50, P99NS: p99,
+		})
+		total += len(all)
+		if errs > 0 {
+			sampleErrs = append(sampleErrs, fmt.Sprintf("%s: %d of %d operations failed", kind, errs, len(all)))
+		}
+	}
+	if wall > 0 {
+		rep.RequestsPerSec = float64(total) / wall.Seconds()
+	}
+	scrapeMetrics(client, cfg.baseURL, rep)
+	return rep, sampleErrs, nil
+}
+
+// runClient replays one client's seeded op stream. Every random draw
+// happens unconditionally, so the mix never depends on server
+// responses and stays identical across machines and runs.
+func runClient(cfg loadConfig, w *workload, client *http.Client, idx int) *tally {
+	rng := rand.New(rand.NewSource(cfg.seed + int64(idx)))
+	t := newTally()
+	name := fmt.Sprintf("load-client-%d", idx)
+	for i := 0; i < cfg.requests; i++ {
+		pick := rng.Intn(100)
+		inst := w.instances[rng.Intn(len(w.instances))]
+		alt := w.instances[rng.Intn(len(w.instances))]
+		start := time.Now()
+		var kind string
+		var err error
+		switch {
+		case pick < 40:
+			kind = "serve/solve"
+			err = postExpect(client, cfg.baseURL+"/v1/solve", solveBody(inst, cfg.timeout), http.StatusOK)
+		case pick < 55:
+			kind = "serve/mintime"
+			err = postExpect(client, cfg.baseURL+"/v1/minimize-time",
+				fmt.Sprintf(`{"instance": %s, "w": %d, "h": %d, "timeout_ms": %d}`, inst, chipW, chipH, cfg.timeout.Milliseconds()), http.StatusOK)
+		case pick < 70:
+			kind = "serve/minchip"
+			err = postExpect(client, cfg.baseURL+"/v1/minimize-chip",
+				fmt.Sprintf(`{"instance": %s, "t": %d, "timeout_ms": %d}`, inst, chipT, cfg.timeout.Milliseconds()), http.StatusOK)
+		case pick < 85:
+			kind = "serve/batch"
+			err = runBatch(client, cfg, inst, alt)
+		default:
+			kind = "serve/job"
+			err = runJob(client, cfg, inst, name)
+		}
+		t.record(kind, time.Since(start), err)
+	}
+	return t
+}
+
+// solveBody renders a /v1/solve request for one pooled instance.
+func solveBody(inst []byte, timeout time.Duration) string {
+	return fmt.Sprintf(`{"instance": %s, "chip": {"w":%d,"h":%d,"t":%d}, "timeout_ms": %d}`,
+		inst, chipW, chipH, chipT, timeout.Milliseconds())
+}
+
+// postExpect POSTs a JSON body and fails unless the response has the
+// expected status.
+func postExpect(client *http.Client, url, body string, want int) error {
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != want {
+		return fmt.Errorf("%s: status %d, want %d", url, resp.StatusCode, want)
+	}
+	return nil
+}
+
+// runBatch issues one three-entry batch with a deliberate duplicate
+// (exercising canonical-hash dedup) and requires every entry to
+// succeed.
+func runBatch(client *http.Client, cfg loadConfig, inst, alt []byte) error {
+	e := solveBody(inst, cfg.timeout)
+	body := fmt.Sprintf(`{"requests": [%s, %s, %s]}`, e, e, solveBody(alt, cfg.timeout))
+	resp, err := client.Post(cfg.baseURL+"/v1/solve-batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("batch: status %d", resp.StatusCode)
+	}
+	var out struct {
+		Failed int `json:"failed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return fmt.Errorf("batch: decoding: %w", err)
+	}
+	if out.Failed > 0 {
+		return fmt.Errorf("batch: %d entries failed", out.Failed)
+	}
+	return nil
+}
+
+// runJob drives one async job end to end: submit (202), poll until
+// terminal, require "done", and collect it with DELETE.
+func runJob(client *http.Client, cfg loadConfig, inst []byte, clientName string) error {
+	body := fmt.Sprintf(`{"mode":"solve", "client": %q, "instance": %s, "chip": {"w":%d,"h":%d,"t":%d}, "timeout_ms": %d}`,
+		clientName, inst, chipW, chipH, chipT, cfg.timeout.Milliseconds())
+	resp, err := client.Post(cfg.baseURL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var submitted struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&submitted)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("job submit: decoding: %w", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("job submit: status %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(cfg.timeout + 5*time.Second)
+	state := submitted.State
+	for state == "queued" || state == "running" {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s: still %s at deadline", submitted.ID, state)
+		}
+		time.Sleep(2 * time.Millisecond)
+		r, err := client.Get(cfg.baseURL + "/v1/jobs/" + submitted.ID)
+		if err != nil {
+			return err
+		}
+		var snap struct {
+			State string `json:"state"`
+		}
+		err = json.NewDecoder(r.Body).Decode(&snap)
+		r.Body.Close()
+		if err != nil || r.StatusCode != http.StatusOK {
+			return fmt.Errorf("job %s: poll status %d err %v", submitted.ID, r.StatusCode, err)
+		}
+		state = snap.State
+	}
+	if state != "done" {
+		return fmt.Errorf("job %s: terminal state %q, want done", submitted.ID, state)
+	}
+	req, err := http.NewRequest(http.MethodDelete, cfg.baseURL+"/v1/jobs/"+submitted.ID, nil)
+	if err != nil {
+		return err
+	}
+	dr, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, dr.Body)
+	dr.Body.Close()
+	if dr.StatusCode != http.StatusOK {
+		return fmt.Errorf("job %s: delete status %d", submitted.ID, dr.StatusCode)
+	}
+	return nil
+}
+
+// scrapeMetrics annotates the report with the daemon's own view of the
+// run: result-cache hit rate and p99 admission queue wait. Failures are
+// ignored — these fields are informational.
+func scrapeMetrics(client *http.Client, baseURL string, rep *ServeReport) {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var m map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return
+	}
+	hits, misses := m["server.cache.hits"], m["server.cache.misses"]
+	if hits+misses > 0 {
+		rep.CacheHitRate = hits / (hits + misses)
+	}
+	rep.QueueWaitP99MS = m["server.queue.wait.p99_ms"]
+}
+
+// percentiles returns the nearest-rank p50 and p99 of the sample set
+// (zeros when empty).
+func percentiles(samples []time.Duration) (p50, p99 int64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := func(p float64) time.Duration {
+		i := int(p*float64(len(s))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i]
+	}
+	return int64(rank(0.50)), int64(rank(0.99))
+}
+
+// newFlagSet builds the CLI flag set, reporting usage to stderr.
+func newFlagSet(stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet("fpgaload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}
+
+// run is the testable CLI entry point: parse flags, replay, write the
+// report, gate against the baseline.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet(stderr)
+	var (
+		addr     = fs.String("addr", "", "daemon address (host:port or http URL); required")
+		seed     = fs.Int64("seed", 1, "workload seed; with -clients and -requests it pins the op mix exactly")
+		clients  = fs.Int("clients", 4, "concurrent load clients")
+		requests = fs.Int("requests", 25, "operations per client")
+		timeout  = fs.Duration("timeout", 10*time.Second, "per-operation solve deadline (timeout_ms on every request)")
+		out      = fs.String("out", "", "write the JSON report here (\"-\" for stdout)")
+		baseline = fs.String("baseline", "", "gate against this committed report")
+		tol      = fs.Float64("tolerance", 1.0, "relative p99 latency slack against the baseline (1.0 = 100%)")
+		floor    = fs.Duration("floor", 50*time.Millisecond, "absolute p99 latency slack; regressions must exceed both")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *addr == "" || fs.NArg() > 0 {
+		fmt.Fprintln(stderr, "fpgaload: -addr is required; try: fpgaload -addr localhost:8080 -out -")
+		return 1
+	}
+	base := *addr
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	if *clients < 1 || *requests < 1 {
+		fmt.Fprintln(stderr, "fpgaload: -clients and -requests must be positive")
+		return 1
+	}
+
+	rep, opErrs, err := runLoad(loadConfig{
+		baseURL: base, seed: *seed, clients: *clients, requests: *requests, timeout: *timeout,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "fpgaload: %v\n", err)
+		return 1
+	}
+	for _, e := range rep.Entries {
+		fmt.Fprintf(stdout, "%-14s count %4d  errors %d  p50 %10v  p99 %10v\n",
+			e.Name, e.Count, e.Errors, time.Duration(e.P50NS).Round(time.Microsecond), time.Duration(e.P99NS).Round(time.Microsecond))
+	}
+	fmt.Fprintf(stdout, "%d ops in %v (%.0f op/s), cache hit rate %.2f, queue wait p99 %.2fms\n",
+		*clients**requests, time.Duration(rep.WallNS).Round(time.Millisecond),
+		rep.RequestsPerSec, rep.CacheHitRate, rep.QueueWaitP99MS)
+
+	if *out != "" {
+		if err := writeReport(rep, *out); err != nil {
+			fmt.Fprintf(stderr, "fpgaload: write report: %v\n", err)
+			return 1
+		}
+	}
+	if len(opErrs) > 0 {
+		for _, m := range opErrs {
+			fmt.Fprintf(stderr, "fpgaload: FAILED: %s\n", m)
+		}
+		return 2
+	}
+	if *baseline != "" {
+		baseRep, err := readReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "fpgaload: baseline: %v\n", err)
+			return 1
+		}
+		msgs := diffReports(baseRep, rep, *tol, *floor)
+		for _, m := range msgs {
+			fmt.Fprintf(stderr, "fpgaload: REGRESSION: %s\n", m)
+		}
+		if len(msgs) > 0 {
+			return 2
+		}
+		fmt.Fprintf(stdout, "baseline %s: %d kinds compared, no regressions\n", *baseline, len(rep.Entries))
+	}
+	return 0
+}

@@ -30,8 +30,20 @@
 //
 // Parallelism and deadlines:
 //
-//	fpgaplace -builtin de -mode bmp -T 6 -workers 4     # race probes on 4 goroutines
+//	fpgaplace -builtin de -mode bmp -T 6 -workers 4     # sweeps race whole probes
+//	                                                    # (bit-identical); single
+//	                                                    # decisions steal subtrees
+//	                                                    # (answer-equal)
 //	fpgaplace -builtin de -mode bmp -T 6 -timeout 30s   # whole-run deadline
+//
+// -workers buys parallelism at two levels (README.md, "Parallelism &
+// deadlines"): optimization sweeps race independent feasibility probes
+// and stay bit-identical to sequential runs, while a single decision
+// runs its branch-and-bound tree on a work-stealing pool — same
+// verdict and optimum, possibly a different (always valid) witness.
+// 0 means GOMAXPROCS for sweep racing but keeps single decisions
+// sequential; intra-probe stealing is opt-in via an explicit value
+// above 1.
 //
 // A run cut off by -timeout prints the partial result as JSON and
 // exits with status 3 (exitDeadline), so scripts can distinguish
@@ -84,7 +96,7 @@ func main() {
 		reconfig     = flag.Int("reconfig", 0, "per-task reconfiguration overhead folded into durations")
 		nodeLimit    = flag.Int64("node-limit", 0, "branch-and-bound node budget (0 = unlimited)")
 		timeLimit    = flag.Duration("time-limit", 5*time.Minute, "wall-clock budget per decision")
-		workers      = flag.Int("workers", 0, "concurrent optimization probes (0 = GOMAXPROCS, 1 = sequential)")
+		workers      = flag.Int("workers", 0, "parallelism for sweeps (probe racing, bit-identical) and, when >1, single decisions (work stealing, answer-equal); 0 = GOMAXPROCS for sweeps only, 1 = fully sequential")
 		strategyName = flag.String("strategy", "", "solve strategy: staged (default; bounds, heuristic, search in order) | portfolio (incumbent sharing, prover-vs-search racing)")
 		timeout      = flag.Duration("timeout", 0, "whole-run deadline; on expiry the partial result is printed as JSON and the exit status is 3 (0 = none)")
 		progress     = flag.Bool("progress", false, "print a live search status line to stderr")

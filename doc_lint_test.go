@@ -44,6 +44,13 @@ func TestGodocCoverage(t *testing.T) {
 		"cmd/fpgabench/report.go",
 		"cmd/fpgabench/main.go",
 		"cmd/fpgabench/suite.go",
+		// The async job store's exported surface is the lifecycle
+		// contract the serving layer and its tests program against.
+		"internal/server/jobs/jobs.go",
+		// fpgaload's report types are the BENCH_serve.json baseline
+		// format the serve-gate CI job diffs.
+		"cmd/fpgaload/main.go",
+		"cmd/fpgaload/report.go",
 	}
 	fset := token.NewFileSet()
 	for _, path := range files {

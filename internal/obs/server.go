@@ -78,4 +78,28 @@ const (
 	// MetricSessionAdmitLatency histograms admission decision latency
 	// (seconds, log-scaled buckets).
 	MetricSessionAdmitLatency = "server.session.admit_latency"
+
+	// MetricJobsSubmitted counts async jobs accepted by POST /v1/jobs.
+	MetricJobsSubmitted = "server.jobs.submitted"
+	// MetricJobsRejected is the prefix of the 429 job-submission
+	// rejection counters: server.jobs.rejected.table_full (job table at
+	// -max-jobs with no evictable terminal job) and
+	// server.jobs.rejected.client_cap (submitter at -jobs-per-client
+	// active jobs).
+	MetricJobsRejected = "server.jobs.rejected"
+	// MetricJobsState is the prefix of the per-state job-table gauges:
+	// server.jobs.state.queued, .running, .done, .failed, .canceled —
+	// how many jobs are currently resident in each lifecycle state
+	// (terminal states drain via TTL eviction and client DELETE).
+	MetricJobsState = "server.jobs.state"
+	// MetricJobLatency histograms job end-to-end latency from
+	// submission to terminal state (seconds, log-scaled buckets) —
+	// queue wait included, which is what an async client experiences.
+	MetricJobLatency = "server.jobs.latency"
+	// MetricBatchEntries counts instances received inside
+	// POST /v1/solve-batch bodies (one batch request counts N entries).
+	MetricBatchEntries = "server.batch.entries"
+	// MetricBatchDeduped counts batch entries answered by another
+	// entry's solve because they shared the canonical cache key.
+	MetricBatchDeduped = "server.batch.deduped"
 )

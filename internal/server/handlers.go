@@ -158,9 +158,151 @@ func (resp *solveResponse) fillMakespan(in *fpga3d.Instance) {
 	resp.Makespan = &m
 }
 
-// serveSolve is the shared request lifecycle of the three solve
-// endpoints: decode → validate → cache lookup → admission → deadline →
-// solve → cache fill → respond. See ARCHITECTURE.md, "Serving".
+// prepareSolve turns a decoded solveRequest into an executable task:
+// it parses and validates the instance payload, checks the mode's own
+// parameters, and resolves the effective strategy (request field, else
+// the daemon default). Any error is a client error (400).
+func (s *Server) prepareSolve(req *solveRequest, m *solveMode) (*fpga3d.Instance, string, error) {
+	if len(req.Instance) == 0 {
+		return nil, "", errors.New(`request needs an "instance"`)
+	}
+	in, err := fpga3d.ReadInstance(bytes.NewReader(req.Instance))
+	if err != nil {
+		return nil, "", err
+	}
+	if err := m.validate(req); err != nil {
+		return nil, "", err
+	}
+	strat := req.Strategy
+	if strat == "" {
+		strat = s.cfg.Strategy
+	}
+	if !strategy.Valid(strat) {
+		return nil, "", fmt.Errorf("unknown strategy %q (valid: %s)", strat, strings.Join(strategy.Names(), ", "))
+	}
+	if strat == "" {
+		strat = strategy.NameStaged
+	}
+	return in, strat, nil
+}
+
+// solveTask is one prepared solve headed into runSolve — the shared
+// execution core behind the synchronous endpoints, every batch entry,
+// and every async job.
+type solveTask struct {
+	mode  *solveMode
+	req   *solveRequest
+	in    *fpga3d.Instance
+	strat string
+	// progress, when non-nil, receives the solve's progress snapshots
+	// (wired to a broker stream by the caller, who owns closing it).
+	progress obs.ProgressFunc
+	// info, when non-nil, is annotated with the cache outcome for the
+	// access log (synchronous requests only).
+	info *requestInfo
+	// onRunning, when non-nil, fires once when the task acquires its
+	// solve slot — after any queue wait, before the solver is invoked.
+	// A cache hit answers without a slot, so it may never fire.
+	onRunning func()
+}
+
+// runSolve executes one prepared solve through the shared lifecycle:
+// cache lookup → admission → deadline → solve → cache fill. It is the
+// single path every solve takes — synchronous, batch entry, or async
+// job — so admission control, caching, metrics and strategy selection
+// behave identically no matter how the work arrived.
+//
+// The error reports how the task ended:
+//
+//	nil                      definitive answer (resp non-nil, cached or solved)
+//	ErrQueueFull             rejected, admission queue at capacity (resp nil)
+//	context.DeadlineExceeded deadline expired; resp carries the partial
+//	                         result when the solve started, nil when the
+//	                         deadline fell while queued
+//	context.Canceled         canceled; resp may carry a partial result
+//	other                    solver/input failure (a 422 for sync callers)
+func (s *Server) runSolve(ctx context.Context, t *solveTask) (*solveResponse, error) {
+	s.reg.Counter(obs.MetricStrategyRequests + "." + t.strat).Inc()
+	key := t.mode.key(t.req, t.in.CanonicalHash(), t.strat)
+	if !t.req.NoCache {
+		lookup := time.Now()
+		cached, ok := s.cache.Get(key)
+		s.reg.Histogram(obs.MetricCacheLookup).ObserveSince(lookup)
+		if ok && s.servable(t.in, t.req, t.mode, cached) {
+			s.reg.Counter(obs.MetricCacheHits).Inc()
+			if t.info != nil {
+				t.info.cache = "hit"
+			}
+			out := *cached
+			out.Cached = true
+			return &out, nil
+		}
+		s.reg.Counter(obs.MetricCacheMisses).Inc()
+		if t.info != nil {
+			t.info.cache = "miss"
+		}
+	} else if t.info != nil {
+		t.info.cache = "bypass"
+	}
+
+	enqueued := time.Now()
+	release, err := s.pool.Acquire(ctx)
+	s.reg.Histogram(obs.MetricQueueWait).ObserveSince(enqueued)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.reg.Counter(obs.MetricRejectedQueueFull).Inc()
+		case errors.Is(err, context.DeadlineExceeded):
+			s.reg.Counter(obs.MetricDeadlineExpired).Inc()
+		}
+		return nil, err
+	}
+	defer release()
+	if t.onRunning != nil {
+		t.onRunning()
+	}
+
+	o := &fpga3d.Options{
+		Workers:  s.cfg.Workers,
+		Metrics:  s.reg,
+		Strategy: t.strat,
+		Progress: t.progress,
+		Trace:    s.tracer,
+	}
+	resp, stages, err := t.mode.invoke(ctx, t.in, t.req, o)
+	s.observeStages(stages)
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+		s.reg.Counter(obs.MetricSolveErrors).Inc()
+		return nil, err
+	}
+	if resp == nil {
+		resp = &solveResponse{Decision: fpga3d.Unknown.String(), DecidedBy: "canceled"}
+	}
+	resp.Strategy = t.strat
+	if resp.Decision == fpga3d.Unknown.String() {
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			// The deadline cut the solve short: the partial result
+			// travels with the error. Never cached.
+			s.reg.Counter(obs.MetricDeadlineExpired).Inc()
+			resp.Error = "deadline expired; partial result"
+			return resp, context.DeadlineExceeded
+		}
+		if ctx.Err() != nil {
+			return resp, context.Canceled
+		}
+	}
+	if !t.req.NoCache && resp.Decision != fpga3d.Unknown.String() {
+		stored := *resp
+		stored.Cached = false
+		stored.RequestID = "" // per-request identity; never cached
+		s.cache.Put(key, &stored)
+	}
+	return resp, nil
+}
+
+// serveSolve is the request lifecycle of the three synchronous solve
+// endpoints: decode → validate → runSolve (cache/admission/solve) →
+// respond. See ARCHITECTURE.md, "Serving".
 func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request, m *solveMode) {
 	if r.Method != http.MethodPost {
 		s.writeError(w, http.StatusMethodNotAllowed, "use POST")
@@ -175,32 +317,11 @@ func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request, m *solveMode
 		s.writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
 		return
 	}
-	if len(req.Instance) == 0 {
-		s.writeError(w, http.StatusBadRequest, `request needs an "instance"`)
-		return
-	}
-	in, err := fpga3d.ReadInstance(bytes.NewReader(req.Instance))
+	in, strat, err := s.prepareSolve(&req, m)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if err := m.validate(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	strat := req.Strategy
-	if strat == "" {
-		strat = s.cfg.Strategy
-	}
-	if !strategy.Valid(strat) {
-		s.writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("unknown strategy %q (valid: %s)", strat, strings.Join(strategy.Names(), ", ")))
-		return
-	}
-	if strat == "" {
-		strat = strategy.NameStaged
-	}
-	s.reg.Counter(obs.MetricStrategyRequests + "." + strat).Inc()
 	reqID := obs.RequestIDFromContext(r.Context())
 	info := infoFromContext(r.Context())
 	if info != nil {
@@ -222,92 +343,35 @@ func (s *Server) serveSolve(w http.ResponseWriter, r *http.Request, m *solveMode
 		defer closeStream()
 	}
 
-	key := m.key(&req, in.CanonicalHash(), strat)
-	if !req.NoCache {
-		lookup := time.Now()
-		cached, ok := s.cache.Get(key)
-		s.reg.Histogram(obs.MetricCacheLookup).ObserveSince(lookup)
-		if ok && s.servable(in, &req, m, cached) {
-			s.reg.Counter(obs.MetricCacheHits).Inc()
-			if info != nil {
-				info.cache = "hit"
-			}
-			out := *cached
-			out.Cached = true
-			out.RequestID = reqID
-			s.writeJSON(w, http.StatusOK, &out)
-			return
-		}
-		s.reg.Counter(obs.MetricCacheMisses).Inc()
-		if info != nil {
-			info.cache = "miss"
-		}
-	} else if info != nil {
-		info.cache = "bypass"
-	}
-
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	enqueued := time.Now()
-	release, err := s.pool.Acquire(ctx)
-	s.reg.Histogram(obs.MetricQueueWait).ObserveSince(enqueued)
-	if err != nil {
-		switch {
-		case errors.Is(err, ErrQueueFull):
-			s.reg.Counter(obs.MetricRejectedQueueFull).Inc()
-			w.Header().Set("Retry-After", retryAfter(timeout))
-			s.writeError(w, http.StatusTooManyRequests, "server at capacity: admission queue full")
-		case errors.Is(err, context.DeadlineExceeded):
-			s.reg.Counter(obs.MetricDeadlineExpired).Inc()
-			s.writeJSON(w, http.StatusGatewayTimeout, &solveResponse{
+	resp, err := s.runSolve(ctx, &solveTask{
+		mode: m, req: &req, in: in, strat: strat,
+		progress: progress, info: info,
+	})
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", retryAfter(timeout))
+		s.writeError(w, http.StatusTooManyRequests, "server at capacity: admission queue full")
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		if resp == nil {
+			resp = &solveResponse{
 				Decision: fpga3d.Unknown.String(),
 				Error:    "deadline expired while queued for a solve slot",
-			})
+			}
 		}
-		// Otherwise the client went away while queued; nothing to write.
+		resp.RequestID = reqID
+		s.writeJSON(w, http.StatusGatewayTimeout, resp)
 		return
-	}
-	defer release()
-
-	o := &fpga3d.Options{
-		Workers:  s.cfg.Workers,
-		Metrics:  s.reg,
-		Strategy: strat,
-		Progress: progress,
-		Trace:    s.tracer,
-	}
-	resp, stages, err := m.invoke(ctx, in, &req, o)
-	s.observeStages(stages)
-	if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
-		s.reg.Counter(obs.MetricSolveErrors).Inc()
+	case errors.Is(err, context.Canceled):
+		return // client canceled; the connection is gone
+	case err != nil:
 		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
-	if resp == nil {
-		resp = &solveResponse{Decision: fpga3d.Unknown.String(), DecidedBy: "canceled"}
-	}
-	resp.Strategy = strat
 	resp.RequestID = reqID
-	if resp.Decision == fpga3d.Unknown.String() {
-		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			// The deadline cut the solve short: 504 with whatever
-			// partial result the solver produced. Never cached.
-			s.reg.Counter(obs.MetricDeadlineExpired).Inc()
-			resp.Error = "deadline expired; partial result"
-			s.writeJSON(w, http.StatusGatewayTimeout, resp)
-			return
-		}
-		if ctx.Err() != nil {
-			return // client canceled; the connection is gone
-		}
-	}
-	if !req.NoCache && resp.Decision != fpga3d.Unknown.String() {
-		stored := *resp
-		stored.Cached = false
-		stored.RequestID = "" // per-request identity; never cached
-		s.cache.Put(key, &stored)
-	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 

@@ -1,0 +1,363 @@
+// Package jobs is the bounded asynchronous job table behind fpgad's
+// POST /v1/jobs API: submissions are tracked through the states
+// queued → running → done/failed, with client-initiated cancellation
+// possible from either active state. The table is bounded three ways —
+// a global capacity, a per-client active-submission cap, and TTL-based
+// retention of terminal jobs — so a daemon absorbing heavy async
+// traffic holds a predictable amount of job state no matter how many
+// clients submit or how few collect their results.
+//
+// The store tracks state only; executing a job (acquiring a solve
+// slot, running the solver, publishing progress) is the serving
+// layer's business. Store methods hand out snapshot copies, never
+// internal records, so callers can read job fields without locks.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a job's position in its lifecycle.
+type State string
+
+// The five job states. Queued and Running are active; Done, Failed and
+// Canceled are terminal (retained for TTL, then evicted lazily).
+const (
+	// StateQueued marks a job accepted but not yet holding a solve slot.
+	StateQueued State = "queued"
+	// StateRunning marks a job whose solve is executing.
+	StateRunning State = "running"
+	// StateDone marks a job that finished with a result.
+	StateDone State = "done"
+	// StateFailed marks a job whose solve errored or hit its deadline.
+	StateFailed State = "failed"
+	// StateCanceled marks a job stopped by client request.
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final (done, failed, canceled).
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// States lists every job state, in lifecycle order. Serving layers use
+// it to pre-register one gauge per state so all five series exist in
+// the metric expositions from the first scrape.
+func States() []State {
+	return []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled}
+}
+
+// Sentinel errors returned by Create; the serving layer maps both to
+// 429 Too Many Requests.
+var (
+	// ErrTableFull reports that the job table holds its maximum number
+	// of jobs and none is terminal (evictable) — the daemon is at its
+	// async capacity.
+	ErrTableFull = errors.New("jobs: table full of active jobs")
+	// ErrClientCap reports that the submitting client already has its
+	// maximum number of active (queued or running) jobs.
+	ErrClientCap = errors.New("jobs: per-client active-job cap reached")
+)
+
+// Job is the public snapshot of one asynchronous solve. All fields are
+// copies taken under the store lock; a Job never aliases mutable state.
+type Job struct {
+	// ID names the job (and its progress stream).
+	ID string
+	// Client is the submitter identity the per-client cap is keyed on.
+	Client string
+	// State is the lifecycle position at snapshot time.
+	State State
+	// Created is the submission time.
+	Created time.Time
+	// Started is when the job acquired its solve slot (zero while queued).
+	Started time.Time
+	// Finished is when the job reached a terminal state (zero while active).
+	Finished time.Time
+	// Meta is the serving layer's submission payload (question asked,
+	// canonical hash, …), set at Create and immutable afterwards.
+	Meta any
+	// Result is the serving layer's result payload, set on Finish. It
+	// may accompany a failed job too (a deadline-expired solve keeps
+	// its partial result).
+	Result any
+	// Err is the failure (or cancellation) message of a non-done
+	// terminal job.
+	Err string
+}
+
+// record is the internal mutable job entry.
+type record struct {
+	snap   Job
+	cancel context.CancelFunc
+}
+
+// Store is the bounded, TTL-retained job table. All methods are safe
+// for concurrent use.
+type Store struct {
+	mu        sync.Mutex
+	jobs      map[string]*record
+	order     []string // creation order, for eviction and List
+	max       int
+	perClient int
+	ttl       time.Duration
+	now       func() time.Time
+	observer  func(State, int64)
+}
+
+// NewStore returns a job table holding at most max jobs (default 256
+// when max <= 0), at most perClient active jobs per client identity
+// (default 16 when perClient <= 0), and retaining terminal jobs for
+// ttl (default 10m when ttl <= 0) before lazy eviction.
+func NewStore(max, perClient int, ttl time.Duration) *Store {
+	if max <= 0 {
+		max = 256
+	}
+	if perClient <= 0 {
+		perClient = 16
+	}
+	if ttl <= 0 {
+		ttl = 10 * time.Minute
+	}
+	return &Store{
+		jobs:      make(map[string]*record),
+		max:       max,
+		perClient: perClient,
+		ttl:       ttl,
+		now:       time.Now,
+	}
+}
+
+// SetObserver installs a hook receiving (state, delta) on every change
+// to the number of jobs resident in a state — +1 entering, -1 leaving
+// (including eviction and removal). The serving layer points it at its
+// per-state gauges. Must be called before the store is shared.
+func (s *Store) SetObserver(fn func(State, int64)) { s.observer = fn }
+
+// SetClock replaces the store's time source (tests drive TTL expiry
+// with a fake clock). Must be called before the store is shared.
+func (s *Store) SetClock(now func() time.Time) { s.now = now }
+
+// observe reports a state-residency delta to the observer, if any.
+func (s *Store) observe(st State, delta int64) {
+	if s.observer != nil {
+		s.observer(st, delta)
+	}
+}
+
+// sweepLocked evicts terminal jobs whose Finished time is older than
+// the TTL. Callers hold s.mu.
+func (s *Store) sweepLocked() {
+	cutoff := s.now().Add(-s.ttl)
+	s.evictLocked(func(r *record) bool {
+		return r.snap.State.Terminal() && r.snap.Finished.Before(cutoff)
+	})
+}
+
+// evictLocked removes every job matching keep==true from the table,
+// preserving creation order. Callers hold s.mu.
+func (s *Store) evictLocked(match func(*record) bool) {
+	kept := s.order[:0]
+	for _, id := range s.order {
+		r := s.jobs[id]
+		if match(r) {
+			delete(s.jobs, id)
+			s.observe(r.snap.State, -1)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// activeForLocked counts the client's queued+running jobs; callers
+// hold s.mu.
+func (s *Store) activeForLocked(client string) int {
+	n := 0
+	for _, r := range s.jobs {
+		if r.snap.Client == client && !r.snap.State.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// Create registers a new queued job under id for client, carrying the
+// caller's meta payload and holding the cancel function that stops its
+// execution context. When the table is full it first drops TTL-expired
+// jobs, then the oldest terminal job; if every resident job is still
+// active it fails with ErrTableFull. A client at its active-job cap
+// fails with ErrClientCap. Both map to 429 at the API layer.
+func (s *Store) Create(id, client string, meta any, cancel context.CancelFunc) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	if s.activeForLocked(client) >= s.perClient {
+		return Job{}, ErrClientCap
+	}
+	if len(s.jobs) >= s.max {
+		// Make room by retiring the oldest terminal job early; results
+		// are a cache, capacity is for active work.
+		evicted := false
+		s.evictLocked(func(r *record) bool {
+			if evicted || !r.snap.State.Terminal() {
+				return false
+			}
+			evicted = true
+			return true
+		})
+		if !evicted {
+			return Job{}, ErrTableFull
+		}
+	}
+	r := &record{
+		snap: Job{
+			ID:      id,
+			Client:  client,
+			State:   StateQueued,
+			Created: s.now(),
+			Meta:    meta,
+		},
+		cancel: cancel,
+	}
+	s.jobs[id] = r
+	s.order = append(s.order, id)
+	s.observe(StateQueued, 1)
+	return r.snap, nil
+}
+
+// Get returns a snapshot of the job, after a TTL sweep.
+func (s *Store) Get(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	r, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return r.snap, true
+}
+
+// List returns snapshots of every resident job in creation order.
+func (s *Store) List() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	out := make([]Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].snap)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Created.Before(out[j].Created) })
+	return out
+}
+
+// Len returns the number of resident jobs (terminal included).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// Start transitions the job from queued to running, reporting whether
+// the transition happened — false means the job was canceled (or
+// removed) while waiting for its slot, and the executor should stop.
+func (s *Store) Start(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.jobs[id]
+	if !ok || r.snap.State != StateQueued {
+		return false
+	}
+	r.snap.State = StateRunning
+	r.snap.Started = s.now()
+	s.observe(StateQueued, -1)
+	s.observe(StateRunning, 1)
+	return true
+}
+
+// Finish moves an active job to done (errMsg == "") or failed,
+// attaching the result payload (which may be a partial result even on
+// failure). Finishing an already-terminal job is a no-op — a job the
+// client canceled stays canceled even if its executor completes the
+// solve before noticing. It returns the post-transition snapshot.
+func (s *Store) Finish(id string, result any, errMsg string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	if r.snap.State.Terminal() {
+		return r.snap, true
+	}
+	from := r.snap.State
+	if errMsg == "" {
+		r.snap.State = StateDone
+	} else {
+		r.snap.State = StateFailed
+		r.snap.Err = errMsg
+	}
+	r.snap.Result = result
+	r.snap.Finished = s.now()
+	s.observe(from, -1)
+	s.observe(r.snap.State, 1)
+	return r.snap, true
+}
+
+// Cancel stops an active job: its execution context is canceled and
+// the job is marked canceled immediately (the executor's late Finish
+// becomes a no-op). Canceling a terminal job changes nothing; either
+// way the current snapshot is returned.
+func (s *Store) Cancel(id string) (Job, bool) {
+	s.mu.Lock()
+	r, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return Job{}, false
+	}
+	if r.snap.State.Terminal() {
+		snap := r.snap
+		s.mu.Unlock()
+		return snap, true
+	}
+	from := r.snap.State
+	r.snap.State = StateCanceled
+	r.snap.Err = "canceled by client"
+	r.snap.Finished = s.now()
+	s.observe(from, -1)
+	s.observe(StateCanceled, 1)
+	snap := r.snap
+	cancel := r.cancel
+	s.mu.Unlock()
+	// Cancel outside the lock: the executor's reaction (Finish, stream
+	// close) may call back into the store.
+	if cancel != nil {
+		cancel()
+	}
+	return snap, true
+}
+
+// Remove deletes a terminal job from the table (client DELETE of a
+// finished job). Active jobs are not removable — cancel them first —
+// so an executor never finishes into a vanished record unobserved.
+func (s *Store) Remove(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.jobs[id]
+	if !ok || !r.snap.State.Terminal() {
+		return Job{}, false
+	}
+	delete(s.jobs, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.observe(r.snap.State, -1)
+	return r.snap, true
+}

@@ -1,0 +1,193 @@
+package jobs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is an adjustable time source for TTL tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func newStore(max, per int, ttl time.Duration) (*Store, *fakeClock) {
+	s := NewStore(max, per, ttl)
+	c := newFakeClock()
+	s.SetClock(c.now)
+	return s, c
+}
+
+func TestLifecycle(t *testing.T) {
+	s, _ := newStore(4, 4, time.Minute)
+	j, err := s.Create("a", "c1", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != StateQueued || j.ID != "a" || j.Created.IsZero() {
+		t.Fatalf("created job %+v", j)
+	}
+	if !s.Start("a") {
+		t.Fatal("Start refused a queued job")
+	}
+	if j, _ := s.Get("a"); j.State != StateRunning || j.Started.IsZero() {
+		t.Fatalf("after Start: %+v", j)
+	}
+	if s.Start("a") {
+		t.Fatal("Start accepted a running job")
+	}
+	got, ok := s.Finish("a", "payload", "")
+	if !ok || got.State != StateDone || got.Result != "payload" || got.Finished.IsZero() {
+		t.Fatalf("after Finish: %+v ok=%v", got, ok)
+	}
+	// Finishing again must not flip the state or clobber the result.
+	if again, _ := s.Finish("a", "other", "boom"); again.State != StateDone || again.Result != "payload" {
+		t.Fatalf("re-Finish mutated terminal job: %+v", again)
+	}
+}
+
+func TestFinishFailed(t *testing.T) {
+	s, _ := newStore(4, 4, time.Minute)
+	s.Create("a", "c1", nil, nil)
+	s.Start("a")
+	j, _ := s.Finish("a", "partial", "deadline expired")
+	if j.State != StateFailed || j.Err != "deadline expired" || j.Result != "partial" {
+		t.Fatalf("failed job: %+v", j)
+	}
+}
+
+func TestCancelWhileQueuedInvokesCancelFunc(t *testing.T) {
+	s, _ := newStore(4, 4, time.Minute)
+	called := false
+	s.Create("a", "c1", nil, func() { called = true })
+	j, ok := s.Cancel("a")
+	if !ok || j.State != StateCanceled || !called {
+		t.Fatalf("cancel: %+v ok=%v called=%v", j, ok, called)
+	}
+	// The executor waking up later must not resurrect the job.
+	if s.Start("a") {
+		t.Fatal("Start accepted a canceled job")
+	}
+	if j, _ := s.Finish("a", "late", ""); j.State != StateCanceled {
+		t.Fatalf("late Finish resurrected canceled job: %+v", j)
+	}
+}
+
+func TestCancelTerminalIsNoop(t *testing.T) {
+	s, _ := newStore(4, 4, time.Minute)
+	called := false
+	s.Create("a", "c1", nil, func() { called = true })
+	s.Start("a")
+	s.Finish("a", 42, "")
+	j, ok := s.Cancel("a")
+	if !ok || j.State != StateDone || called {
+		t.Fatalf("cancel of done job: %+v ok=%v called=%v", j, ok, called)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	s, c := newStore(8, 8, time.Minute)
+	s.Create("done", "c1", nil, nil)
+	s.Start("done")
+	s.Finish("done", nil, "")
+	s.Create("live", "c1", nil, nil)
+
+	c.advance(2 * time.Minute)
+	if _, ok := s.Get("done"); ok {
+		t.Fatal("terminal job survived TTL")
+	}
+	// Active jobs never expire, no matter how old.
+	if _, ok := s.Get("live"); !ok {
+		t.Fatal("active job evicted by TTL")
+	}
+	if n := s.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+}
+
+func TestOverflowEvictsOldestTerminalFirst(t *testing.T) {
+	s, _ := newStore(2, 8, time.Hour)
+	s.Create("old", "c1", nil, nil)
+	s.Finish("old", nil, "")
+	s.Create("active", "c1", nil, nil)
+	// Table full (old terminal + active): the terminal one is retired.
+	if _, err := s.Create("new", "c1", nil, nil); err != nil {
+		t.Fatalf("overflow with evictable terminal job: %v", err)
+	}
+	if _, ok := s.Get("old"); ok {
+		t.Fatal("oldest terminal job not evicted on overflow")
+	}
+	// Now both residents are active: the table is genuinely full.
+	if _, err := s.Create("blocked", "c1", nil, nil); !errors.Is(err, ErrTableFull) {
+		t.Fatalf("err = %v, want ErrTableFull", err)
+	}
+}
+
+func TestPerClientCap(t *testing.T) {
+	s, _ := newStore(16, 2, time.Hour)
+	s.Create("a", "alice", nil, nil)
+	s.Create("b", "alice", nil, nil)
+	if _, err := s.Create("c", "alice", nil, nil); !errors.Is(err, ErrClientCap) {
+		t.Fatalf("err = %v, want ErrClientCap", err)
+	}
+	// Other clients are unaffected.
+	if _, err := s.Create("c", "bob", nil, nil); err != nil {
+		t.Fatalf("bob blocked by alice's cap: %v", err)
+	}
+	// Terminal jobs stop counting against the cap.
+	s.Finish("a", nil, "")
+	if _, err := s.Create("d", "alice", nil, nil); err != nil {
+		t.Fatalf("cap counted a terminal job: %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s, _ := newStore(4, 4, time.Hour)
+	s.Create("a", "c1", nil, nil)
+	if _, ok := s.Remove("a"); ok {
+		t.Fatal("Remove deleted an active job")
+	}
+	s.Finish("a", nil, "")
+	if j, ok := s.Remove("a"); !ok || j.State != StateDone {
+		t.Fatalf("Remove: %+v ok=%v", j, ok)
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("job resident after Remove")
+	}
+}
+
+func TestObserverBalances(t *testing.T) {
+	s, c := newStore(4, 4, time.Minute)
+	counts := map[State]int64{}
+	s.SetObserver(func(st State, d int64) { counts[st] += d })
+	s.Create("a", "c1", nil, nil)
+	s.Start("a")
+	s.Finish("a", nil, "")
+	s.Create("b", "c1", nil, nil)
+	s.Cancel("b")
+	if counts[StateQueued] != 0 || counts[StateRunning] != 0 {
+		t.Fatalf("active residency should net to zero: %v", counts)
+	}
+	if counts[StateDone] != 1 || counts[StateCanceled] != 1 {
+		t.Fatalf("terminal residency: %v", counts)
+	}
+	c.advance(2 * time.Minute)
+	s.List()
+	if counts[StateDone] != 0 || counts[StateCanceled] != 0 {
+		t.Fatalf("TTL eviction must decrement terminal gauges: %v", counts)
+	}
+}
+
+func TestListOrder(t *testing.T) {
+	s, c := newStore(8, 8, time.Hour)
+	s.Create("a", "c1", nil, nil)
+	c.advance(time.Second)
+	s.Create("b", "c1", nil, nil)
+	c.advance(time.Second)
+	s.Create("c", "c1", nil, nil)
+	l := s.List()
+	if len(l) != 3 || l[0].ID != "a" || l[1].ID != "b" || l[2].ID != "c" {
+		t.Fatalf("List order: %+v", l)
+	}
+}

@@ -1,0 +1,333 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"fpga3d/internal/obs"
+)
+
+// postJob submits a job body and decodes the job snapshot.
+func postJob(t *testing.T, client *http.Client, url, body string) (int, *jobWire, http.Header) {
+	t.Helper()
+	resp, err := client.Post(url+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	var out jobWire
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding job response: %v", err)
+	}
+	return resp.StatusCode, &out, resp.Header
+}
+
+// getJob fetches one job snapshot; found=false means 404.
+func getJob(t *testing.T, client *http.Client, url, id string) (*jobWire, bool) {
+	t.Helper()
+	resp, err := client.Get(url + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET /v1/jobs/%s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, false
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/jobs/%s: status %d", id, resp.StatusCode)
+	}
+	var out jobWire
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding job snapshot: %v", err)
+	}
+	return &out, true
+}
+
+// pollJob re-fetches the job until pred holds or the deadline passes.
+func pollJob(t *testing.T, client *http.Client, url, id string, pred func(*jobWire) bool) *jobWire {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		j, ok := getJob(t, client, url, id)
+		if ok && pred(j) {
+			return j
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached the awaited state", id)
+	return nil
+}
+
+// deleteJob issues DELETE /v1/jobs/{id} and returns the status code.
+func deleteJob(t *testing.T, client *http.Client, url, id string) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE /v1/jobs/%s: %v", id, err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// waitExecutors fails the test if job executor goroutines are still
+// alive after d — the teeth behind cancellation propagating into the
+// solver context.
+func waitExecutors(t *testing.T, s *Server, d time.Duration) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { s.jobsWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatal("job executors still running; cancellation did not propagate")
+	}
+}
+
+// normalized strips the per-request fields (request ID, wall time,
+// cache flag) so two answers to the same question compare equal.
+func normalized(r *solveResponse) solveResponse {
+	out := *r
+	out.RequestID = ""
+	out.ElapsedMS = 0
+	out.Cached = false
+	return out
+}
+
+// TestJobMatchesSynchronousSolve is the differential check: an async
+// job must return the identical result a synchronous /v1/solve
+// produces for the same instance. Both bypass the cache so both truly
+// run the solver.
+func TestJobMatchesSynchronousSolve(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrent: 2, QueueDepth: 8, Workers: 1})
+	body := solveBody(t, easyInstance(), `{"w":4,"h":4,"t":6}`, `"no_cache": true`)
+
+	syncCode, syncResp, _ := postSolve(t, ts.Client(), ts.URL+"/v1/solve", body)
+	if syncCode != http.StatusOK || syncResp.Decision != "feasible" {
+		t.Fatalf("sync solve: code=%d resp=%+v", syncCode, syncResp)
+	}
+
+	jobBody := solveBody(t, easyInstance(), `{"w":4,"h":4,"t":6}`, `"mode":"solve", "no_cache": true`)
+	code, submitted, hdr := postJob(t, ts.Client(), ts.URL, jobBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("job submit: code=%d resp=%+v", code, submitted)
+	}
+	if loc := hdr.Get("Location"); loc != "/v1/jobs/"+submitted.ID {
+		t.Fatalf("Location header %q does not name the job", loc)
+	}
+	done := pollJob(t, ts.Client(), ts.URL, submitted.ID, func(j *jobWire) bool { return j.State == "done" })
+	if done.Result == nil {
+		t.Fatalf("done job carries no result: %+v", done)
+	}
+	if got, want := normalized(done.Result), normalized(syncResp); !reflect.DeepEqual(got, want) {
+		t.Fatalf("async job result diverges from synchronous solve:\n  job:  %+v\n  sync: %+v", got, want)
+	}
+	if done.QueueWaitMS == nil || done.RunMS == nil {
+		t.Fatalf("done job lacks timing fields: %+v", done)
+	}
+
+	// Collect it: DELETE on a terminal job removes it.
+	if code := deleteJob(t, ts.Client(), ts.URL, submitted.ID); code != http.StatusOK {
+		t.Fatalf("DELETE done job: %d", code)
+	}
+	if _, ok := getJob(t, ts.Client(), ts.URL, submitted.ID); ok {
+		t.Fatal("deleted job still resident")
+	}
+}
+
+func TestJobCancelWhileQueued(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1, QueueDepth: 8})
+	// Hold the single solve slot so the job stays queued in admission.
+	release, err := s.pool.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	holding := true
+	defer func() {
+		if holding {
+			release()
+		}
+	}()
+
+	body := solveBody(t, easyInstance(), `{"w":4,"h":4,"t":6}`, `"no_cache": true`)
+	code, submitted, _ := postJob(t, ts.Client(), ts.URL, body)
+	if code != http.StatusAccepted || submitted.State != "queued" {
+		t.Fatalf("submit: code=%d state=%q", code, submitted.State)
+	}
+
+	if code := deleteJob(t, ts.Client(), ts.URL, submitted.ID); code != http.StatusOK {
+		t.Fatalf("DELETE queued job: %d", code)
+	}
+	snap, ok := getJob(t, ts.Client(), ts.URL, submitted.ID)
+	if !ok || snap.State != "canceled" {
+		t.Fatalf("after cancel: %+v (found=%v)", snap, ok)
+	}
+	// The executor was blocked in pool.Acquire; cancellation must free
+	// it without ever starting the solve — even with the slot still held.
+	waitExecutors(t, s, 2*time.Second)
+	if snap.QueueWaitMS != nil {
+		t.Fatalf("canceled-while-queued job claims to have started: %+v", snap)
+	}
+	release()
+	holding = false
+}
+
+func TestJobCancelWhileRunning(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1, QueueDepth: 8})
+	body := solveBody(t, hardInstance(), hardChipJSON, `"no_cache": true`)
+	code, submitted, _ := postJob(t, ts.Client(), ts.URL, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code=%d", code)
+	}
+	running := pollJob(t, ts.Client(), ts.URL, submitted.ID, func(j *jobWire) bool { return j.State == "running" })
+	if running.ProgressURL != "/v1/progress/"+submitted.ID {
+		t.Fatalf("running job should advertise its progress stream: %+v", running)
+	}
+
+	if code := deleteJob(t, ts.Client(), ts.URL, submitted.ID); code != http.StatusOK {
+		t.Fatalf("DELETE running job: %d", code)
+	}
+	// The hard instance needs seconds of search; the executor exiting
+	// well before that proves the cancel reached the solver context.
+	waitExecutors(t, s, 2*time.Second)
+	snap, ok := getJob(t, ts.Client(), ts.URL, submitted.ID)
+	if !ok || snap.State != "canceled" {
+		t.Fatalf("after cancel: %+v (found=%v)", snap, ok)
+	}
+}
+
+func TestJobTTLExpiry(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 2, QueueDepth: 8, JobTTL: 10 * time.Minute})
+	body := solveBody(t, easyInstance(), `{"w":4,"h":4,"t":6}`, "")
+	code, submitted, _ := postJob(t, ts.Client(), ts.URL, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code=%d", code)
+	}
+	pollJob(t, ts.Client(), ts.URL, submitted.ID, func(j *jobWire) bool { return j.State == "done" })
+	waitExecutors(t, s, 5*time.Second)
+
+	// Jump the store's clock past the TTL; the next API call sweeps.
+	s.jobs.SetClock(func() time.Time { return time.Now().Add(11 * time.Minute) })
+	if _, ok := getJob(t, ts.Client(), ts.URL, submitted.ID); ok {
+		t.Fatal("done job survived past its TTL")
+	}
+}
+
+func TestJobTableOverflow429(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1, QueueDepth: 8, MaxJobs: 1, JobsPerClient: 8})
+	release, err := s.pool.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	body := solveBody(t, easyInstance(), `{"w":4,"h":4,"t":6}`, `"client": "a"`)
+	if code, _, _ := postJob(t, ts.Client(), ts.URL, body); code != http.StatusAccepted {
+		t.Fatalf("first job: code=%d", code)
+	}
+	body2 := solveBody(t, easyInstance(), `{"w":4,"h":4,"t":6}`, `"client": "b"`)
+	code, _, hdr := postJob(t, ts.Client(), ts.URL, body2)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("overflowing the job table: want 429, got %d", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if s.Registry().Snapshot()[obs.MetricJobsRejected+".table_full"] != 1 {
+		t.Fatal("table-full rejection not counted")
+	}
+}
+
+func TestJobPerClientCap429(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1, QueueDepth: 8, MaxJobs: 8, JobsPerClient: 1})
+	release, err := s.pool.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	body := solveBody(t, easyInstance(), `{"w":4,"h":4,"t":6}`, `"client": "greedy"`)
+	if code, _, _ := postJob(t, ts.Client(), ts.URL, body); code != http.StatusAccepted {
+		t.Fatalf("first job: code=%d", code)
+	}
+	code, _, _ := postJob(t, ts.Client(), ts.URL, body)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("per-client cap: want 429, got %d", code)
+	}
+	if s.Registry().Snapshot()[obs.MetricJobsRejected+".client_cap"] != 1 {
+		t.Fatal("client-cap rejection not counted")
+	}
+	// A different client still gets in.
+	other := solveBody(t, easyInstance(), `{"w":4,"h":4,"t":6}`, `"client": "patient"`)
+	if code, _, _ := postJob(t, ts.Client(), ts.URL, other); code != http.StatusAccepted {
+		t.Fatalf("other client should be admitted: code=%d", code)
+	}
+}
+
+func TestJobListAndStateGauges(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 2, QueueDepth: 8})
+	body := solveBody(t, easyInstance(), `{"w":4,"h":4,"t":6}`, "")
+	code, submitted, _ := postJob(t, ts.Client(), ts.URL, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code=%d", code)
+	}
+	pollJob(t, ts.Client(), ts.URL, submitted.ID, func(j *jobWire) bool { return j.State == "done" })
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list jobListResponse
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != submitted.ID {
+		t.Fatalf("job list: %+v", list)
+	}
+
+	snap := s.Registry().Snapshot()
+	if snap[obs.MetricJobsSubmitted] != 1 {
+		t.Fatalf("submitted counter: %d", snap[obs.MetricJobsSubmitted])
+	}
+	if snap[obs.MetricJobsState+".done"] != 1 || snap[obs.MetricJobsState+".queued"] != 0 || snap[obs.MetricJobsState+".running"] != 0 {
+		t.Fatalf("state gauges wrong: done=%d queued=%d running=%d",
+			snap[obs.MetricJobsState+".done"], snap[obs.MetricJobsState+".queued"], snap[obs.MetricJobsState+".running"])
+	}
+	// All five state gauges exist from the first scrape, even untouched.
+	for _, st := range []string{"queued", "running", "done", "failed", "canceled"} {
+		if _, ok := snap[obs.MetricJobsState+"."+st]; !ok {
+			t.Errorf("gauge %s.%s missing from exposition", obs.MetricJobsState, st)
+		}
+	}
+}
+
+func TestJobBadSubmissions(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrent: 1})
+	cases := map[string]string{
+		"no instance":  `{"mode":"solve"}`,
+		"bad mode":     solveBody(t, easyInstance(), `{"w":4,"h":4,"t":6}`, `"mode":"nope"`),
+		"undecodable":  `{"instance": [`,
+		"unknown keys": `{"wat": 1}`,
+	}
+	for name, body := range cases {
+		code, _, _ := postJob(t, ts.Client(), ts.URL, body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: want 400, got %d", name, code)
+		}
+	}
+	if _, ok := getJob(t, ts.Client(), ts.URL, "nonexistent"); ok {
+		t.Error("GET of a nonexistent job should 404")
+	}
+	if code := deleteJob(t, ts.Client(), ts.URL, "nonexistent"); code != http.StatusNotFound {
+		t.Errorf("DELETE of a nonexistent job: want 404, got %d", code)
+	}
+}

@@ -71,6 +71,10 @@ func endpointName(path string) string {
 		return "minimize_time"
 	case path == "/v1/minimize-chip":
 		return "minimize_chip"
+	case path == "/v1/solve-batch":
+		return "solve_batch"
+	case path == "/v1/jobs" || strings.HasPrefix(path, "/v1/jobs/"):
+		return "jobs"
 	case strings.HasPrefix(path, "/v1/progress/"):
 		return "progress"
 	case path == "/v1/sessions" || strings.HasPrefix(path, "/v1/sessions/"):

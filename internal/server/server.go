@@ -22,10 +22,12 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"fpga3d/internal/obs"
+	"fpga3d/internal/server/jobs"
 )
 
 // Config tunes the daemon; the zero value is usable (one solve at a
@@ -80,6 +82,21 @@ type Config struct {
 	// MaxSessions caps concurrently resident online placement sessions
 	// (0 means 64); beyond it POST /v1/sessions answers 429.
 	MaxSessions int
+	// MaxBatch bounds instances per POST /v1/solve-batch request
+	// (0 means 64).
+	MaxBatch int
+	// MaxJobs bounds jobs resident in the async job table (0 means
+	// 256). When the table is full of active jobs, POST /v1/jobs
+	// answers 429.
+	MaxJobs int
+	// JobsPerClient bounds active (queued or running) jobs per client
+	// identity (0 means 16); beyond it POST /v1/jobs answers 429 for
+	// that client.
+	JobsPerClient int
+	// JobTTL retains terminal jobs for this long before lazy eviction
+	// (0 means 10m). Eviction runs on the next job-API call, not on a
+	// timer.
+	JobTTL time.Duration
 }
 
 // Server wires the admission pool, the result cache and the HTTP
@@ -92,6 +109,8 @@ type Server struct {
 	cache    *Cache
 	broker   *obs.ProgressBroker
 	sessions *sessionManager
+	jobs     *jobs.Store
+	jobsWG   sync.WaitGroup
 	log      *slog.Logger
 	tracer   *obs.Tracer
 	handler  http.Handler
@@ -126,11 +145,16 @@ func New(cfg Config) *Server {
 		s.broker = obs.NewProgressBroker(cfg.ProgressStreams)
 	}
 	s.sessions = newSessionManager(cfg.SessionTTL, cfg.MaxSessions)
+	s.jobs = jobs.NewStore(cfg.MaxJobs, cfg.JobsPerClient, cfg.JobTTL)
+	s.jobs.SetObserver(jobStateGauges(reg))
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/solve", func(w http.ResponseWriter, r *http.Request) { s.serveSolve(w, r, modeSolve) })
 	mux.HandleFunc("/v1/minimize-time", func(w http.ResponseWriter, r *http.Request) { s.serveSolve(w, r, modeMinTime) })
 	mux.HandleFunc("/v1/minimize-chip", func(w http.ResponseWriter, r *http.Request) { s.serveSolve(w, r, modeMinChip) })
+	mux.HandleFunc("/v1/solve-batch", s.handleSolveBatch)
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJobOp)
 	mux.HandleFunc("/v1/progress/", s.handleProgress)
 	mux.HandleFunc("/v1/sessions", s.handleSessions)
 	mux.HandleFunc("/v1/sessions/", s.handleSessionOp)
@@ -184,12 +208,27 @@ func (s *Server) ListenAndServe(addr string, ready func(addr string)) error {
 }
 
 // Shutdown drains the daemon: new connections are refused, /healthz
-// flips to 503, and in-flight solves run to completion (or until ctx
-// expires, at which point their connections are closed).
+// flips to 503, in-flight solves run to completion, and async job
+// executors finish their current jobs (each within ctx's remaining
+// budget — an expired ctx closes connections and abandons job
+// goroutines to the process exit).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.logf("draining: %d in flight, %d queued", s.pool.Inflight(), s.pool.Queued())
-	return s.httpSrv.Shutdown(ctx)
+	err := s.httpSrv.Shutdown(ctx)
+	jobsDone := make(chan struct{})
+	go func() {
+		s.jobsWG.Wait()
+		close(jobsDone)
+	}()
+	select {
+	case <-jobsDone:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
 }
 
 // logf forwards notable-event lines to Config.Logf when set, else to

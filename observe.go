@@ -125,6 +125,20 @@ const (
 	// MetricSessionDefragMoves counts modules relocated by session
 	// defragmentation plans.
 	MetricSessionDefragMoves = obs.MetricSessionDefragMoves
+	// MetricJobsSubmitted counts async jobs accepted by POST /v1/jobs.
+	MetricJobsSubmitted = obs.MetricJobsSubmitted
+	// MetricJobsRejected prefixes the 429 job-submission rejection
+	// counters (.table_full, .client_cap).
+	MetricJobsRejected = obs.MetricJobsRejected
+	// MetricJobsState prefixes the per-state job-table gauges
+	// (.queued, .running, .done, .failed, .canceled).
+	MetricJobsState = obs.MetricJobsState
+	// MetricJobLatency histograms job submission-to-terminal latency.
+	MetricJobLatency = obs.MetricJobLatency
+	// MetricBatchEntries counts instances received in batch bodies.
+	MetricBatchEntries = obs.MetricBatchEntries
+	// MetricBatchDeduped counts batch entries deduped by canonical key.
+	MetricBatchDeduped = obs.MetricBatchDeduped
 	// MetricSessionAdmitLatency histograms session admission latency in
 	// seconds.
 	MetricSessionAdmitLatency = obs.MetricSessionAdmitLatency
