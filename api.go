@@ -149,7 +149,7 @@ const (
 type Options = solver.Options
 
 // Strategy names accepted by Options.Strategy; the empty string selects
-// the default staged pipeline. Both strategies return the same answers
+// the default staged pipeline. Every strategy returns the same answers
 // — they differ in how the work is scheduled and therefore in effort
 // statistics and witness provenance.
 const (
@@ -164,7 +164,22 @@ const (
 	// Workers > 1, races the cheap prover against the exact search
 	// inside each probe.
 	StrategyPortfolio = "portfolio"
+	// StrategyAnneal extends the staged pipeline with a randomized
+	// annealing placer between the greedy heuristic and the exact
+	// search: when greedy misses the budget, a seeded simulated-
+	// annealing walk over task priorities tries to close the gap before
+	// any branch-and-bound node is expanded. Deterministic per
+	// Options.AnnealSeed; decisions always agree with the staged
+	// pipeline.
+	StrategyAnneal = "anneal"
 )
+
+// AnytimeUpdate is one improvement notification of an anytime
+// MinimizeTime run (Options.Anytime with Options.OnImprovement): a new
+// best incumbent, a raised proven lower bound, or the final proof of
+// optimality. Best only decreases and LowerBound only increases across
+// a run, so Gap is non-increasing and the Final update carries Gap 0.
+type AnytimeUpdate = solver.AnytimeUpdate
 
 // Result is the outcome of a feasibility question.
 type Result struct {
@@ -183,10 +198,18 @@ type OptimizeResult struct {
 	Value      int // the optimal T (MinimizeTime) or chip side h (MinimizeChip)
 	Placement  *Placement
 	LowerBound int
-	Nodes      int64
-	Stats      Stats // engine statistics summed over all probes
-	Stages     StageTimings
-	Elapsed    time.Duration
+	// BestBound is the best proven lower bound at exit: equal to Value
+	// on a completed run, and the refined bound (≥ LowerBound) on a
+	// partial MinimizeTime run.
+	BestBound int
+	// Gap is the relative optimality gap (Value−BestBound)/Value: 0 on
+	// a completed run, positive on a partial MinimizeTime run. Only
+	// MinimizeTime refines it; other modes report 0.
+	Gap     float64
+	Nodes   int64
+	Stats   Stats // engine statistics summed over all probes
+	Stages  StageTimings
+	Elapsed time.Duration
 }
 
 func opts(o *Options) Options {
@@ -311,6 +334,8 @@ func convertOpt(r *solver.OptResult) *OptimizeResult {
 		Value:      r.Value,
 		Placement:  r.Placement,
 		LowerBound: r.LowerBound,
+		BestBound:  r.BestBound,
+		Gap:        r.Gap,
 		Nodes:      r.Stats.Nodes,
 		Stats:      r.Stats,
 		Stages:     r.Stages,

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleAnytimeReport() *AnytimeReport {
+	return &AnytimeReport{
+		Schema:    AnytimeReportSchema,
+		Generated: "2026-08-08T00:00:00Z",
+		Env:       envStamp(),
+		Runs:      3,
+		Deadlines: []string{"10ms", "100ms", "1s"},
+		Entries: []AnytimeEntry{
+			{Name: "de/anytime/17x17", Status: "feasible", Value: 13, LowerBound: 13,
+				GapAt: []float64{0, 0, 0}, BestAt: []int{13, 13, 13},
+				TimeToOptNS: 80_000, TimeToProofNS: 180_000, Updates: 2},
+			{Name: "de/anytime/33x16", Status: "feasible", Value: 8, LowerBound: 7,
+				GapAt: []float64{0.125, 0.125, 0}, BestAt: []int{8, 8, 8},
+				TimeToOptNS: 100_000, TimeToProofNS: 230_000_000, Updates: 3},
+		},
+	}
+}
+
+func TestAnytimeReportRoundTrip(t *testing.T) {
+	r := sampleAnytimeReport()
+	path := filepath.Join(t.TempDir(), "anytime.json")
+	if err := writeAnytimeReport(r, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readAnytimeReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("round trip changed the report:\nwrote %+v\nread  %+v", r, got)
+	}
+	if msgs := diffAnytimeReports(r, got, 0, 0); len(msgs) != 0 {
+		t.Fatalf("self-diff not clean: %v", msgs)
+	}
+
+	r.Schema = "fpgabench/anytime/v0"
+	if err := writeAnytimeReport(r, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readAnytimeReport(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+// TestDiffAnytimeRegressions exercises each class the anytime gate can
+// raise: answer drift, gap-at-deadline regressions past the slack, wall
+// regressions past the floor, and vanished cases.
+func TestDiffAnytimeRegressions(t *testing.T) {
+	base := sampleAnytimeReport()
+
+	t.Run("answer drift", func(t *testing.T) {
+		cur := sampleAnytimeReport()
+		cur.Entries[0].Value++
+		msgs := diffAnytimeReports(base, cur, 0.5, 25*time.Millisecond)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "answer changed") {
+			t.Fatalf("msgs = %v", msgs)
+		}
+	})
+	t.Run("lower bound drift", func(t *testing.T) {
+		cur := sampleAnytimeReport()
+		cur.Entries[1].LowerBound--
+		msgs := diffAnytimeReports(base, cur, 0.5, 25*time.Millisecond)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "answer changed") {
+			t.Fatalf("msgs = %v", msgs)
+		}
+	})
+	t.Run("gap regression past slack", func(t *testing.T) {
+		cur := sampleAnytimeReport()
+		cur.Entries[1].GapAt[2] = gapSlack + 0.01
+		msgs := diffAnytimeReports(base, cur, 0.5, 25*time.Millisecond)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "gap at 1s worsened") {
+			t.Fatalf("msgs = %v", msgs)
+		}
+	})
+	t.Run("gap noise under slack ignored", func(t *testing.T) {
+		cur := sampleAnytimeReport()
+		cur.Entries[0].GapAt[0] = gapSlack - 0.01
+		if msgs := diffAnytimeReports(base, cur, 0.5, 25*time.Millisecond); len(msgs) != 0 {
+			t.Fatalf("sub-slack gap noise flagged: %v", msgs)
+		}
+	})
+	t.Run("proof wall regression past floor", func(t *testing.T) {
+		cur := sampleAnytimeReport()
+		cur.Entries[1].TimeToProofNS *= 3
+		msgs := diffAnytimeReports(base, cur, 0.5, 25*time.Millisecond)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "time to proof regressed") {
+			t.Fatalf("msgs = %v", msgs)
+		}
+	})
+	t.Run("micro wall noise under floor ignored", func(t *testing.T) {
+		cur := sampleAnytimeReport()
+		cur.Entries[0].TimeToOptNS *= 10
+		cur.Entries[0].TimeToProofNS *= 10
+		if msgs := diffAnytimeReports(base, cur, 0.5, 25*time.Millisecond); len(msgs) != 0 {
+			t.Fatalf("micro-case noise flagged: %v", msgs)
+		}
+	})
+	t.Run("missing case in full run", func(t *testing.T) {
+		cur := sampleAnytimeReport()
+		cur.Entries = cur.Entries[:1]
+		msgs := diffAnytimeReports(base, cur, 0.5, 25*time.Millisecond)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "not measured") {
+			t.Fatalf("msgs = %v", msgs)
+		}
+	})
+	t.Run("missing case tolerated in quick run", func(t *testing.T) {
+		cur := sampleAnytimeReport()
+		cur.Entries = cur.Entries[:1]
+		cur.Quick = true
+		if msgs := diffAnytimeReports(base, cur, 0.5, 25*time.Millisecond); len(msgs) != 0 {
+			t.Fatalf("quick run flagged for subsetting: %v", msgs)
+		}
+	})
+}
+
+// TestRunAnytimeQuick runs the real quick subset end to end: every
+// case must prove its optimum (final gap 0) and the report must be
+// parseable with curve samples for every deadline.
+func TestRunAnytimeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves real instances")
+	}
+	var stdout, stderr bytes.Buffer
+	path := filepath.Join(t.TempDir(), "anytime.json")
+	if code := run([]string{"-anytime", "-quick", "-runs", "1", "-out", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	rep, err := readAnytimeReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) == 0 {
+		t.Fatal("quick run measured no cases")
+	}
+	for _, e := range rep.Entries {
+		if e.FinalGap != 0 {
+			t.Errorf("%s: final gap %v, want proven 0", e.Name, e.FinalGap)
+		}
+		if len(e.GapAt) != len(anytimeDeadlines) || len(e.BestAt) != len(anytimeDeadlines) {
+			t.Errorf("%s: curve has %d/%d samples, want %d", e.Name, len(e.GapAt), len(e.BestAt), len(anytimeDeadlines))
+		}
+		for i := 1; i < len(e.GapAt); i++ {
+			if e.GapAt[i] > e.GapAt[i-1] {
+				t.Errorf("%s: gap increased along the curve: %v", e.Name, e.GapAt)
+			}
+		}
+	}
+	// Diffing a run against its own report is clean.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-anytime", "-quick", "-runs", "1", "-baseline", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("self-baseline exit %d\nstderr: %s", code, stderr.String())
+	}
+}
+
+func TestAnytimeAndOnlineExclusive(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-anytime", "-online"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "mutually exclusive") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+// TestCommittedAnytimeBaseline keeps the committed BENCH_anytime.json
+// honest: right schema, all suite cases present, every entry proven.
+func TestCommittedAnytimeBaseline(t *testing.T) {
+	rep, err := readAnytimeReport("../../BENCH_anytime.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AnytimeEntry{}
+	for _, e := range rep.Entries {
+		byName[e.Name] = e
+		if e.FinalGap != 0 {
+			t.Errorf("%s: committed final gap %v, want 0", e.Name, e.FinalGap)
+		}
+	}
+	for _, c := range anytimeSuite() {
+		if _, ok := byName[c.name]; !ok {
+			t.Errorf("suite case %s missing from committed baseline", c.name)
+		}
+	}
+	var raw map[string]json.RawMessage
+	data, _ := json.Marshal(rep)
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+}

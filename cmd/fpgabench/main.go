@@ -26,6 +26,18 @@
 //	fpgabench -online [-quick] [-runs N] [-out BENCH_online.json]
 //	          [-baseline BENCH_online.json] [-tolerance 0.5] [-floor 25ms]
 //
+// With -anytime, fpgabench measures the anytime tier's quality-vs-time
+// curves: every paper instance is minimized in anytime mode and the
+// incumbent's optimality gap is sampled 10ms, 100ms and 1s into the
+// run, alongside the time to reach and to prove the optimum
+// (fpgabench/anytime/v1, committed as BENCH_anytime.json). The final
+// answer is diffed exactly — a completed anytime run must land on the
+// staged optimum at gap 0 — while the per-deadline gaps carry an
+// absolute slack and the wall times the usual tolerance:
+//
+//	fpgabench -anytime [-quick] [-runs N] [-out BENCH_anytime.json]
+//	          [-baseline BENCH_anytime.json] [-tolerance 0.5] [-floor 25ms]
+//
 // Exit codes: 0 success, 1 usage or solver error, 2 regression against
 // the baseline (or determinism violation).
 package main
@@ -64,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		compareStrategy = fs.Bool("compare-strategy", false, "also run every case under the portfolio strategy; exit 2 if it changes an answer, or increases a node count on a paper instance")
 		compareParallel = fs.Int("compare-parallel", 0, "also run single-decision (opp) cases with an intra-probe work-stealing pool of this size; exit 2 if any answer changes")
 		onlineMode      = fs.Bool("online", false, "replay the online placement scripts instead of the core solver suite")
+		anytimeMode     = fs.Bool("anytime", false, "measure anytime quality-vs-time curves instead of the core solver suite")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -71,8 +84,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *runs < 1 {
 		*runs = 1
 	}
+	if *onlineMode && *anytimeMode {
+		fmt.Fprintln(stderr, "fpgabench: -online and -anytime are mutually exclusive")
+		return 1
+	}
 	if *onlineMode {
 		return runOnline(stdout, stderr, *quick, *list, *runs, *out, *baseline, *tolerance, *floor)
+	}
+	if *anytimeMode {
+		return runAnytime(stdout, stderr, *quick, *list, *runs, *out, *baseline, *tolerance, *floor)
 	}
 	cases := suite()
 	if *list {

@@ -34,6 +34,17 @@
 // submitter's active jobs (429 for that client), and -job-ttl evicts
 // finished jobs that were never collected.
 //
+// Anytime jobs: a minimize-time request (synchronous or async) may set
+// "anytime": true. The solve then keeps a best-known schedule at all
+// times — greedy incumbent, randomized annealing improvements, exact
+// refinement to proven optimality — and every job snapshot and SSE
+// progress frame carries best_makespan, lower_bound and gap (their
+// relative optimality gap, non-increasing over the run, 0 exactly when
+// the incumbent is proven optimal). A deadline-expired anytime solve
+// answers with the best-known schedule and its gap instead of nothing;
+// the fully refined answer always equals the plain solve's. "anytime"
+// on any other question is a 400.
+//
 // Online placement sessions (long-lived device state; see
 // ARCHITECTURE.md, "Online placement"):
 //
@@ -123,7 +134,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		defaultTimeout  = fs.Duration("default-timeout", 30*time.Second, "per-request solve deadline unless the request sets timeout_ms")
 		cacheSize       = fs.Int("cache-size", 256, "canonical-instance result cache entries (negative disables)")
 		workers         = fs.Int("workers", 1, "per-solve parallelism: sweeps race probes (bit-identical), single decisions steal subtrees when >1 (answer-equal); 0 = GOMAXPROCS for sweeps only; keep 1 when -max-concurrent already saturates the cores")
-		strategyName    = fs.String("strategy", "", "default solve strategy: staged | portfolio (requests may override per call)")
+		strategyName    = fs.String("strategy", "", "default solve strategy: staged | portfolio | anneal (requests may override per call)")
 		drainTimeout    = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight solves")
 		logFormat       = fs.String("log-format", "text", "structured log output: text | json")
 		traceFile       = fs.String("trace", "", "append solver trace and span events (JSON lines) to this file")

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestAnytimeCLIProvesOptimal: -anytime on a completed spp run reports
+// the same optimum as a plain run, with gap 0 and best_bound == value
+// in the JSON output, and exit status 0.
+func TestAnytimeCLIProvesOptimal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-executes the test binary")
+	}
+	type sppJSON struct {
+		Decision  string  `json:"decision"`
+		Value     int     `json:"value"`
+		BestBound int     `json:"best_bound"`
+		Gap       float64 `json:"gap"`
+	}
+	run := func(args ...string) sppJSON {
+		t.Helper()
+		out, code := runCLI(t, append(args, "-json", "-placement=false")...)
+		if code != 0 {
+			t.Fatalf("exit code %d, want 0; stdout:\n%s", code, out)
+		}
+		var res sppJSON
+		if err := json.Unmarshal([]byte(out), &res); err != nil {
+			t.Fatalf("not JSON: %v\n%s", err, out)
+		}
+		return res
+	}
+	plain := run("-builtin", "de", "-mode", "spp", "-W", "17", "-H", "17")
+	any := run("-builtin", "de", "-mode", "spp", "-W", "17", "-H", "17", "-anytime")
+	if any.Decision != "feasible" || any.Value != plain.Value {
+		t.Fatalf("anytime (%s, %d) ≠ plain (%s, %d)", any.Decision, any.Value, plain.Decision, plain.Value)
+	}
+	if any.Gap != 0 || any.BestBound != any.Value {
+		t.Fatalf("completed anytime run: gap %v, best_bound %d, value %d", any.Gap, any.BestBound, any.Value)
+	}
+}
+
+// TestAnytimeCLIPartialCarriesGap: an expired -timeout in anytime mode
+// still delivers the best-known value and a coherent gap in the
+// partial JSON, at exit status 3.
+func TestAnytimeCLIPartialCarriesGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-executes the test binary")
+	}
+	// spp_hard packs 14 random-shaped tasks volume-tight on a 6×6 chip:
+	// the exact refinement probes an exponential region, so a short
+	// deadline reliably expires with the gap still open.
+	out, code := runCLI(t, "-instance", "testdata/spp_hard.json", "-mode", "spp",
+		"-W", "6", "-H", "6", "-anytime", "-timeout", "300ms", "-placement=false")
+	if code != exitDeadline {
+		t.Fatalf("exit code %d, want %d; stdout:\n%s", code, exitDeadline, out)
+	}
+	var p struct {
+		Decision  string  `json:"decision"`
+		Value     int     `json:"value"`
+		BestBound int     `json:"best_bound"`
+		Gap       float64 `json:"gap"`
+		TimedOut  bool    `json:"timed_out"`
+	}
+	if err := json.Unmarshal([]byte(out), &p); err != nil {
+		t.Fatalf("partial result is not JSON: %v\n%s", err, out)
+	}
+	if !p.TimedOut || p.Decision != "unknown" {
+		t.Fatalf("partial result not marked timed out/unknown: %s", out)
+	}
+	if p.Value <= 0 {
+		t.Fatalf("partial anytime result carries no incumbent: %s", out)
+	}
+	if p.Gap <= 0 || p.Gap > 1 || p.BestBound <= 0 {
+		t.Fatalf("partial anytime gap/bound incoherent (gap %v, bound %d): %s", p.Gap, p.BestBound, out)
+	}
+}
+
+// TestAnytimeRejectedOutsideSPP: -anytime is an spp refinement; other
+// modes reject it up front.
+func TestAnytimeRejectedOutsideSPP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-executes the test binary")
+	}
+	_, code := runCLI(t, "-builtin", "de", "-mode", "opp",
+		"-W", "32", "-H", "32", "-T", "6", "-anytime")
+	if code == 0 {
+		t.Fatal("-anytime in mode=opp should be rejected")
+	}
+}

@@ -49,6 +49,18 @@
 // exits with status 3 (exitDeadline), so scripts can distinguish
 // "ran out of time" from a solver error (status 1) and a proven
 // answer (status 0).
+//
+// Anytime mode (spp only):
+//
+//	fpgaplace -builtin de -mode spp -W 17 -H 17 -anytime -timeout 100ms
+//
+// -anytime runs the minimization as an anytime solve: a greedy
+// incumbent lands immediately, a randomized annealing placer tightens
+// it, and the exact search refines to proven optimality — each
+// improvement printed to stderr with the current optimality gap. The
+// final answer equals the plain run's; a -timeout that expires midway
+// still yields the best-known schedule, its best_bound and its gap in
+// the JSON partial result (gap 0 means proven optimal).
 package main
 
 import (
@@ -97,7 +109,9 @@ func main() {
 		nodeLimit    = flag.Int64("node-limit", 0, "branch-and-bound node budget (0 = unlimited)")
 		timeLimit    = flag.Duration("time-limit", 5*time.Minute, "wall-clock budget per decision")
 		workers      = flag.Int("workers", 0, "parallelism for sweeps (probe racing, bit-identical) and, when >1, single decisions (work stealing, answer-equal); 0 = GOMAXPROCS for sweeps only, 1 = fully sequential")
-		strategyName = flag.String("strategy", "", "solve strategy: staged (default; bounds, heuristic, search in order) | portfolio (incumbent sharing, prover-vs-search racing)")
+		strategyName = flag.String("strategy", "", "solve strategy: staged (default; bounds, heuristic, search in order) | portfolio (incumbent sharing, prover-vs-search racing) | anneal (staged plus a randomized annealing stage before the exact search)")
+		anytime      = flag.Bool("anytime", false, "anytime minimization (spp only): stream improvements with optimality gaps to stderr; a partial result keeps the best-known schedule and its gap")
+		annealSeed   = flag.Int64("anneal-seed", 0, "seed for the randomized annealing placer (0 = default seed; runs are deterministic per seed)")
 		timeout      = flag.Duration("timeout", 0, "whole-run deadline; on expiry the partial result is printed as JSON and the exit status is 3 (0 = none)")
 		progress     = flag.Bool("progress", false, "print a live search status line to stderr")
 		logFormat    = flag.String("log-format", "text", "diagnostic log output: text | json")
@@ -139,7 +153,18 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	opt := &fpga3d.Options{NodeLimit: *nodeLimit, TimeLimit: *timeLimit, Workers: *workers, Strategy: *strategyName}
+	opt := &fpga3d.Options{NodeLimit: *nodeLimit, TimeLimit: *timeLimit, Workers: *workers, Strategy: *strategyName, AnnealSeed: *annealSeed}
+	if *anytime {
+		opt.Anytime = true
+		opt.OnImprovement = func(u fpga3d.AnytimeUpdate) {
+			status := "gap"
+			if u.Final {
+				status = "proved optimal, gap"
+			}
+			fmt.Fprintf(os.Stderr, "anytime: best %d, lower bound %d (%s %.3f, %s, %v)\n",
+				u.Best, u.LowerBound, status, u.Gap, u.Source, u.Elapsed.Round(time.Millisecond))
+		}
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -219,6 +244,9 @@ func main() {
 		fmt.Printf("%s on %dx%d: minimal time %d cycles (%v, lower bound %d, %d nodes, %v)\n",
 			in.Name(), *w, *h, res.Value, res.Decision, res.LowerBound, res.Nodes,
 			res.Elapsed.Round(time.Microsecond))
+		if *anytime {
+			fmt.Printf("anytime: best bound %d, gap %.3f\n", res.BestBound, res.Gap)
+		}
 		fmt.Printf("stages: %v\n", res.Stages)
 		printPlacement(in, res.Placement, *showPlace, *showGantt)
 		svgOut(res.Placement, fpga3d.Chip{W: *w, H: *h, T: res.Value})
@@ -422,7 +450,7 @@ func flagWasSet(name string) bool { return setFlags()[name] }
 var commonFlags = map[string]bool{
 	"instance": true, "builtin": true, "mode": true, "no-prec": true,
 	"placement": true, "gantt": true, "svg": true, "reconfig": true,
-	"node-limit": true, "time-limit": true, "workers": true, "timeout": true, "strategy": true,
+	"node-limit": true, "time-limit": true, "workers": true, "timeout": true, "strategy": true, "anneal-seed": true,
 	"progress": true, "trace": true, "metrics": true, "json": true, "log-format": true,
 	"cpuprofile": true, "memprofile": true,
 }
@@ -430,7 +458,7 @@ var commonFlags = map[string]bool{
 // modeFlags lists the mode-specific flags each mode accepts.
 var modeFlags = map[string]map[string]bool{
 	"opp":        {"W": true, "H": true, "T": true},
-	"spp":        {"W": true, "H": true},
+	"spp":        {"W": true, "H": true, "anytime": true},
 	"bmp":        {"T": true},
 	"fixed":      {"W": true, "H": true, "T": true, "starts": true},
 	"pareto":     {},
@@ -588,7 +616,7 @@ func feasJSON(in *fpga3d.Instance, mode string, chip fpga3d.Chip, res *fpga3d.Re
 }
 
 func optJSON(in *fpga3d.Instance, mode string, res *fpga3d.OptimizeResult) map[string]any {
-	return map[string]any{
+	out := map[string]any{
 		"instance":    in.Name(),
 		"mode":        mode,
 		"decision":    res.Decision.String(),
@@ -600,14 +628,25 @@ func optJSON(in *fpga3d.Instance, mode string, res *fpga3d.OptimizeResult) map[s
 		"stats":       res.Stats,
 		"placement":   res.Placement,
 	}
+	if mode == "spp" {
+		// Only MinimizeTime refines a (best_bound, gap) pair; gap 0 means
+		// the value is proven optimal, positive means a partial result.
+		out["best_bound"] = res.BestBound
+		out["gap"] = res.Gap
+	}
+	return out
 }
 
 func stagesMSJSON(s fpga3d.StageTimings) map[string]float64 {
-	return map[string]float64{
+	out := map[string]float64{
 		"bounds":    float64(s.Bounds) / float64(time.Millisecond),
 		"heuristic": float64(s.Heuristic) / float64(time.Millisecond),
 		"search":    float64(s.Search) / float64(time.Millisecond),
 	}
+	if s.Anneal > 0 {
+		out["anneal"] = float64(s.Anneal) / float64(time.Millisecond)
+	}
+	return out
 }
 
 func taskLabel(name string, i int) string {

@@ -40,10 +40,19 @@ func TestGodocCoverage(t *testing.T) {
 		"internal/strategy/incumbents.go",
 		"internal/strategy/problem.go",
 		"internal/strategy/timings.go",
+		"internal/strategy/anneal.go",
+		// The annealing placer's exported surface (priority-rule table,
+		// annealing options) is the anytime tier's tuning contract.
+		"internal/heur/rules.go",
+		"internal/heur/anneal.go",
+		// The anytime update stream is public API (re-exported from
+		// api.go); its field semantics are the serving contract.
+		"internal/solver/anytime.go",
 		// fpgabench's report types are the on-disk baseline format.
 		"cmd/fpgabench/report.go",
 		"cmd/fpgabench/main.go",
 		"cmd/fpgabench/suite.go",
+		"cmd/fpgabench/anytime.go",
 		// The async job store's exported surface is the lifecycle
 		// contract the serving layer and its tests program against.
 		"internal/server/jobs/jobs.go",

@@ -1,0 +1,29 @@
+package bounds
+
+// Gap returns the relative optimality gap between an incumbent
+// makespan and a proven lower bound: (incumbent − lb)/incumbent. It
+// is the quantity the anytime tier reports alongside every witness:
+// 0 means the incumbent is proven optimal (it meets or beats the
+// bound), 1 means the bound says nothing yet. Non-positive incumbents
+// (no witness, or the degenerate all-zero-duration makespan) report
+// gap 0: there is nothing left to close.
+//
+// Monotonicity is part of the contract: incumbents only improve
+// (decrease) and bounds only tighten (increase) during a run, so the
+// gap a run streams is non-increasing and ends at 0 exactly when
+// optimality is proven.
+func Gap(incumbent, lb int) float64 {
+	if incumbent <= 0 || incumbent <= lb {
+		return 0
+	}
+	if lb < 0 {
+		lb = 0
+	}
+	return float64(incumbent-lb) / float64(incumbent)
+}
+
+// Gap returns the relative optimality gap of an incumbent makespan
+// against the report's best lower bound; see the package-level Gap.
+func (r Report) Gap(incumbent int) float64 {
+	return Gap(incumbent, r.Best)
+}

@@ -1,0 +1,65 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+
+	"fpga3d/internal/model"
+)
+
+func TestGap(t *testing.T) {
+	cases := []struct {
+		incumbent, lb int
+		want          float64
+	}{
+		{0, 0, 0},    // no witness yet
+		{-1, 5, 0},   // defensive: nonsense incumbent
+		{10, 10, 0},  // proven optimal
+		{10, 12, 0},  // bound overtook a stale incumbent: still closed
+		{10, 5, 0.5}, // halfway
+		{10, 0, 1},   // bound says nothing
+		{10, -3, 1},  // defensive: negative bound clamps to 0
+		{59, 48, (59.0 - 48.0) / 59.0},
+	}
+	for _, c := range cases {
+		if got := Gap(c.incumbent, c.lb); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Gap(%d, %d) = %v, want %v", c.incumbent, c.lb, got, c.want)
+		}
+	}
+}
+
+// TestReportGap ties the method to the report's Best component and
+// checks monotonicity along a typical refinement trajectory.
+func TestReportGap(t *testing.T) {
+	in := &model.Instance{
+		Name: "gap",
+		Tasks: []model.Task{
+			{Name: "a", W: 2, H: 2, Dur: 4},
+			{Name: "b", W: 2, H: 2, Dur: 3},
+		},
+		Prec: []model.Arc{{From: 0, To: 1}},
+	}
+	o, err := in.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := MinTimeReport(in, 4, 4, o)
+	if r.Best <= 0 {
+		t.Fatalf("report has no bound: %+v", r)
+	}
+	if g := r.Gap(r.Best); g != 0 {
+		t.Fatalf("Gap at the bound itself = %v, want 0", g)
+	}
+	// Tightening incumbents toward the bound never increases the gap.
+	prev := math.Inf(1)
+	for inc := r.Best + 5; inc >= r.Best; inc-- {
+		g := r.Gap(inc)
+		if g > prev {
+			t.Fatalf("gap increased while the incumbent improved: %v → %v", prev, g)
+		}
+		prev = g
+	}
+	if prev != 0 {
+		t.Fatalf("gap at optimum = %v, want 0", prev)
+	}
+}

@@ -1,0 +1,162 @@
+package heur
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"fpga3d/internal/bench"
+	"fpga3d/internal/model"
+)
+
+// TestAnnealDeterministicPerSeed: the same seed must reproduce the
+// identical schedule and the identical improvement sequence; the
+// annealer is part of the anytime tier's reproducibility story.
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := bench.Random(rng, 12, 4, 6, 0.3)
+	o, err := in.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(seed int64) (*model.Placement, int, []int) {
+		var trace []int
+		p, mk, ok := AnnealMinMakespan(context.Background(), in, 8, 8, o, AnnealOptions{
+			Seed:       seed,
+			Iterations: 150,
+			OnImprove:  func(_ *model.Placement, m int) { trace = append(trace, m) },
+		})
+		if !ok {
+			t.Fatal("anneal failed")
+		}
+		return p, mk, trace
+	}
+	p1, mk1, tr1 := run(42)
+	p2, mk2, tr2 := run(42)
+	if mk1 != mk2 {
+		t.Fatalf("same seed gave makespans %d and %d", mk1, mk2)
+	}
+	for v := 0; v < in.N(); v++ {
+		if p1.X[v] != p2.X[v] || p1.Y[v] != p2.Y[v] || p1.S[v] != p2.S[v] {
+			t.Fatalf("same seed gave different placements at task %d", v)
+		}
+	}
+	if len(tr1) != len(tr2) {
+		t.Fatalf("same seed gave improvement traces of length %d and %d", len(tr1), len(tr2))
+	}
+	for i := range tr1 {
+		if tr1[i] != tr2[i] {
+			t.Fatalf("improvement traces diverge at step %d: %d vs %d", i, tr1[i], tr2[i])
+		}
+	}
+}
+
+// TestAnnealNeverWorseThanGreedy: the annealer starts from the greedy
+// schedule, so across many random instances it must never regress,
+// every improvement must be strictly decreasing starting at the
+// greedy makespan, and every returned placement must verify.
+func TestAnnealNeverWorseThanGreedy(t *testing.T) {
+	W, H := 6, 6
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in := bench.Random(rng, 5+rng.Intn(8), 4, 5, 0.3)
+		if in.MaxW() > W || in.MaxH() > H {
+			continue
+		}
+		o, err := in.Order()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, greedy, ok := MinMakespan(in, W, H, o)
+		if !ok {
+			t.Fatalf("seed %d: greedy failed", seed)
+		}
+		var trace []int
+		p, mk, ok := AnnealMinMakespan(context.Background(), in, W, H, o, AnnealOptions{
+			Seed:      seed + 1,
+			OnImprove: func(_ *model.Placement, m int) { trace = append(trace, m) },
+		})
+		if !ok {
+			t.Fatalf("seed %d: anneal failed", seed)
+		}
+		if mk > greedy {
+			t.Fatalf("seed %d: anneal makespan %d worse than greedy %d", seed, mk, greedy)
+		}
+		if err := p.Verify(in, model.Container{W: W, H: H, T: mk}, o); err != nil {
+			t.Fatalf("seed %d: anneal placement invalid: %v", seed, err)
+		}
+		if len(trace) == 0 || trace[0] != greedy || trace[len(trace)-1] != mk {
+			t.Fatalf("seed %d: improvement trace %v does not run greedy %d → best %d",
+				seed, trace, greedy, mk)
+		}
+		for i := 1; i < len(trace); i++ {
+			if trace[i] >= trace[i-1] {
+				t.Fatalf("seed %d: improvements not strictly decreasing: %v", seed, trace)
+			}
+		}
+	}
+}
+
+// TestAnnealTargetStopsEarly: once the best makespan reaches Target
+// (a proven lower bound in real use), the walk must stop rather than
+// burn the remaining budget.
+func TestAnnealTargetStopsEarly(t *testing.T) {
+	in := &model.Instance{
+		Name: "target",
+		Tasks: []model.Task{
+			{Name: "a", W: 2, H: 2, Dur: 4},
+			{Name: "b", W: 2, H: 2, Dur: 4},
+		},
+	}
+	o, err := in.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, greedy, _ := MinMakespan(in, 4, 4, o)
+	calls := 0
+	_, mk, ok := AnnealMinMakespan(context.Background(), in, 4, 4, o, AnnealOptions{
+		Target:    greedy,
+		OnImprove: func(*model.Placement, int) { calls++ },
+	})
+	if !ok || mk != greedy {
+		t.Fatalf("target run: mk=%d ok=%v, want greedy %d", mk, ok, greedy)
+	}
+	if calls != 1 {
+		t.Fatalf("target already met by greedy: want exactly 1 improvement callback, got %d", calls)
+	}
+}
+
+// TestAnnealCanceledContext: a canceled context must still return the
+// greedy-quality schedule (the anytime tier treats it as "best so
+// far"), not fail.
+func TestAnnealCanceledContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := bench.Random(rng, 10, 4, 5, 0.3)
+	o, err := in.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, greedy, _ := MinMakespan(in, 8, 8, o)
+	p, mk, ok := AnnealMinMakespan(ctx, in, 8, 8, o, AnnealOptions{Seed: 1})
+	if !ok || p == nil || mk != greedy {
+		t.Fatalf("canceled anneal: mk=%d ok=%v, want greedy %d", mk, ok, greedy)
+	}
+}
+
+// TestAnnealSpatialInfeasible: a task wider than the chip fails the
+// same way MinMakespan does.
+func TestAnnealSpatialInfeasible(t *testing.T) {
+	in := &model.Instance{
+		Name:  "toowide",
+		Tasks: []model.Task{{Name: "a", W: 9, H: 1, Dur: 1}},
+	}
+	o, err := in.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := AnnealMinMakespan(context.Background(), in, 8, 8, o, AnnealOptions{}); ok {
+		t.Fatal("anneal accepted a spatially infeasible instance")
+	}
+}

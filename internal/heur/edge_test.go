@@ -1,0 +1,130 @@
+package heur
+
+import (
+	"testing"
+
+	"fpga3d/internal/model"
+)
+
+// TestZeroDurationTasks: zero-duration tasks occupy no grid cells but
+// still participate in precedence. The scheduler must place them
+// without inflating the makespan and without corrupting the grid.
+// (model.Validate rejects Dur ≤ 0, so the instance is built directly —
+// the heuristic layer itself must stay robust to it.)
+func TestZeroDurationTasks(t *testing.T) {
+	in := &model.Instance{
+		Name: "zero-dur",
+		Tasks: []model.Task{
+			{Name: "real1", W: 2, H: 2, Dur: 3},
+			{Name: "ghost", W: 2, H: 2, Dur: 0},
+			{Name: "real2", W: 2, H: 2, Dur: 2},
+		},
+		// real1 → ghost → real2: the ghost must not add time between
+		// them.
+		Prec: []model.Arc{{From: 0, To: 1}, {From: 1, To: 2}},
+	}
+	o, err := in.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, mk, ok := MinMakespan(in, 2, 2, o)
+	if !ok {
+		t.Fatal("MinMakespan failed on zero-duration instance")
+	}
+	// The chain is fully serialized on a 2×2 chip: 3 + 0 + 2 cycles.
+	if mk != 5 {
+		t.Fatalf("makespan = %d, want 5", mk)
+	}
+	// Precedence holds even through the zero-duration link.
+	if p.S[1] < p.S[0]+3 || p.S[2] < p.S[1] {
+		t.Fatalf("precedence violated through zero-duration task: starts %v", p.S)
+	}
+}
+
+// TestAllZeroDurations: an instance of only zero-duration tasks has
+// makespan 0 and must not loop or fail.
+func TestAllZeroDurations(t *testing.T) {
+	in := &model.Instance{
+		Name: "all-zero",
+		Tasks: []model.Task{
+			{Name: "a", W: 1, H: 1, Dur: 0},
+			{Name: "b", W: 1, H: 1, Dur: 0},
+		},
+		Prec: []model.Arc{{From: 0, To: 1}},
+	}
+	o, err := in.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mk, ok := MinMakespan(in, 1, 1, o)
+	if !ok || mk != 0 {
+		t.Fatalf("MinMakespan = %d (ok=%v), want 0", mk, ok)
+	}
+}
+
+// TestChipFillingTask: a task spanning the whole chip forces full
+// serialization around it; the greedy placer must find that schedule
+// rather than fail.
+func TestChipFillingTask(t *testing.T) {
+	for _, W := range []int{4, 64, 70} { // word fast path, 64-bit edge, bool fallback
+		in := &model.Instance{
+			Name: "chip-filler",
+			Tasks: []model.Task{
+				{Name: "small1", W: 1, H: 1, Dur: 2},
+				{Name: "filler", W: W, H: 3, Dur: 4},
+				{Name: "small2", W: 2, H: 2, Dur: 3},
+			},
+		}
+		o, err := in.Order()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, mk, ok := MinMakespan(in, W, 3, o)
+		if !ok {
+			t.Fatalf("W=%d: MinMakespan failed", W)
+		}
+		if err := p.Verify(in, model.Container{W: W, H: 3, T: mk}, o); err != nil {
+			t.Fatalf("W=%d: invalid placement: %v", W, err)
+		}
+		// The filler shares no cycle with anything, but the two small
+		// tasks can overlap in time: 4 + max(2,3) = 7.
+		if mk != 7 {
+			t.Fatalf("W=%d: makespan = %d, want 7", W, mk)
+		}
+		// Exactly-filling means the filler must sit at the origin.
+		if p.X[1] != 0 || p.Y[1] != 0 {
+			t.Fatalf("W=%d: filler placed at (%d,%d), want origin", W, p.X[1], p.Y[1])
+		}
+	}
+}
+
+// TestAllRulesTie: identical independent tasks make every rule's
+// primary and secondary keys tie; the index tiebreak must still yield
+// a deterministic, optimal schedule.
+func TestAllRulesTie(t *testing.T) {
+	tasks := make([]model.Task, 4)
+	for i := range tasks {
+		tasks[i] = model.Task{Name: "t", W: 2, H: 2, Dur: 5}
+	}
+	in := &model.Instance{Name: "ties", Tasks: tasks}
+	o, err := in.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All four 2×2 tasks fit one 4×4 chip concurrently.
+	p1, mk, ok := MinMakespan(in, 4, 4, o)
+	if !ok || mk != 5 {
+		t.Fatalf("MinMakespan = %d (ok=%v), want 5", mk, ok)
+	}
+	// Determinism: a second run reproduces the same coordinates.
+	p2, _, _ := MinMakespan(in, 4, 4, o)
+	for v := range tasks {
+		if p1.X[v] != p2.X[v] || p1.Y[v] != p2.Y[v] || p1.S[v] != p2.S[v] {
+			t.Fatalf("tie-broken schedule not deterministic at task %d", v)
+		}
+	}
+	// On a 2×2 chip they serialize: 4 × 5 cycles.
+	if _, mk, ok = MinMakespan(in, 2, 2, o); !ok || mk != 20 {
+		t.Fatalf("serialized MinMakespan = %d (ok=%v), want 20", mk, ok)
+	}
+}

@@ -2,10 +2,17 @@
 // heuristics that try to find a feasible packing before the
 // branch-and-bound search is started.
 //
-// The placer is a precedence-respecting list scheduler over an occupancy
-// grid: tasks are taken in priority order (several rules are tried) and
-// each is placed at the earliest start time and bottom-left spatial
-// position where its w×h×dur box is free.
+// The greedy placer is a precedence-respecting list scheduler over an
+// occupancy grid: tasks are taken in priority order (every Rule is
+// tried) and each is placed at the earliest start time and bottom-left
+// spatial position where its w×h×dur box is free.
+//
+// The randomized annealing placer (AnnealMinMakespan) searches the
+// space of priority permutations around the same scheduling core: it
+// restarts from each rule's ordering, perturbs priorities by swaps,
+// and accepts worsening moves with a cooling Metropolis criterion.
+// It is deterministic per seed and never returns a schedule worse
+// than the greedy placer's.
 package heur
 
 import (
@@ -43,23 +50,12 @@ func MinMakespan(in *model.Instance, W, H int, o *model.Order) (*model.Placement
 	return p, makespan, true
 }
 
-// priorityRule orders the tasks for list scheduling.
-type priorityRule int
-
-const (
-	byTail priorityRule = iota // longest remaining chain first
-	byArea                     // biggest footprint first
-	byVolume
-	byDuration
-	numRules
-)
-
 // bestPlacement runs every priority rule and keeps the placement with
 // the smallest makespan that fits the horizon; returns nil if none fits.
 func bestPlacement(in *model.Instance, W, H, T int, o *model.Order) (*model.Placement, int) {
 	var best *model.Placement
 	bestMk := T + 1
-	for r := priorityRule(0); r < numRules; r++ {
+	for _, r := range Rules() {
 		p, mk, ok := listSchedule(in, W, H, T, o, r)
 		if ok && mk < bestMk {
 			best, bestMk = p, mk
@@ -72,26 +68,24 @@ func bestPlacement(in *model.Instance, W, H, T int, o *model.Order) (*model.Plac
 }
 
 // listSchedule performs one greedy pass with the given priority rule.
-func listSchedule(in *model.Instance, W, H, T int, o *model.Order, rule priorityRule) (*model.Placement, int, bool) {
+func listSchedule(in *model.Instance, W, H, T int, o *model.Order, rule Rule) (*model.Placement, int, bool) {
+	return listScheduleKeyed(in, W, H, T, o, func(v int) (int, int, int) {
+		return rule.key(in, o, v)
+	})
+}
+
+// listScheduleKeyed is the scheduling core shared by the greedy rules
+// and the annealing placer: a precedence-respecting list scheduler
+// that repeatedly picks the ready task with the smallest key and
+// places it at the earliest-start bottom-left free position of the
+// occupancy grid. It fails (ok=false) when some task cannot be placed
+// within the T-cycle horizon.
+func listScheduleKeyed(in *model.Instance, W, H, T int, o *model.Order, key func(v int) (int, int, int)) (*model.Placement, int, bool) {
 	n := in.N()
 	occ := newOccGrid(W, H, T)
 	place := model.NewPlacement(n)
 	done := make([]bool, n)
 	finish := make([]int, n)
-
-	key := func(v int) (int, int, int) {
-		t := in.Tasks[v]
-		switch rule {
-		case byTail:
-			return -o.Tail(v) - t.Dur, -t.W * t.H, v
-		case byArea:
-			return -t.W * t.H, -o.Tail(v), v
-		case byVolume:
-			return -t.Volume(), -o.Tail(v), v
-		default: // byDuration
-			return -t.Dur, -t.W * t.H, v
-		}
-	}
 
 	for placed := 0; placed < n; placed++ {
 		// Ready tasks: all predecessors placed.
@@ -110,17 +104,7 @@ func listSchedule(in *model.Instance, W, H, T int, o *model.Order, rule priority
 				ready = append(ready, v)
 			}
 		}
-		sort.Slice(ready, func(a, b int) bool {
-			a1, a2, a3 := key(ready[a])
-			b1, b2, b3 := key(ready[b])
-			if a1 != b1 {
-				return a1 < b1
-			}
-			if a2 != b2 {
-				return a2 < b2
-			}
-			return a3 < b3
-		})
+		sortByKey(ready, key)
 		v := ready[0]
 		t := in.Tasks[v]
 		est := 0
@@ -139,6 +123,23 @@ func listSchedule(in *model.Instance, W, H, T int, o *model.Order, rule priority
 		done[v] = true
 	}
 	return place, place.Makespan(in), true
+}
+
+// sortByKey sorts idx ascending by a 3-part lexicographic key. Every
+// key in this package ends in a distinct component, so the order is
+// total and the sort deterministic.
+func sortByKey(idx []int, key func(v int) (int, int, int)) {
+	sort.Slice(idx, func(a, b int) bool {
+		a1, a2, a3 := key(idx[a])
+		b1, b2, b3 := key(idx[b])
+		if a1 != b1 {
+			return a1 < b1
+		}
+		if a2 != b2 {
+			return a2 < b2
+		}
+		return a3 < b3
+	})
 }
 
 // occGrid is a W×H×T occupancy bitmap. When W ≤ 64 each (cycle, row) is

@@ -1,0 +1,79 @@
+package heur
+
+import "fpga3d/internal/model"
+
+// Rule identifies one task-priority rule of the list scheduler. The
+// rules are shared by the greedy placer (which tries every rule and
+// keeps the best schedule, see MinMakespan) and the annealing placer
+// (which uses each rule's ordering as a restart seed, see
+// AnnealMinMakespan).
+//
+// The set and its order are part of the determinism contract: greedy
+// results are reproducible byte-for-byte across runs, so rules must
+// not be reordered, removed, or silently renumbered. New rules may be
+// appended, which changes greedy answers only when the new rule
+// strictly improves on all existing ones.
+type Rule int
+
+const (
+	// RuleTail orders by longest remaining precedence chain first
+	// (critical-path pressure), footprint area as tiebreak.
+	RuleTail Rule = iota
+	// RuleArea orders by biggest spatial footprint first, remaining
+	// chain length as tiebreak.
+	RuleArea
+	// RuleVolume orders by biggest w×h×dur volume first, remaining
+	// chain length as tiebreak.
+	RuleVolume
+	// RuleDuration orders by longest execution time first, footprint
+	// area as tiebreak.
+	RuleDuration
+)
+
+// ruleNames is indexed by Rule; its length pins the size of the set.
+var ruleNames = [...]string{
+	RuleTail:     "tail",
+	RuleArea:     "area",
+	RuleVolume:   "volume",
+	RuleDuration: "duration",
+}
+
+// Rules returns every priority rule in its fixed, documented trial
+// order. The greedy placer tries them in exactly this order; callers
+// must not rely on the returned slice being private (it is a fresh
+// copy).
+func Rules() []Rule {
+	rs := make([]Rule, len(ruleNames))
+	for i := range rs {
+		rs[i] = Rule(i)
+	}
+	return rs
+}
+
+// String returns the rule's stable lowercase name ("tail", "area",
+// "volume", "duration").
+func (r Rule) String() string {
+	if r < 0 || int(r) >= len(ruleNames) {
+		return "unknown"
+	}
+	return ruleNames[r]
+}
+
+// key returns the rule's ascending 3-part sort key for task v: the
+// ready task with the lexicographically smallest key is scheduled
+// next. The final component is always the task index, making every
+// rule a total order (deterministic even when all tasks are
+// identical).
+func (r Rule) key(in *model.Instance, o *model.Order, v int) (int, int, int) {
+	t := in.Tasks[v]
+	switch r {
+	case RuleTail:
+		return -o.Tail(v) - t.Dur, -t.W * t.H, v
+	case RuleArea:
+		return -t.W * t.H, -o.Tail(v), v
+	case RuleVolume:
+		return -t.Volume(), -o.Tail(v), v
+	default: // RuleDuration
+		return -t.Dur, -t.W * t.H, v
+	}
+}

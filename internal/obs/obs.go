@@ -27,6 +27,9 @@ const (
 	// PhaseSearch is stage 3: the exact branch-and-bound over packing
 	// classes.
 	PhaseSearch = "search"
+	// PhaseAnneal is the randomized annealing placer: stage 2½ of the
+	// Anneal strategy and the incumbent producer of anytime runs.
+	PhaseAnneal = "anneal"
 )
 
 // Snapshot is a point-in-time view of search effort, delivered to a
@@ -49,6 +52,20 @@ type Snapshot struct {
 	// ("c3", "size", "clique", "area", "c4", "hole", "orient"). The map
 	// is freshly built per snapshot; callbacks may retain it.
 	Conflicts map[string]int64
+
+	// Anytime marks snapshots of an anytime run that carry incumbent
+	// state in the three fields below; when false those fields are
+	// meaningless (zero).
+	Anytime bool
+	// BestMakespan is the best-known incumbent makespan (the upper
+	// bound); 0 while no witness exists yet.
+	BestMakespan int
+	// LowerBound is the best proven makespan lower bound so far.
+	LowerBound int
+	// Gap is the relative optimality gap (BestMakespan −
+	// LowerBound)/BestMakespan: non-increasing over a run, exactly 0
+	// once the incumbent is proven optimal.
+	Gap float64
 }
 
 // TotalConflicts sums the per-rule conflict counters.

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestAnytimeSyncMinimizeTime: an anytime minimize-time request that
+// runs to completion answers with the same optimum as the plain
+// request, a proven gap of exactly 0, and best_bound equal to the
+// value.
+func TestAnytimeSyncMinimizeTime(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrent: 2, QueueDepth: 8})
+	plainBody := solveBody(t, easyInstance(), `null`, `"w": 4, "h": 4, "no_cache": true`)
+	code, plain, _ := postSolve(t, ts.Client(), ts.URL+"/v1/minimize-time", plainBody)
+	if code != http.StatusOK || plain.Value == nil {
+		t.Fatalf("plain minimize-time: code=%d resp=%+v", code, plain)
+	}
+	if plain.Gap != nil || plain.BestBound != nil {
+		t.Fatalf("plain response carries anytime fields: %+v", plain)
+	}
+
+	anyBody := solveBody(t, easyInstance(), `null`, `"w": 4, "h": 4, "no_cache": true, "anytime": true`)
+	code, any, _ := postSolve(t, ts.Client(), ts.URL+"/v1/minimize-time", anyBody)
+	if code != http.StatusOK || any.Value == nil {
+		t.Fatalf("anytime minimize-time: code=%d resp=%+v", code, any)
+	}
+	if *any.Value != *plain.Value {
+		t.Fatalf("anytime optimum %d ≠ plain optimum %d", *any.Value, *plain.Value)
+	}
+	if any.Gap == nil || *any.Gap != 0 {
+		t.Fatalf("completed anytime response gap = %v, want 0", any.Gap)
+	}
+	if any.BestBound == nil || *any.BestBound != *any.Value {
+		t.Fatalf("completed anytime response best_bound = %v, want value %d", any.BestBound, *any.Value)
+	}
+}
+
+// TestAnytimeRejectedOutsideMinimizeTime: "anytime" is a minimize-time
+// refinement; on every other question it is a 400, synchronous or
+// async.
+func TestAnytimeRejectedOutsideMinimizeTime(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrent: 1})
+	solve := solveBody(t, easyInstance(), `{"w":4,"h":4,"t":6}`, `"anytime": true`)
+	if code, _, _ := postSolve(t, ts.Client(), ts.URL+"/v1/solve", solve); code != http.StatusBadRequest {
+		t.Errorf("anytime on /v1/solve: want 400, got %d", code)
+	}
+	chip := solveBody(t, easyInstance(), `null`, `"t": 6, "anytime": true`)
+	if code, _, _ := postSolve(t, ts.Client(), ts.URL+"/v1/minimize-chip", chip); code != http.StatusBadRequest {
+		t.Errorf("anytime on /v1/minimize-chip: want 400, got %d", code)
+	}
+	job := solveBody(t, easyInstance(), `{"w":4,"h":4,"t":6}`, `"mode":"solve", "anytime": true`)
+	if code, _, _ := postJob(t, ts.Client(), ts.URL, job); code != http.StatusBadRequest {
+		t.Errorf("anytime solve job: want 400, got %d", code)
+	}
+}
+
+// TestAnytimeCacheHitSynthesizesGap: the cache stores gap-stripped
+// completed answers; an anytime request served from it re-synthesizes
+// the proven gap-0 pair instead of omitting the fields.
+func TestAnytimeCacheHitSynthesizesGap(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 2, QueueDepth: 8})
+	warm := solveBody(t, easyInstance(), `null`, `"w": 4, "h": 4`)
+	code, first, _ := postSolve(t, ts.Client(), ts.URL+"/v1/minimize-time", warm)
+	if code != http.StatusOK || first.Cached {
+		t.Fatalf("warming solve: code=%d cached=%v", code, first.Cached)
+	}
+
+	before := oppWork(s.Registry())
+	anyBody := solveBody(t, easyInstance(), `null`, `"w": 4, "h": 4, "anytime": true`)
+	code, hit, _ := postSolve(t, ts.Client(), ts.URL+"/v1/minimize-time", anyBody)
+	if code != http.StatusOK || !hit.Cached {
+		t.Fatalf("anytime request not served from cache: code=%d resp=%+v", code, hit)
+	}
+	if after := oppWork(s.Registry()); after != before {
+		t.Fatalf("cache hit still invoked the solver: opp work %d -> %d", before, after)
+	}
+	if hit.Gap == nil || *hit.Gap != 0 {
+		t.Fatalf("anytime cache hit gap = %v, want synthesized 0", hit.Gap)
+	}
+	if hit.BestBound == nil || hit.Value == nil || *hit.BestBound != *hit.Value {
+		t.Fatalf("anytime cache hit best_bound = %v, want value %v", hit.BestBound, hit.Value)
+	}
+}
+
+// TestAnytimePartial504CarriesGap: a deadline that expires mid-
+// refinement must still answer with the best incumbent and a positive
+// gap — the entire point of the anytime tier.
+func TestAnytimePartial504CarriesGap(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrent: 1})
+	body := solveBody(t, hardInstance(), `null`,
+		`"w": 6, "h": 6, "timeout_ms": 300, "no_cache": true, "anytime": true`)
+	code, resp, _ := postSolve(t, ts.Client(), ts.URL+"/v1/minimize-time", body)
+	switch code {
+	case http.StatusGatewayTimeout:
+		if resp.Decision != "unknown" {
+			t.Fatalf("504 decision = %q, want unknown", resp.Decision)
+		}
+		if resp.Value == nil || *resp.Value <= 0 || resp.Placement == nil {
+			t.Fatalf("partial anytime answer carries no incumbent: %+v", resp)
+		}
+		if resp.Gap == nil || *resp.Gap <= 0 || *resp.Gap > 1 {
+			t.Fatalf("partial anytime gap = %v, want in (0, 1]", resp.Gap)
+		}
+		if resp.BestBound == nil || resp.LowerBound == nil || *resp.BestBound < *resp.LowerBound {
+			t.Fatalf("refined bound %v below stage-1 bound %v", resp.BestBound, resp.LowerBound)
+		}
+	case http.StatusOK:
+		// The machine outran the deadline; the completed answer must be
+		// proven.
+		if resp.Gap == nil || *resp.Gap != 0 {
+			t.Fatalf("completed anytime gap = %v, want 0", resp.Gap)
+		}
+	default:
+		t.Fatalf("anytime partial request: unexpected status %d (%+v)", code, resp)
+	}
+}
+
+// TestAnytimeJobStreamsGap: an anytime job surfaces live incumbent
+// state on its snapshots and its SSE stream; the gap never increases
+// across frames and the terminal frame proves optimality at gap 0.
+func TestAnytimeJobStreamsGap(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 2, QueueDepth: 8})
+	body := solveBody(t, easyInstance(), `null`,
+		`"mode":"minimize-time", "w": 4, "h": 4, "no_cache": true, "anytime": true`)
+	code, submitted, _ := postJob(t, ts.Client(), ts.URL, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code=%d", code)
+	}
+
+	// Attach to the job's SSE stream; even if the job already finished,
+	// the retained stream replays the last frame and the terminal done.
+	var resp *http.Response
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var err error
+		resp, err = ts.Client().Get(ts.URL + "/v1/progress/" + submitted.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		resp.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatalf("job progress stream never appeared (last status %d)", resp.StatusCode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	events := readSSE(t, resp.Body)
+	resp.Body.Close()
+	if len(events) == 0 || events[len(events)-1].name != "done" {
+		t.Fatalf("SSE stream did not end in done: %d events", len(events))
+	}
+	prev := 2.0 // above any valid gap
+	for i, ev := range events {
+		if ev.data.Gap == nil {
+			continue
+		}
+		if *ev.data.Gap > prev+1e-12 {
+			t.Fatalf("gap increased across SSE frames at %d: %v → %v", i, prev, *ev.data.Gap)
+		}
+		prev = *ev.data.Gap
+		if ev.data.BestMakespan == nil || ev.data.LowerBound == nil {
+			t.Fatalf("anytime frame %d lacks incumbent fields: %+v", i, ev.data)
+		}
+	}
+	last := events[len(events)-1]
+	if last.data.Gap == nil || *last.data.Gap != 0 {
+		t.Fatalf("terminal SSE frame gap = %v, want 0", last.data.Gap)
+	}
+
+	done := pollJob(t, ts.Client(), ts.URL, submitted.ID, func(j *jobWire) bool { return j.State == "done" })
+	if done.BestMakespan == nil || done.LowerBound == nil || done.Gap == nil {
+		t.Fatalf("done anytime job snapshot lacks incumbent state: %+v", done)
+	}
+	if *done.Gap != 0 || *done.BestMakespan != *done.LowerBound {
+		t.Fatalf("done anytime job gap = %v (best %v, lower %v), want proven 0",
+			*done.Gap, *done.BestMakespan, *done.LowerBound)
+	}
+	if done.Result == nil || done.Result.Gap == nil || *done.Result.Gap != 0 {
+		t.Fatalf("done anytime job result lacks gap 0: %+v", done.Result)
+	}
+	if done.Result.BestBound == nil || done.Result.Value == nil || *done.Result.BestBound != *done.Result.Value {
+		t.Fatalf("done anytime job result best_bound %v ≠ value %v", done.Result.BestBound, done.Result.Value)
+	}
+	waitExecutors(t, s, 5*time.Second)
+}

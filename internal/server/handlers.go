@@ -86,8 +86,15 @@ var modeMinTime = &solveMode{
 		return cacheKey("minimize_time", hash, strat, req.W, req.H, 0)
 	},
 	invoke: func(ctx context.Context, in *fpga3d.Instance, req *solveRequest, o *fpga3d.Options) (*solveResponse, fpga3d.StageTimings, error) {
+		o.Anytime = req.Anytime
 		r, err := fpga3d.MinimizeTimeCtx(ctx, in, req.W, req.H, o)
-		return optimizeResponse(in, r), optimizeStages(r), err
+		resp := optimizeResponse(in, r)
+		if req.Anytime && resp != nil && r != nil {
+			bb, gap := r.BestBound, r.Gap
+			resp.BestBound = &bb
+			resp.Gap = &gap
+		}
+		return resp, optimizeStages(r), err
 	},
 	verifyChip: func(req *solveRequest, resp *solveResponse) (fpga3d.Chip, bool) {
 		if resp.Value == nil {
@@ -173,6 +180,9 @@ func (s *Server) prepareSolve(req *solveRequest, m *solveMode) (*fpga3d.Instance
 	if err := m.validate(req); err != nil {
 		return nil, "", err
 	}
+	if req.Anytime && m != modeMinTime {
+		return nil, "", fmt.Errorf(`"anytime" applies to minimize-time only, not %s`, m.name)
+	}
 	strat := req.Strategy
 	if strat == "" {
 		strat = s.cfg.Strategy
@@ -204,6 +214,10 @@ type solveTask struct {
 	// solve slot — after any queue wait, before the solver is invoked.
 	// A cache hit answers without a slot, so it may never fire.
 	onRunning func()
+	// onImprove, when non-nil, receives every anytime improvement of
+	// the solve (anytime minimize-time requests only). Async jobs wire
+	// it to the job store so 202 snapshots carry live incumbent state.
+	onImprove func(fpga3d.AnytimeUpdate)
 }
 
 // runSolve executes one prepared solve through the shared lifecycle:
@@ -235,6 +249,14 @@ func (s *Server) runSolve(ctx context.Context, t *solveTask) (*solveResponse, er
 			}
 			out := *cached
 			out.Cached = true
+			// The cache holds only completed answers, so an anytime
+			// request served from it is trivially proven optimal:
+			// synthesize the gap-0 pair the solver would have reported.
+			if t.req.Anytime && out.Value != nil {
+				bb, gap := *out.Value, 0.0
+				out.BestBound = &bb
+				out.Gap = &gap
+			}
 			return &out, nil
 		}
 		s.reg.Counter(obs.MetricCacheMisses).Inc()
@@ -263,11 +285,12 @@ func (s *Server) runSolve(ctx context.Context, t *solveTask) (*solveResponse, er
 	}
 
 	o := &fpga3d.Options{
-		Workers:  s.cfg.Workers,
-		Metrics:  s.reg,
-		Strategy: t.strat,
-		Progress: t.progress,
-		Trace:    s.tracer,
+		Workers:       s.cfg.Workers,
+		Metrics:       s.reg,
+		Strategy:      t.strat,
+		Progress:      t.progress,
+		Trace:         s.tracer,
+		OnImprovement: t.onImprove,
 	}
 	resp, stages, err := t.mode.invoke(ctx, t.in, t.req, o)
 	s.observeStages(stages)
@@ -295,6 +318,10 @@ func (s *Server) runSolve(ctx context.Context, t *solveTask) (*solveResponse, er
 		stored := *resp
 		stored.Cached = false
 		stored.RequestID = "" // per-request identity; never cached
+		// Gap state is per-request refinement history; the cache stores
+		// the canonical completed answer and hits re-synthesize gap 0.
+		stored.BestBound = nil
+		stored.Gap = nil
 		s.cache.Put(key, &stored)
 	}
 	return resp, nil
@@ -383,6 +410,9 @@ func (s *Server) observeStages(st fpga3d.StageTimings) {
 	}
 	if st.Heuristic > 0 {
 		s.reg.Histogram(obs.MetricStageLatency + "." + obs.PhaseHeuristic).Observe(st.Heuristic.Seconds())
+	}
+	if st.Anneal > 0 {
+		s.reg.Histogram(obs.MetricStageLatency + "." + obs.PhaseAnneal).Observe(st.Anneal.Seconds())
 	}
 	if st.Search > 0 {
 		s.reg.Histogram(obs.MetricStageLatency + "." + obs.PhaseSearch).Observe(st.Search.Seconds())

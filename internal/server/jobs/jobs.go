@@ -85,6 +85,10 @@ type Job struct {
 	// may accompany a failed job too (a deadline-expired solve keeps
 	// its partial result).
 	Result any
+	// Progress is the serving layer's latest live-progress payload
+	// (anytime incumbent state), updated through SetProgress while the
+	// job is active and frozen at its last value once terminal.
+	Progress any
 	// Err is the failure (or cancellation) message of a non-done
 	// terminal job.
 	Err string
@@ -276,6 +280,22 @@ func (s *Store) Start(id string) bool {
 	r.snap.Started = s.now()
 	s.observe(StateQueued, -1)
 	s.observe(StateRunning, 1)
+	return true
+}
+
+// SetProgress attaches the latest live-progress payload to an active
+// job, so GET /v1/jobs/{id} can report incumbent state mid-solve. It
+// reports whether the payload was recorded — false means the job is
+// unknown or already terminal (a terminal job keeps the last payload
+// recorded while it ran).
+func (s *Store) SetProgress(id string, p any) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.jobs[id]
+	if !ok || r.snap.State.Terminal() {
+		return false
+	}
+	r.snap.Progress = p
 	return true
 }
 

@@ -47,6 +47,32 @@ func TestLifecycle(t *testing.T) {
 	}
 }
 
+func TestSetProgress(t *testing.T) {
+	s, _ := newStore(4, 4, time.Minute)
+	s.Create("a", "c1", nil, nil)
+	if !s.SetProgress("a", "p1") {
+		t.Fatal("SetProgress refused a queued job")
+	}
+	s.Start("a")
+	if !s.SetProgress("a", "p2") {
+		t.Fatal("SetProgress refused a running job")
+	}
+	if j, _ := s.Get("a"); j.Progress != "p2" {
+		t.Fatalf("progress = %v, want p2", j.Progress)
+	}
+	s.Finish("a", nil, "")
+	if s.SetProgress("a", "late") {
+		t.Fatal("SetProgress accepted a terminal job")
+	}
+	// The last in-flight payload stays readable on the terminal snapshot.
+	if j, _ := s.Get("a"); j.Progress != "p2" {
+		t.Fatalf("terminal progress = %v, want frozen p2", j.Progress)
+	}
+	if s.SetProgress("nope", "x") {
+		t.Fatal("SetProgress accepted an unknown job")
+	}
+}
+
 func TestFinishFailed(t *testing.T) {
 	s, _ := newStore(4, 4, time.Minute)
 	s.Create("a", "c1", nil, nil)

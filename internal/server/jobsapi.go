@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"fpga3d"
 	"fpga3d/internal/obs"
 	"fpga3d/internal/server/jobs"
 )
@@ -36,10 +37,21 @@ type jobMeta struct {
 	strat string
 }
 
+// anytimeProgress is the live incumbent state an anytime job records
+// in the store on every improvement, surfaced on job snapshots.
+type anytimeProgress struct {
+	best, lower int
+	gap         float64
+}
+
 // jobWire is the JSON shape of one job on GET /v1/jobs[/{id}] and in
 // the 202 submission answer. Result appears once the job is done (or
 // carries the partial result of a failed, deadline-expired solve);
 // ProgressURL names the job's live SSE stream while it runs.
+// BestMakespan, LowerBound and Gap carry the live incumbent state of
+// an anytime minimize-time job: the best-known makespan, the proven
+// lower bound, and their relative gap (non-increasing over the job's
+// life, 0 once the incumbent is proven optimal).
 type jobWire struct {
 	ID            string         `json:"id"`
 	State         string         `json:"state"`
@@ -50,6 +62,9 @@ type jobWire struct {
 	CreatedUnixMS int64          `json:"created_unix_ms"`
 	QueueWaitMS   *int64         `json:"queue_wait_ms,omitempty"`
 	RunMS         *int64         `json:"run_ms,omitempty"`
+	BestMakespan  *int           `json:"best_makespan,omitempty"`
+	LowerBound    *int           `json:"lower_bound,omitempty"`
+	Gap           *float64       `json:"gap,omitempty"`
 	Result        *solveResponse `json:"result,omitempty"`
 	Error         string         `json:"error,omitempty"`
 	ProgressURL   string         `json:"progress_url,omitempty"`
@@ -76,6 +91,12 @@ func (s *Server) wireJob(j jobs.Job) jobWire {
 	}
 	if resp, ok := j.Result.(*solveResponse); ok {
 		w.Result = resp
+	}
+	if p, ok := j.Progress.(anytimeProgress); ok {
+		best, lower, gap := p.best, p.lower, p.gap
+		w.BestMakespan = &best
+		w.LowerBound = &lower
+		w.Gap = &gap
 	}
 	if !j.Started.IsZero() {
 		wait := j.Started.Sub(j.Created).Milliseconds()
@@ -185,6 +206,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		mode: m, req: &req.solveRequest, in: in, strat: strat,
 		progress:  publish,
 		onRunning: func() { s.jobs.Start(id) },
+	}
+	if req.Anytime {
+		task.onImprove = func(u fpga3d.AnytimeUpdate) {
+			s.jobs.SetProgress(id, anytimeProgress{best: u.Best, lower: u.LowerBound, gap: u.Gap})
+		}
 	}
 	s.jobsWG.Add(1)
 	go s.executeJob(jctx, id, task, timeout, closeStream)

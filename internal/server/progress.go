@@ -12,19 +12,26 @@ import (
 
 // progressWire is the JSON body of one SSE "progress" (or terminal
 // "done") event on GET /v1/progress/{request-id}: a point-in-time
-// reading of the solve identified by the request ID.
+// reading of the solve identified by the request ID. On anytime
+// minimize-time solves every frame additionally carries the current
+// incumbent state — best_makespan, lower_bound and their relative gap
+// (non-increasing across a run; 0 exactly when the incumbent is proven
+// optimal, so a stream ending in gap 0 delivered a proven answer).
 type progressWire struct {
-	Phase       string  `json:"phase"`
-	Nodes       int64   `json:"nodes"`
-	NodesPerSec float64 `json:"nodes_per_sec"`
-	MaxDepth    int     `json:"max_depth"`
-	Conflicts   int64   `json:"conflicts"`
-	ElapsedMS   float64 `json:"elapsed_ms"`
+	Phase        string   `json:"phase"`
+	Nodes        int64    `json:"nodes"`
+	NodesPerSec  float64  `json:"nodes_per_sec"`
+	MaxDepth     int      `json:"max_depth"`
+	Conflicts    int64    `json:"conflicts"`
+	ElapsedMS    float64  `json:"elapsed_ms"`
+	BestMakespan *int     `json:"best_makespan,omitempty"`
+	LowerBound   *int     `json:"lower_bound,omitempty"`
+	Gap          *float64 `json:"gap,omitempty"`
 }
 
 // wireSnapshot converts an obs.Snapshot to the SSE body.
 func wireSnapshot(s obs.Snapshot) progressWire {
-	return progressWire{
+	w := progressWire{
 		Phase:       s.Phase,
 		Nodes:       s.Nodes,
 		NodesPerSec: s.NodesPerSec,
@@ -32,6 +39,13 @@ func wireSnapshot(s obs.Snapshot) progressWire {
 		Conflicts:   s.TotalConflicts(),
 		ElapsedMS:   float64(s.Elapsed) / float64(time.Millisecond),
 	}
+	if s.Anytime {
+		best, lower, gap := s.BestMakespan, s.LowerBound, s.Gap
+		w.BestMakespan = &best
+		w.LowerBound = &lower
+		w.Gap = &gap
+	}
+	return w
 }
 
 // handleProgress streams live solve progress for one request as

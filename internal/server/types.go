@@ -18,8 +18,12 @@ import (
 //
 // timeout_ms overrides the daemon's -default-timeout for this request;
 // no_cache bypasses the result cache (neither read nor written);
-// strategy ("staged" or "portfolio") overrides the daemon's -strategy
-// default for this request — an unknown name is a 400.
+// strategy ("staged", "portfolio" or "anneal") overrides the daemon's
+// -strategy default for this request — an unknown name is a 400.
+// anytime (minimize-time only; a 400 elsewhere) runs the solve in
+// anytime mode: improvements stream on the progress channel with
+// best_makespan/lower_bound/gap, and a deadline-expired request still
+// carries its best incumbent and optimality gap.
 type solveRequest struct {
 	Instance  json.RawMessage `json:"instance"`
 	Chip      *fpga3d.Chip    `json:"chip,omitempty"`
@@ -29,6 +33,7 @@ type solveRequest struct {
 	TimeoutMS int64           `json:"timeout_ms,omitempty"`
 	NoCache   bool            `json:"no_cache,omitempty"`
 	Strategy  string          `json:"strategy,omitempty"`
+	Anytime   bool            `json:"anytime,omitempty"`
 }
 
 // solveResponse is the JSON answer of every /v1/* solve endpoint.
@@ -42,6 +47,12 @@ type solveRequest struct {
 // (assigned by the server when the client sent none); it also names
 // the live-progress stream at GET /v1/progress/{request_id}, and is
 // per-request, so it is blanked before a response is cached.
+// BestBound and Gap appear on anytime minimize-time answers only: the
+// best proven lower bound at exit and the relative optimality gap
+// (0 exactly when the value is proven optimal; positive on a 504
+// partial result). They are stripped before a response is cached —
+// the cache stores only completed, gap-0 answers — and re-synthesized
+// on anytime cache hits.
 type solveResponse struct {
 	Decision   string            `json:"decision"`
 	DecidedBy  string            `json:"decided_by,omitempty"`
@@ -49,6 +60,8 @@ type solveResponse struct {
 	RequestID  string            `json:"request_id,omitempty"`
 	Value      *int              `json:"value,omitempty"`
 	LowerBound *int              `json:"lower_bound,omitempty"`
+	BestBound  *int              `json:"best_bound,omitempty"`
+	Gap        *float64          `json:"gap,omitempty"`
 	Nodes      int64             `json:"nodes"`
 	ElapsedMS  int64             `json:"elapsed_ms"`
 	Makespan   *int              `json:"makespan,omitempty"`

@@ -1,0 +1,193 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"fpga3d/internal/bounds"
+	"fpga3d/internal/heur"
+	"fpga3d/internal/model"
+	"fpga3d/internal/obs"
+)
+
+// AnytimeUpdate is one improvement notification of an anytime MinTime
+// run: a new best incumbent, a raised proven lower bound, or the
+// final proof of optimality. Best only decreases and LowerBound only
+// increases across a run, so Gap is non-increasing and the Final
+// update carries Gap 0.
+type AnytimeUpdate struct {
+	// Best is the best-known makespan (the incumbent upper bound).
+	Best int
+	// LowerBound is the best proven makespan lower bound so far.
+	LowerBound int
+	// Gap is bounds.Gap(Best, LowerBound): 0 exactly when the
+	// incumbent is proven optimal.
+	Gap float64
+	// Source names what produced the update: "heuristic" (the greedy
+	// incumbent), "anneal" (an annealing improvement), "search" or
+	// another probe verdict (an exact-probe witness), "bound" (an
+	// infeasibility proof raised the lower bound), or "proved" (the
+	// Final update).
+	Source string
+	// Placement is the current best witness. It is shared with the
+	// solver — callers must Clone before retaining or mutating it.
+	Placement *model.Placement
+	// Elapsed is the wall-clock time since the run started.
+	Elapsed time.Duration
+	// Final marks the terminal update of a completed run.
+	Final bool
+}
+
+// anytimeState tracks the (incumbent, bound) pair of a running
+// anytime solve and stamps it onto every progress snapshot, so SSE
+// streams and live tickers see the current gap on each frame — not
+// just on the frames that announce an improvement. Progress hooks may
+// be invoked from engine worker goroutines, hence the lock.
+type anytimeState struct {
+	mu       sync.Mutex
+	best, lo int
+	seen     bool
+}
+
+func (a *anytimeState) set(best, lo int) {
+	a.mu.Lock()
+	a.best, a.lo, a.seen = best, lo, true
+	a.mu.Unlock()
+}
+
+// annotate wraps a progress hook so every snapshot carries the
+// current anytime fields; a nil hook stays nil.
+func (a *anytimeState) annotate(prev obs.ProgressFunc) obs.ProgressFunc {
+	if prev == nil {
+		return nil
+	}
+	return func(s obs.Snapshot) {
+		a.mu.Lock()
+		if a.seen {
+			s.Anytime = true
+			s.BestMakespan = a.best
+			s.LowerBound = a.lo
+			s.Gap = bounds.Gap(a.best, a.lo)
+		}
+		a.mu.Unlock()
+		prev(s)
+	}
+}
+
+// minTimeAnytime is the anytime continuation of minTime, entered with
+// the stage-1 bound and the verified greedy incumbent in hand. It
+// streams every improvement of the (incumbent, bound) pair —
+// annealing improvements first, then exact binary-search refinement —
+// and terminates with a Final update once the gap is proven closed.
+// The refinement is the same monotone predicate over the same
+// interval the staged sweep converges on, so the final Value equals
+// the staged pipeline's; only intermediate effort differs.
+func minTimeAnytime(ctx context.Context, in *model.Instance, W, H int, order *model.Order, opt Options, res *OptResult, start time.Time, lb, best int, bestPlace *model.Placement) (*OptResult, error) {
+	state := &anytimeState{}
+	state.set(best, lb)
+	opt.Progress = state.annotate(opt.Progress)
+
+	emit := func(best, lo int, source string, pl *model.Placement, final bool) {
+		state.set(best, lo)
+		g := bounds.Gap(best, lo)
+		opt.Metrics.Gauge("anytime.best").Set(int64(best))
+		opt.Metrics.Gauge("anytime.lower_bound").Set(int64(lo))
+		opt.Trace.Emit("anytime", map[string]any{
+			"best": best, "lower_bound": lo, "gap": g, "source": source, "final": final,
+		})
+		if opt.OnImprovement != nil {
+			opt.OnImprovement(AnytimeUpdate{
+				Best: best, LowerBound: lo, Gap: g, Source: source,
+				Placement: pl, Elapsed: time.Since(start), Final: final,
+			})
+		}
+		// A fresh snapshot per improvement keeps pull-based consumers
+		// (SSE streams, tickers) current even between node-cadence
+		// frames.
+		if opt.Progress != nil {
+			opt.Progress(obs.Snapshot{Phase: obs.PhaseAnneal, Elapsed: time.Since(start)})
+		}
+	}
+
+	lo, hi := lb, best
+	emit(best, lo, "heuristic", bestPlace, false)
+
+	// Annealing tier: tighten the incumbent before any exact probe,
+	// streaming improvements as they land. Target lo stops the walk as
+	// soon as an incumbent matches the proven bound.
+	opt.notifyPhase(obs.PhaseAnneal)
+	tAnneal := time.Now()
+	ap, amk, aok := heur.AnnealMinMakespan(ctx, in, W, H, order, heur.AnnealOptions{
+		Seed:   opt.AnnealSeed,
+		Target: lo,
+		OnImprove: func(p *model.Placement, mk int) {
+			if mk < best {
+				best, bestPlace = mk, p.Clone()
+				hi = mk
+				opt.incumbent("spp", mk, "anneal")
+				emit(best, lo, "anneal", bestPlace, false)
+			}
+		},
+	})
+	res.Stages.Anneal += time.Since(tAnneal)
+	if aok && amk < hi {
+		// Defensive: OnImprove should already have delivered this.
+		best, bestPlace, hi = amk, ap.Clone(), amk
+	}
+	if aok && bestPlace != nil {
+		if err := bestPlace.Verify(in, model.Container{W: W, H: H, T: best}, order); err != nil {
+			return nil, fmt.Errorf("solver: annealer produced invalid schedule: %w", err)
+		}
+		opt.inc.RecordWitness(in, bestPlace, "anneal")
+	}
+
+	// Exact refinement: sequential binary search on the monotone
+	// predicate "fits within T". Every infeasibility proof raises the
+	// proven bound, every witness lowers the incumbent; the interval
+	// converges on the same optimum the staged sweep finds.
+	for lo < hi {
+		mid := (lo + hi) / 2
+		r, err := solveOPP(ctx, in, model.Container{W: W, H: H, T: mid}, order, opt)
+		if err != nil {
+			return nil, err
+		}
+		res.mergeProbe(r)
+		opt.probe("spp", map[string]any{"T": mid, "outcome": probeOutcomeLabel(r)})
+		switch r.Decision {
+		case Feasible:
+			hi = mid
+			best, bestPlace = mid, r.Placement
+			// The witness may finish earlier than the probed budget;
+			// its makespan is a certified feasible point.
+			if mk := r.Placement.Makespan(in); mk < hi {
+				hi = mk
+				best = mk
+			}
+			opt.incumbent("spp", best, r.DecidedBy)
+			emit(best, lo, r.DecidedBy, bestPlace, false)
+		case Infeasible:
+			lo = mid + 1
+			emit(best, lo, "bound", bestPlace, false)
+		default:
+			res.Decision = Unknown
+			res.Value = best
+			res.Placement = bestPlace
+			res.BestBound = lo
+			res.Gap = bounds.Gap(best, lo)
+			res.Elapsed = time.Since(start)
+			opt.traceSolveEnd("spp", res)
+			return res, ctx.Err()
+		}
+	}
+	res.Decision = Feasible
+	res.Value = best
+	res.Placement = bestPlace
+	res.BestBound = best
+	res.Gap = 0
+	res.Elapsed = time.Since(start)
+	emit(best, best, "proved", bestPlace, true)
+	opt.traceSolveEnd("spp", res)
+	return res, nil
+}

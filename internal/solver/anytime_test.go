@@ -1,0 +1,242 @@
+package solver
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"fpga3d/internal/bench"
+	"fpga3d/internal/model"
+)
+
+// checkAnytimeUpdates asserts the streamed update contract: the
+// incumbent never worsens, the proven bound never loosens, the gap is
+// non-increasing, and a completed run ends with a Final update at gap
+// exactly 0.
+func checkAnytimeUpdates(t *testing.T, label string, ups []AnytimeUpdate, completed bool) {
+	t.Helper()
+	if len(ups) == 0 {
+		t.Fatalf("%s: no anytime updates streamed", label)
+	}
+	for i := 1; i < len(ups); i++ {
+		if ups[i].Best > ups[i-1].Best {
+			t.Fatalf("%s: incumbent worsened at update %d: %d → %d", label, i, ups[i-1].Best, ups[i].Best)
+		}
+		if ups[i].LowerBound < ups[i-1].LowerBound {
+			t.Fatalf("%s: bound loosened at update %d: %d → %d", label, i, ups[i-1].LowerBound, ups[i].LowerBound)
+		}
+		if ups[i].Gap > ups[i-1].Gap+1e-12 {
+			t.Fatalf("%s: gap increased at update %d: %v → %v", label, i, ups[i-1].Gap, ups[i].Gap)
+		}
+	}
+	last := ups[len(ups)-1]
+	if completed {
+		if !last.Final {
+			t.Fatalf("%s: last update not Final", label)
+		}
+		if last.Gap != 0 {
+			t.Fatalf("%s: final gap = %v, want 0", label, last.Gap)
+		}
+		if last.Source != "proved" {
+			t.Fatalf("%s: final source = %q, want proved", label, last.Source)
+		}
+	}
+	for i, u := range ups[:len(ups)-1] {
+		if u.Final {
+			t.Fatalf("%s: non-terminal update %d marked Final", label, i)
+		}
+	}
+}
+
+// TestAnytimeMatchesStagedRandom is the differential gate of the
+// anytime tier: on 100+ random instances the fully refined anytime
+// answer must equal the staged pipeline's answer, the witness must
+// verify, and the streamed updates must obey the monotone-gap
+// contract.
+func TestAnytimeMatchesStagedRandom(t *testing.T) {
+	W, H := 5, 5
+	cases := 0
+	for seed := int64(0); cases < 110; seed++ {
+		if seed > 2000 {
+			t.Fatalf("exhausted seeds with only %d cases", cases)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		in := bench.Random(rng, 3+rng.Intn(6), 3, 4, 0.3)
+		if in.MaxW() > W || in.MaxH() > H {
+			continue
+		}
+		cases++
+
+		staged, err := MinTime(in, W, H, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ups []AnytimeUpdate
+		any, err := MinTime(in, W, H, Options{
+			Anytime:       true,
+			AnnealSeed:    seed + 1,
+			OnImprovement: func(u AnytimeUpdate) { ups = append(ups, u) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if staged.Decision != Feasible || any.Decision != Feasible {
+			t.Fatalf("seed %d: staged=%v anytime=%v, want both feasible", seed, staged.Decision, any.Decision)
+		}
+		if any.Value != staged.Value {
+			t.Fatalf("seed %d: anytime optimum %d ≠ staged optimum %d", seed, any.Value, staged.Value)
+		}
+		if any.Gap != 0 || any.BestBound != any.Value {
+			t.Fatalf("seed %d: completed anytime run has gap %v bound %d", seed, any.Gap, any.BestBound)
+		}
+		c := model.Container{W: W, H: H, T: any.Value}
+		order, err := in.Order()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := any.Placement.Verify(in, c, order); err != nil {
+			t.Fatalf("seed %d: anytime witness invalid: %v", seed, err)
+		}
+		checkAnytimeUpdates(t, in.Name, ups, true)
+	}
+}
+
+// TestAnytimeMatchesStagedPaper runs the same differential gate on the
+// paper instances the test tier can afford (DE at two chips, the HLS
+// biquad filters).
+func TestAnytimeMatchesStagedPaper(t *testing.T) {
+	cases := []struct {
+		in   *model.Instance
+		W, H int
+	}{
+		{bench.DE(), 17, 17},
+		{bench.DE(), 33, 16},
+		{bench.Biquad(2), 32, 32},
+		{bench.Biquad(3), 17, 17},
+	}
+	for _, tc := range cases {
+		staged, err := MinTime(tc.in, tc.W, tc.H, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ups []AnytimeUpdate
+		any, err := MinTime(tc.in, tc.W, tc.H, Options{
+			Anytime:       true,
+			OnImprovement: func(u AnytimeUpdate) { ups = append(ups, u) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if any.Decision != staged.Decision || any.Value != staged.Value {
+			t.Fatalf("%s %dx%d: anytime (%v, %d) ≠ staged (%v, %d)",
+				tc.in.Name, tc.W, tc.H, any.Decision, any.Value, staged.Decision, staged.Value)
+		}
+		order, err := tc.in.Order()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := model.Container{W: tc.W, H: tc.H, T: any.Value}
+		if err := any.Placement.Verify(tc.in, c, order); err != nil {
+			t.Fatalf("%s: anytime witness invalid: %v", tc.in.Name, err)
+		}
+		checkAnytimeUpdates(t, tc.in.Name, ups, true)
+	}
+}
+
+// TestAnytimeDeterministicPerSeed: two anytime runs with the same
+// AnnealSeed must stream identical update sequences and return the
+// same witness.
+func TestAnytimeDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	in := bench.Random(rng, 9, 3, 4, 0.3)
+	run := func() (*OptResult, []AnytimeUpdate) {
+		var ups []AnytimeUpdate
+		r, err := MinTime(in, 6, 6, Options{
+			Anytime:       true,
+			AnnealSeed:    99,
+			OnImprovement: func(u AnytimeUpdate) { ups = append(ups, u) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, ups
+	}
+	r1, u1 := run()
+	r2, u2 := run()
+	if r1.Value != r2.Value || len(u1) != len(u2) {
+		t.Fatalf("same seed diverged: values %d/%d, updates %d/%d", r1.Value, r2.Value, len(u1), len(u2))
+	}
+	for i := range u1 {
+		if u1[i].Best != u2[i].Best || u1[i].LowerBound != u2[i].LowerBound || u1[i].Source != u2[i].Source {
+			t.Fatalf("update %d diverged: %+v vs %+v", i, u1[i], u2[i])
+		}
+	}
+	for v := 0; v < in.N(); v++ {
+		if r1.Placement.X[v] != r2.Placement.X[v] || r1.Placement.Y[v] != r2.Placement.Y[v] || r1.Placement.S[v] != r2.Placement.S[v] {
+			t.Fatalf("same seed gave different witnesses at task %d", v)
+		}
+	}
+}
+
+// TestAnytimePartialCarriesGap: a deadline that expires mid-refinement
+// must still return the best-known witness with a coherent
+// (BestBound, Gap) pair rather than nothing.
+func TestAnytimePartialCarriesGap(t *testing.T) {
+	// A deliberately hard random instance keeps the exact refinement
+	// busy long enough for a microscopic deadline to hit.
+	rng := rand.New(rand.NewSource(4))
+	in := bench.Random(rng, 16, 4, 6, 0.35)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	var ups []AnytimeUpdate
+	res, _ := MinTimeCtx(ctx, in, 8, 8, Options{
+		Anytime:       true,
+		OnImprovement: func(u AnytimeUpdate) { ups = append(ups, u) },
+	})
+	if res == nil {
+		t.Fatal("partial anytime run returned nil result")
+	}
+	if res.Decision == Unknown {
+		if res.Placement == nil || res.Value <= 0 {
+			t.Fatalf("partial result carries no witness: %+v", res)
+		}
+		if res.BestBound < res.LowerBound {
+			t.Fatalf("refined bound %d below stage-1 bound %d", res.BestBound, res.LowerBound)
+		}
+		if res.Gap <= 0 || res.Gap > 1 {
+			t.Fatalf("partial gap = %v, want in (0, 1]", res.Gap)
+		}
+		if len(ups) > 0 && ups[len(ups)-1].Final {
+			t.Fatal("partial run emitted a Final update")
+		}
+	} else if res.Gap != 0 || res.BestBound != res.Value {
+		// The machine outran the deadline — the completed result must
+		// still be coherent.
+		t.Fatalf("completed run has gap %v bound %d value %d", res.Gap, res.BestBound, res.Value)
+	}
+	checkAnytimeUpdates(t, in.Name, ups, res.Decision == Feasible)
+}
+
+// TestAnytimeExactPathUntouched: with Anytime off, the new fields stay
+// coherent and the sequential answer is byte-stable — the bit-identical
+// exact-path contract (BENCH_core's node-count gate is the stronger
+// version of this check).
+func TestAnytimeExactPathUntouched(t *testing.T) {
+	de := bench.DE()
+	r1, err := MinTime(de, 17, 17, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := MinTime(de, 17, 17, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Value != r2.Value || r1.Stats.Nodes != r2.Stats.Nodes || r1.Probes != r2.Probes {
+		t.Fatalf("sequential exact path not reproducible: (%d,%d,%d) vs (%d,%d,%d)",
+			r1.Value, r1.Stats.Nodes, r1.Probes, r2.Value, r2.Stats.Nodes, r2.Probes)
+	}
+	if r1.Gap != 0 || r1.BestBound != r1.Value {
+		t.Fatalf("completed staged run: gap %v bound %d value %d", r1.Gap, r1.BestBound, r1.Value)
+	}
+}

@@ -20,6 +20,14 @@ type OptResult struct {
 	Placement *model.Placement // a witness for the optimum
 	// LowerBound is the stage-1 bound the search started from.
 	LowerBound int
+	// BestBound is the best proven lower bound on the objective at
+	// exit: the optimum itself once the run completes, the refined
+	// bound (≥ LowerBound) on a partial MinTime exit.
+	BestBound int
+	// Gap is the relative optimality gap at exit (see bounds.Gap):
+	// 0 on a completed run, (Value − BestBound)/Value on a partial
+	// MinTime result. Meaningful for MinTime; 0 elsewhere.
+	Gap float64
 	// Probes counts the OPP decision calls made (with Workers > 1 this
 	// includes probes that were canceled as redundant mid-flight).
 	Probes int
@@ -126,6 +134,13 @@ func minTime(ctx context.Context, in *model.Instance, W, H int, order *model.Ord
 		opt.inc.RecordWitness(in, ubPlace, "heuristic")
 	}
 
+	// The anytime tier takes over from here: annealing tightens the
+	// incumbent, then a sequential exact refinement streams every
+	// improvement of the (incumbent, bound) pair until the gap closes.
+	if opt.Anytime {
+		return minTimeAnytime(ctx, in, W, H, order, opt, res, start, lb, best, bestPlace)
+	}
+
 	if workers := opt.effectiveWorkers(); workers > 1 {
 		probe := oppProbe(in, order, opt, func(T int) model.Container {
 			return model.Container{W: W, H: H, T: T}
@@ -139,6 +154,8 @@ func minTime(ctx context.Context, in *model.Instance, W, H int, order *model.Ord
 			res.Decision = Unknown
 			res.Value = best
 			res.Placement = bestPlace
+			res.BestBound = lb
+			res.Gap = bounds.Gap(best, lb)
 			res.Elapsed = time.Since(start)
 			opt.traceSolveEnd("spp", res)
 			return res, err
@@ -153,7 +170,11 @@ func minTime(ctx context.Context, in *model.Instance, W, H int, order *model.Ord
 		res.Placement = bestPlace
 		res.Elapsed = time.Since(start)
 		if d == Feasible {
+			res.BestBound = best
 			opt.incumbent("spp", best, "search")
+		} else {
+			res.BestBound = lb
+			res.Gap = bounds.Gap(best, lb)
 		}
 		opt.traceSolveEnd("spp", res)
 		return res, nil
@@ -199,6 +220,8 @@ func minTime(ctx context.Context, in *model.Instance, W, H int, order *model.Ord
 			res.Decision = Unknown
 			res.Value = best
 			res.Placement = bestPlace
+			res.BestBound = lo
+			res.Gap = bounds.Gap(best, lo)
 			res.Elapsed = time.Since(start)
 			opt.traceSolveEnd("spp", res)
 			return res, ctx.Err()
@@ -207,6 +230,7 @@ func minTime(ctx context.Context, in *model.Instance, W, H int, order *model.Ord
 	res.Decision = Feasible
 	res.Value = best
 	res.Placement = bestPlace
+	res.BestBound = best
 	res.Elapsed = time.Since(start)
 	opt.traceSolveEnd("spp", res)
 	return res, nil
@@ -265,6 +289,8 @@ func (o Options) traceSolveEnd(mode string, res *OptResult) {
 		"decision":    res.Decision.String(),
 		"value":       res.Value,
 		"lower_bound": res.LowerBound,
+		"best_bound":  res.BestBound,
+		"gap":         res.Gap,
 		"probes":      res.Probes,
 		"nodes":       res.Stats.Nodes,
 		"elapsed_ms":  ms(res.Elapsed),

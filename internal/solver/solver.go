@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"time"
 
 	"fpga3d/internal/core"
@@ -93,14 +94,39 @@ type Options struct {
 
 	// Strategy selects how the three stages are composed per OPP
 	// decision: "" or "staged" (the default — sequential short-circuit,
-	// bit-identical to the historical pipeline) or "portfolio"
+	// bit-identical to the historical pipeline), "portfolio"
 	// (incumbent sharing across the probes of an optimization run:
 	// dominated probes are answered by stored witnesses, sweeps are
 	// seeded by previous answers, and with Workers > 1 a single
-	// decision races the cheap prover against the exact search).
-	// Unknown names are rejected with an error by every entry point.
-	// See internal/strategy.
+	// decision races the cheap prover against the exact search), or
+	// "anneal" (the staged pipeline with a randomized annealing placer
+	// between the greedy heuristic and the exact search; deterministic
+	// per AnnealSeed). Unknown names are rejected with an error by
+	// every entry point. See internal/strategy.
 	Strategy string
+
+	// Anytime enables the anytime tier for MinTime (mode spp): after
+	// the greedy upper bound, a randomized annealing placer tightens
+	// the incumbent (streaming each improvement through OnImprovement
+	// and the Progress hook), then the exact refinement runs a
+	// sequential binary search that raises the proven lower bound with
+	// every infeasibility proof and lowers the incumbent with every
+	// witness — so the optimality gap reported along the way is
+	// non-increasing and reaches 0 exactly when the run proves its
+	// incumbent optimal. The final answer equals the staged pipeline's
+	// (same monotone predicate, same interval convergence); only the
+	// path there differs. Other modes ignore the flag.
+	Anytime bool
+	// AnnealSeed seeds the randomized annealing placer used by the
+	// "anneal" strategy and by Anytime runs; zero means seed 1. The
+	// annealer is deterministic per seed.
+	AnnealSeed int64
+	// OnImprovement, when non-nil, receives one AnytimeUpdate per
+	// incumbent or bound improvement of an Anytime MinTime run,
+	// including a Final update when optimality is proven. Called
+	// synchronously from the solve goroutine; implementations must be
+	// fast and must not mutate the carried placement.
+	OnImprovement func(AnytimeUpdate)
 	// ReferenceRules runs the engine on its pre-optimization reference
 	// rule implementations (see core.Options.ReferenceRules). Results
 	// are bit-identical to the default fast paths, only slower; the
@@ -150,7 +176,7 @@ func (o Options) withRun() (Options, error) {
 // SolveOPPCtx call attaches its own fresh store.
 func (o Options) validateStrategy() error {
 	if !strategy.Valid(o.Strategy) {
-		return fmt.Errorf("solver: unknown strategy %q (valid: staged, portfolio)", o.Strategy)
+		return fmt.Errorf("solver: unknown strategy %q (valid: %s)", o.Strategy, strings.Join(strategy.Names(), ", "))
 	}
 	return nil
 }
@@ -170,6 +196,7 @@ func (o Options) strategyEnv() *strategy.Env {
 		Trace:         o.Trace,
 		Metrics:       o.Metrics,
 		Inc:           o.inc,
+		AnnealSeed:    o.AnnealSeed,
 	}
 }
 
@@ -177,10 +204,14 @@ func (o Options) strategyEnv() *strategy.Env {
 // environment. The zero value selects Staged, the historical
 // three-stage pipeline.
 func (o Options) pipeline() strategy.Strategy {
-	if o.portfolio() {
+	switch o.Strategy {
+	case strategy.NamePortfolio:
 		return strategy.NewPortfolio(o.strategyEnv())
+	case strategy.NameAnneal:
+		return strategy.NewAnneal(o.strategyEnv())
+	default:
+		return strategy.NewStaged(o.strategyEnv())
 	}
-	return strategy.NewStaged(o.strategyEnv())
 }
 
 // effectiveWorkers resolves Options.Workers to a concrete pool size.

@@ -1,0 +1,183 @@
+package strategy
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"fpga3d/internal/bounds"
+	"fpga3d/internal/heur"
+	"fpga3d/internal/model"
+	"fpga3d/internal/obs"
+)
+
+// Anneal is the staged pipeline with a randomized annealing placer
+// inserted between the greedy heuristic and the exact search: bounds →
+// greedy → anneal → search. The annealer perturbs task-priority
+// permutations over the same occupancy-grid list scheduler the greedy
+// rules use (deterministic per Env.AnnealSeed), so it finds feasible
+// witnesses on instances where every greedy rule misses, at a cost of
+// one bounded annealing walk per chip footprint (memoized in the
+// incumbent store, like the greedy placer).
+//
+// Every annealed schedule is recorded in the incumbent store, and a
+// probe dominated by a stored witness is answered outright — the
+// annealer's witnesses thereby seed both later probes of a sweep and
+// the exact search's upper bound in anytime runs. Decisions are
+// exact: the annealer only ever adds feasible witnesses, and the
+// branch-and-bound still settles everything the cheap tiers cannot.
+type Anneal struct {
+	env *Env
+}
+
+// NewAnneal returns the annealing strategy over env.
+func NewAnneal(env *Env) *Anneal { return &Anneal{env: env} }
+
+// Name returns NameAnneal.
+func (a *Anneal) Name() string { return NameAnneal }
+
+// Solve runs bounds → greedy → anneal → search with short-circuit
+// evaluation. A nil error with Decision Unknown means a limit or
+// cancellation.
+func (a *Anneal) Solve(ctx context.Context, p *Problem) (*Result, error) {
+	if p.FixedStarts != nil {
+		return a.env.solveFixed(ctx, p, nil)
+	}
+	e := a.env
+	start := time.Now()
+	res := &Result{}
+	ctx, osp := e.oppSpan(ctx, p)
+	defer func() { e.endOPPSpan(osp, res) }()
+	e.Metrics.Counter("opp.calls").Inc()
+	e.Trace.Emit("opp_start", map[string]any{
+		"instance": p.In.Name, "n": p.In.N(), "W": p.C.W, "H": p.C.H, "T": p.C.T,
+	})
+
+	if ctx.Err() != nil {
+		res.Decision = Unknown
+		res.DecidedBy = "canceled"
+		res.Elapsed = time.Since(start)
+		e.Metrics.Counter("opp.decided_by.canceled").Inc()
+		e.traceOPPEnd(res, nil)
+		return res, nil
+	}
+
+	// A stored witness (from an earlier probe's annealing walk or a
+	// parallel search) that fits this container answers without work.
+	if e.Inc != nil {
+		if w, src, ok := e.Inc.Dominating(p.C); ok {
+			pl := w.Clone()
+			if err := pl.Verify(p.In, p.C, p.Order); err != nil {
+				return nil, fmt.Errorf("solver: stored incumbent invalid: %w", err)
+			}
+			res.Decision = Feasible
+			res.Placement = pl
+			res.DecidedBy = "incumbent"
+			res.Elapsed = time.Since(start)
+			e.Metrics.Counter(obs.MetricStrategyIncumbentHits).Inc()
+			e.Metrics.Counter("opp.decided_by.incumbent").Inc()
+			e.traceOPPEnd(res, map[string]any{"incumbent_source": src})
+			return res, nil
+		}
+	}
+
+	// Stage 1: lower bounds.
+	if !e.SkipBounds {
+		e.notifyPhase(obs.PhaseBounds)
+		ssp := e.stageSpan(ctx, obs.PhaseBounds)
+		s0 := time.Now()
+		bad, why := bounds.OPPInfeasible(p.In, p.C, p.Order)
+		res.Stages.Bounds = time.Since(s0)
+		ssp.End()
+		if bad {
+			res.Decision = Infeasible
+			res.DecidedBy = "bound: " + why
+			res.Elapsed = time.Since(start)
+			e.Metrics.Counter("opp.decided_by.bounds").Inc()
+			e.traceOPPEnd(res, map[string]any{"bound": why})
+			return res, nil
+		}
+		e.Trace.Emit("stage", map[string]any{
+			"phase": obs.PhaseBounds, "outcome": "pass", "elapsed_ms": MS(res.Stages.Bounds),
+		})
+	}
+
+	// Stage 2: greedy placer (memoized per footprint).
+	if !e.SkipHeuristic {
+		e.notifyPhase(obs.PhaseHeuristic)
+		ssp := e.stageSpan(ctx, obs.PhaseHeuristic)
+		s0 := time.Now()
+		hp, mk, hok := e.heurWitness(p)
+		res.Stages.Heuristic = time.Since(s0)
+		ssp.End()
+		if hok && mk <= p.C.T {
+			pl := hp.Clone()
+			if err := pl.Verify(p.In, p.C, p.Order); err != nil {
+				return nil, fmt.Errorf("solver: heuristic produced invalid placement: %w", err)
+			}
+			res.Decision = Feasible
+			res.Placement = pl
+			res.DecidedBy = "heuristic"
+			res.Elapsed = time.Since(start)
+			e.Metrics.Counter("opp.decided_by.heuristic").Inc()
+			e.traceOPPEnd(res, nil)
+			return res, nil
+		}
+		e.Trace.Emit("stage", map[string]any{
+			"phase": obs.PhaseHeuristic, "outcome": "miss", "elapsed_ms": MS(res.Stages.Heuristic),
+		})
+
+		// Stage 2½: annealing placer. Only reachable when the greedy
+		// placer fits the chip spatially but misses the time budget —
+		// annealing cannot fix a spatial misfit.
+		if hok {
+			e.notifyPhase(obs.PhaseAnneal)
+			asp := e.stageSpan(ctx, obs.PhaseAnneal)
+			s0 = time.Now()
+			ap, amk, aok := e.annealWitness(ctx, p)
+			res.Stages.Anneal = time.Since(s0)
+			asp.End()
+			if aok && amk <= p.C.T {
+				pl := ap.Clone()
+				if err := pl.Verify(p.In, p.C, p.Order); err != nil {
+					return nil, fmt.Errorf("solver: annealer produced invalid placement: %w", err)
+				}
+				res.Decision = Feasible
+				res.Placement = pl
+				res.DecidedBy = "anneal"
+				res.Elapsed = time.Since(start)
+				e.Metrics.Counter("opp.decided_by.anneal").Inc()
+				e.traceOPPEnd(res, nil)
+				return res, nil
+			}
+			e.Trace.Emit("stage", map[string]any{
+				"phase": obs.PhaseAnneal, "outcome": "miss", "elapsed_ms": MS(res.Stages.Anneal),
+			})
+		}
+	}
+
+	// Stage 3: packing-class branch and bound.
+	return e.solveSearch(ctx, p, res, start, nil)
+}
+
+// annealWitness returns the annealing placer's best schedule for the
+// problem's chip, memoized in the incumbent store when one is
+// attached, and records it as a witness for later dominance lookups.
+// The returned placement is shared — callers must Clone before
+// exposing or mutating it.
+func (e *Env) annealWitness(ctx context.Context, p *Problem) (*model.Placement, int, bool) {
+	var (
+		pl *model.Placement
+		mk int
+		ok bool
+	)
+	if e.Inc != nil {
+		pl, mk, ok, _ = e.Inc.Anneal(ctx, p.In, p.C.W, p.C.H, p.Order, e.AnnealSeed)
+	} else {
+		pl, mk, ok = heur.AnnealMinMakespan(ctx, p.In, p.C.W, p.C.H, p.Order, heur.AnnealOptions{Seed: e.AnnealSeed})
+	}
+	if ok && e.Inc != nil {
+		e.Inc.RecordWitness(p.In, pl, "anneal")
+	}
+	return pl, mk, ok
+}

@@ -1,6 +1,7 @@
 package strategy
 
 import (
+	"context"
 	"sync"
 
 	"fpga3d/internal/heur"
@@ -20,9 +21,10 @@ import (
 // per-orientation sub-solves each get their own. All methods are safe
 // for concurrent use.
 type Incumbents struct {
-	mu   sync.Mutex
-	heur map[[2]int]heurEntry
-	wits []witnessEntry
+	mu     sync.Mutex
+	heur   map[[2]int]heurEntry
+	anneal map[[2]int]heurEntry
+	wits   []witnessEntry
 
 	heurComputes int64
 	heurHits     int64
@@ -48,7 +50,10 @@ type witnessEntry struct {
 
 // NewIncumbents returns an empty store.
 func NewIncumbents() *Incumbents {
-	return &Incumbents{heur: make(map[[2]int]heurEntry)}
+	return &Incumbents{
+		heur:   make(map[[2]int]heurEntry),
+		anneal: make(map[[2]int]heurEntry),
+	}
 }
 
 // computeMinMakespan is the unmemoized stage-2 computation.
@@ -76,6 +81,35 @@ func (s *Incumbents) MinMakespan(in *model.Instance, W, H int, o *model.Order) (
 	s.mu.Lock()
 	s.heur[key] = heurEntry{place: p, mk: m, ok: k}
 	s.heurComputes++
+	s.mu.Unlock()
+	return p, m, k, false
+}
+
+// Anneal returns the annealing placer's best schedule for a W×H chip,
+// computed at most once per footprint with the full iteration budget.
+// Memoizing a probe-independent walk (no per-probe early exit) keeps
+// the result reusable across a sweep's probes at different time
+// budgets: the probe at budget T succeeds iff T ≥ mk, exactly like
+// the greedy memo. The walk is deterministic per seed, so concurrent
+// duplicate computation stores the same entry. The returned placement
+// is the stored one — callers must Clone before exposing or mutating
+// it.
+func (s *Incumbents) Anneal(ctx context.Context, in *model.Instance, W, H int, o *model.Order, seed int64) (place *model.Placement, mk int, ok, hit bool) {
+	key := [2]int{W, H}
+	s.mu.Lock()
+	if e, found := s.anneal[key]; found {
+		s.mu.Unlock()
+		return e.place, e.mk, e.ok, true
+	}
+	s.mu.Unlock()
+	p, m, k := heur.AnnealMinMakespan(ctx, in, W, H, o, heur.AnnealOptions{Seed: seed})
+	if ctx != nil && ctx.Err() != nil {
+		// A truncated walk is still a valid witness, but memoizing it
+		// would let one canceled probe degrade every later one.
+		return p, m, k, false
+	}
+	s.mu.Lock()
+	s.anneal[key] = heurEntry{place: p, mk: m, ok: k}
 	s.mu.Unlock()
 	return p, m, k, false
 }

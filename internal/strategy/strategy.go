@@ -28,6 +28,7 @@ package strategy
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"fpga3d/internal/core"
@@ -66,31 +67,37 @@ const (
 	NameStaged = "staged"
 	// NamePortfolio selects incumbent-sharing portfolio solving.
 	NamePortfolio = "portfolio"
+	// NameAnneal selects the staged pipeline with a randomized
+	// annealing placer between the greedy heuristic and the exact
+	// search.
+	NameAnneal = "anneal"
 )
 
 // Valid reports whether name selects a known strategy; the empty
 // string is valid and means the default (staged).
 func Valid(name string) bool {
 	switch name {
-	case "", NameStaged, NamePortfolio:
+	case "", NameStaged, NamePortfolio, NameAnneal:
 		return true
 	}
 	return false
 }
 
 // Names lists the accepted non-empty strategy names.
-func Names() []string { return []string{NameStaged, NamePortfolio} }
+func Names() []string { return []string{NameStaged, NamePortfolio, NameAnneal} }
 
-// Parse resolves a strategy name ("" or NameStaged or NamePortfolio)
-// against an environment.
+// Parse resolves a strategy name ("", NameStaged, NamePortfolio or
+// NameAnneal) against an environment.
 func Parse(name string, env *Env) (Strategy, error) {
 	switch name {
 	case "", NameStaged:
 		return NewStaged(env), nil
 	case NamePortfolio:
 		return NewPortfolio(env), nil
+	case NameAnneal:
+		return NewAnneal(env), nil
 	}
-	return nil, fmt.Errorf("strategy: unknown strategy %q (valid: staged, portfolio)", name)
+	return nil, fmt.Errorf("strategy: unknown strategy %q (valid: %s)", name, strings.Join(Names(), ", "))
 }
 
 // Problem is one orthogonal packing question: does instance In fit
@@ -111,7 +118,8 @@ type Result struct {
 	Decision  Decision
 	Placement *model.Placement // non-nil iff Decision == Feasible
 	// DecidedBy names the stage that settled the question:
-	// "bound: <name>", "heuristic", "incumbent", or "search".
+	// "bound: <name>", "heuristic", "anneal", "incumbent", or
+	// "search".
 	DecidedBy string
 	Stats     core.Stats
 	// Stages breaks Elapsed down into per-stage wall-clock durations.
@@ -153,6 +161,10 @@ type Env struct {
 	// one optimization run. It is only meaningful for a single
 	// instance; nil disables sharing (every probe recomputes).
 	Inc *Incumbents
+	// AnnealSeed seeds the randomized annealing placer (Anneal
+	// strategy and the anytime tier); zero means seed 1. The annealer
+	// is deterministic per seed.
+	AnnealSeed int64
 }
 
 // notifyPhase delivers a stage-transition snapshot to the Progress

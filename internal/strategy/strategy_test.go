@@ -34,18 +34,18 @@ func testEnv(workers int) *Env {
 }
 
 func TestValidAndNames(t *testing.T) {
-	for _, name := range []string{"", NameStaged, NamePortfolio} {
+	for _, name := range []string{"", NameStaged, NamePortfolio, NameAnneal} {
 		if !Valid(name) {
 			t.Errorf("Valid(%q) = false, want true", name)
 		}
 	}
-	for _, name := range []string{"greedy", "Staged", "portfolio ", "race"} {
+	for _, name := range []string{"greedy", "Staged", "portfolio ", "race", "Anneal"} {
 		if Valid(name) {
 			t.Errorf("Valid(%q) = true, want false", name)
 		}
 	}
 	names := Names()
-	if len(names) != 2 || names[0] != NameStaged || names[1] != NamePortfolio {
+	if len(names) != 3 || names[0] != NameStaged || names[1] != NamePortfolio || names[2] != NameAnneal {
 		t.Errorf("Names() = %v", names)
 	}
 }
@@ -56,6 +56,7 @@ func TestParse(t *testing.T) {
 		"":            NameStaged,
 		NameStaged:    NameStaged,
 		NamePortfolio: NamePortfolio,
+		NameAnneal:    NameAnneal,
 	} {
 		s, err := Parse(name, env)
 		if err != nil {

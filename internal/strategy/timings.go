@@ -11,18 +11,29 @@ import (
 type StageTimings struct {
 	Bounds    time.Duration `json:"bounds"`
 	Heuristic time.Duration `json:"heuristic"`
-	Search    time.Duration `json:"search"`
+	// Anneal is the randomized annealing placer's share (Anneal
+	// strategy and anytime runs; zero elsewhere).
+	Anneal time.Duration `json:"anneal,omitempty"`
+	Search time.Duration `json:"search"`
 }
 
 // Add accumulates o into s.
 func (s *StageTimings) Add(o StageTimings) {
 	s.Bounds += o.Bounds
 	s.Heuristic += o.Heuristic
+	s.Anneal += o.Anneal
 	s.Search += o.Search
 }
 
 // String renders the per-stage times, microsecond-rounded.
 func (s StageTimings) String() string {
+	if s.Anneal > 0 {
+		return fmt.Sprintf("bounds %v · heuristic %v · anneal %v · search %v",
+			s.Bounds.Round(time.Microsecond),
+			s.Heuristic.Round(time.Microsecond),
+			s.Anneal.Round(time.Microsecond),
+			s.Search.Round(time.Microsecond))
+	}
 	return fmt.Sprintf("bounds %v · heuristic %v · search %v",
 		s.Bounds.Round(time.Microsecond),
 		s.Heuristic.Round(time.Microsecond),
@@ -34,9 +45,13 @@ func MS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 
 // StagesMS renders stage timings as a trace/JSON field.
 func StagesMS(s StageTimings) map[string]float64 {
-	return map[string]float64{
+	m := map[string]float64{
 		"bounds":    MS(s.Bounds),
 		"heuristic": MS(s.Heuristic),
 		"search":    MS(s.Search),
 	}
+	if s.Anneal > 0 {
+		m["anneal"] = MS(s.Anneal)
+	}
+	return m
 }
